@@ -1,0 +1,48 @@
+"""Ablation: sparse allreduce (Alg. 2) vs naive per-node MPI_Allreduce.
+
+§3.2 argues that reducing each replicated node with its own MPI_Allreduce
+"can become costly both in terms of latency and synchronization"; the
+sparse allreduce needs only O(log Pz) packed pairwise messages per rank.
+Both implementations must produce identical solutions; the sparse one must
+send fewer inter-grid messages and spend less inter-grid time at large Pz.
+"""
+
+import numpy as np
+
+from common import CORI_HASWELL, check_solution, get_solver, rhs_for, write_report
+
+
+def test_ablation_allreduce(benchmark):
+    name = "s2D9pt2048"
+    rows = ["Ablation: inter-grid allreduce implementation",
+            f"{'Pz':>4s} {'impl':>8s} {'z-time[us]':>11s} {'z-msgs':>7s} "
+            f"{'total[ms]':>10s}"]
+    data = {}
+    for pz in (4, 16, 64):
+        solver = get_solver(name, 1, 1, pz, machine=CORI_HASWELL)
+        b = rhs_for(solver)
+        sols = {}
+        for impl in ("sparse", "naive"):
+            out = solver.solve(b, allreduce_impl=impl)
+            check_solution(solver, out, b)
+            sols[impl] = out.x
+            rep = out.report
+            data[(pz, impl)] = (rep.per_rank(category="z").mean(),
+                                rep.message_count("z"), rep.total_time)
+            rows.append(f"{pz:4d} {impl:>8s} "
+                        f"{data[(pz, impl)][0]*1e6:11.1f} "
+                        f"{data[(pz, impl)][1]:7d} "
+                        f"{data[(pz, impl)][2]*1e3:10.3f}")
+        assert np.allclose(sols["sparse"], sols["naive"], atol=1e-11)
+    write_report("ablation_allreduce.txt", rows)
+
+    for pz in (16, 64):
+        z_sparse, m_sparse, _ = data[(pz, "sparse")]
+        z_naive, m_naive, _ = data[(pz, "naive")]
+        assert m_sparse < m_naive
+        assert z_sparse < z_naive
+
+    solver = get_solver(name, 1, 1, 16, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b, allreduce_impl="sparse"),
+                       rounds=1, iterations=1)

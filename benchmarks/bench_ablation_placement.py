@@ -1,0 +1,45 @@
+"""Ablation: GPU/node placement — why confining NVSHMEM traffic matters.
+
+Fig. 11's story hinges on placement: Perlmutter nodes hold 4 GPUs, so a
+2D grid wider than 4 must cross the 24x-slower inter-node links, while the
+3D layout's contiguous grid-per-node placement keeps broadcasts on NVLink.
+This ablation re-runs the same configurations on a degraded machine with
+ONE GPU per node (every message inter-node) to isolate the placement term.
+"""
+
+from common import check_solution, fmt_ms, get_solver, rhs_for, write_report
+from repro.comm import PERLMUTTER_GPU
+
+SPREAD = PERLMUTTER_GPU.with_(name="perlmutter-gpu-spread", ranks_per_node=1)
+
+
+def test_ablation_placement(benchmark):
+    name = "s2D9pt2048"
+    rows = ["Ablation: GPU placement (4 GPUs/node vs 1 GPU/node) [ms]",
+            f"{'config':>10s} {'packed':>9s} {'spread':>9s} {'penalty':>8s}"]
+    data = {}
+    for px, pz in [(2, 1), (4, 1), (2, 8), (4, 16)]:
+        t = {}
+        for label, mach in (("packed", PERLMUTTER_GPU), ("spread", SPREAD)):
+            solver = get_solver(name, px, 1, pz, machine=mach)
+            b = rhs_for(solver)
+            out = solver.solve(b, device="gpu")
+            check_solution(solver, out, b)
+            t[label] = out.report.total_time
+        data[(px, pz)] = t
+        rows.append(f"{px}x1x{pz:<5d} {fmt_ms(t['packed'])} "
+                    f"{fmt_ms(t['spread'])} "
+                    f"{t['spread'] / t['packed']:7.2f}x")
+    write_report("ablation_placement.txt", rows)
+
+    # Multi-GPU grids must suffer when every hop crosses nodes...
+    for cfg in [(2, 1), (4, 1), (4, 16)]:
+        assert data[cfg]["spread"] > data[cfg]["packed"], cfg
+    # ...and the penalty grows with the grid width (more NVSHMEM traffic).
+    assert (data[(4, 1)]["spread"] / data[(4, 1)]["packed"]
+            >= data[(2, 1)]["spread"] / data[(2, 1)]["packed"] * 0.95)
+
+    solver = get_solver(name, 4, 1, 4, machine=SPREAD)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b, device="gpu"),
+                       rounds=1, iterations=1)

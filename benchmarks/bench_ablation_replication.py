@@ -1,0 +1,64 @@
+"""Ablation: the cost and payoff of replicated computation (§3.1 Remark).
+
+The proposed algorithm trades inter-grid synchronization for replicated
+ancestor computation.  The Remark's claims:
+- total FP work grows (replication) but the *parallel* FP time does not,
+  because replicas run concurrently on otherwise-idle grids;
+- removing the baseline's per-level synchronization (the `level_sync`
+  knob) recovers part — but not all — of the proposed algorithm's win.
+"""
+
+from common import (
+    CORI_HASWELL,
+    check_solution,
+    get_solver,
+    grid_for,
+    rhs_for,
+    write_report,
+)
+
+
+def test_ablation_replication(benchmark):
+    name = "nlpkkt80"
+    P = 256
+    rows = ["Ablation: replicated computation vs per-level synchronization",
+            f"{'Pz':>4s} {'variant':>18s} {'total[ms]':>10s} "
+            f"{'sum FP[ms]':>11s} {'max FP[us]':>11s}"]
+    data = {}
+    for pz in (4, 16):
+        px, py = grid_for(P, pz)
+        solver = get_solver(name, px, py, pz, machine=CORI_HASWELL)
+        b = rhs_for(solver)
+        variants = {
+            "new3d": dict(algorithm="new3d"),
+            "baseline+sync": dict(algorithm="baseline3d"),
+            "baseline-nosync": dict(algorithm="baseline3d",
+                                    baseline_level_sync=False),
+        }
+        for label, kw in variants.items():
+            out = solver.solve(b, **kw)
+            check_solution(solver, out, b)
+            fp = out.report.per_rank(category="fp")
+            data[(pz, label)] = (out.report.total_time, fp.sum(), fp.max())
+            rows.append(f"{pz:4d} {label:>18s} "
+                        f"{out.report.total_time*1e3:10.3f} "
+                        f"{fp.sum()*1e3:11.3f} {fp.max()*1e6:11.1f}")
+    write_report("ablation_replication.txt", rows)
+
+    for pz in (4, 16):
+        # Replication: the proposed algorithm does more total FP work...
+        assert data[(pz, "new3d")][1] > data[(pz, "baseline+sync")][1]
+        # ...but is not slower end-to-end than the synchronized baseline.
+        assert (data[(pz, "new3d")][0]
+                <= 1.05 * data[(pz, "baseline+sync")][0])
+        # The sync cost is real: removing it helps the baseline.
+        assert (data[(pz, "baseline-nosync")][0]
+                <= data[(pz, "baseline+sync")][0] * 1.02)
+
+    px, py = grid_for(P, 16)
+    solver = get_solver(name, px, py, 16, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(
+        lambda: solver.solve(b, algorithm="baseline3d",
+                             baseline_level_sync=False),
+        rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Ablation: the WAIT/SOLVE two-kernel trick (§3.4).
+
+NVSHMEM limits concurrently scheduled thread blocks to the SM count to
+avoid deadlock with point-to-point synchronization; naively, spin-waiting
+columns then occupy SMs and "significantly restrict SpTRSV concurrency".
+The paper's two-kernel design (a one-block WAIT kernel probing messages +
+the SOLVE kernel) removes the restriction.  This bench measures the solve
+with and without the trick.
+"""
+
+import numpy as np
+
+from common import fmt_ms, get_solver, rhs_for, write_report
+from repro.comm import PERLMUTTER_GPU
+from repro.core.plan2d import build_2d_plans
+from repro.gpu import run_gpu_2d_solve
+from repro.grids import BlockCyclicMap, Grid3D
+
+
+def run_lsolve(name, px, two_kernel):
+    solver = get_solver(name, px, 1, 1, machine=PERLMUTTER_GPU)
+    lu = solver.lu
+    part = lu.partition
+    grid = Grid3D(px, 1, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", list(range(lu.nsup)))
+    cmap = BlockCyclicMap(grid)
+    b = rhs_for(solver)[solver.perm]
+    rhs = {r: {} for r in range(px)}
+    for K in range(lu.nsup):
+        rhs[cmap.diag_owner_rank(K, 0)][K] = np.array(
+            b[part.first(K):part.last(K)])
+    res = run_gpu_2d_solve(plan, PERLMUTTER_GPU, rhs, 1,
+                           two_kernel=two_kernel)
+    # Assemble and verify against the sequential reference.
+    y = np.empty_like(b)
+    for K in range(lu.nsup):
+        r = cmap.diag_owner_rank(K, 0)
+        y[part.first(K):part.last(K)] = res.values[r][K]
+    assert np.allclose(y, lu.solve_L(b), atol=1e-9)
+    return max(res.finish.values())
+
+
+def test_ablation_twokernel(benchmark):
+    rows = ["Ablation: WAIT/SOLVE two-kernel design (L-solve) [ms]",
+            f"{'matrix':>16s} {'GPUs':>5s} {'two-kernel':>11s} "
+            f"{'single':>9s} {'slowdown':>9s}"]
+    data = {}
+    for name in ("s2D9pt2048", "nlpkkt80"):
+        for px in (1, 2, 4):
+            t2 = run_lsolve(name, px, True)
+            t1 = run_lsolve(name, px, False)
+            data[(name, px)] = (t2, t1)
+            rows.append(f"{name:>16s} {px:5d} {fmt_ms(t2)}   {fmt_ms(t1)} "
+                        f"{t1 / t2:8.2f}x")
+    write_report("ablation_twokernel.txt", rows)
+
+    # The naive single-kernel schedule is never faster and clearly slower
+    # somewhere (waiting blocks occupying SMs serialize the window).
+    assert all(t1 >= t2 * 0.999 for (t2, t1) in data.values())
+    assert max(t1 / t2 for (t2, t1) in data.values()) > 1.2
+
+    benchmark.pedantic(lambda: run_lsolve("s2D9pt2048", 2, False),
+                       rounds=1, iterations=1)

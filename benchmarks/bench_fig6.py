@@ -1,0 +1,39 @@
+"""Fig. 6: time breakdown for nlpkkt80 (3D-PDE replication growth).
+
+Same axes as Fig. 5, for the 3D-PDE-class matrix.  The paper's key
+observation: 3D discretizations have separators that grow with problem
+size, so the proposed algorithm's replicated computation and intra-grid
+communication grow *asymptotically faster with Pz* than for the 2D-PDE
+matrix — at large Pz this erodes (but does not reverse, at the paper's
+scales) the 3D advantage.
+"""
+
+from bench_fig5 import report_rows, run_breakdowns
+from common import CORI_HASWELL, get_solver, grid_for, rhs_for, write_report
+
+MATRIX = "nlpkkt80"
+P_VALUES = [64, 256]
+
+
+def test_fig6(benchmark):
+    data = run_breakdowns(MATRIX)
+    write_report("fig6_nlpkkt80.txt", report_rows(MATRIX, data))
+    data2d = run_breakdowns("s2D9pt2048")
+
+    for P in P_VALUES:
+        # Replicated FP grows with Pz for the proposed algorithm...
+        fp1 = data[(P, 1, "new3d")]["fp"]
+        fp16 = data[(P, 16, "new3d")]["fp"]
+        assert fp16 > fp1 * 0.9
+        # ... and the 3D-PDE matrix replicates proportionally more than
+        # the 2D-PDE matrix (fat separators).
+        growth_3d = fp16 / fp1
+        growth_2d = (data2d[(P, 16, "new3d")]["fp"]
+                     / data2d[(P, 1, "new3d")]["fp"])
+        assert growth_3d > growth_2d
+
+    px, py = grid_for(64, 16)
+    solver = get_solver(MATRIX, px, py, 16, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b).report.breakdown(),
+                       rounds=1, iterations=1)

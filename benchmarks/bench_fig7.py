@@ -1,0 +1,80 @@
+"""Fig. 7: load balance of the L/U solve phases for s2D9pt2048.
+
+The paper plots, for P = 128 and P = 1024 and varying Pz, the mean per-rank
+time of the L and U phases with error bars at the min/max over ranks
+(Z-comm excluded).  For the balanced 2D-PDE matrix both algorithms show
+reasonable balance.
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    CORI_HASWELL,
+    check_solution,
+    get_solver,
+    grid_for,
+    rhs_for,
+    write_report,
+)
+
+P_VALUES = [64, 256]
+PZ_VALUES = [1, 4, 16]
+
+
+def load_balance(name):
+    """{(P, pz, alg, phase): (mean, min, max)} of per-rank non-Z time."""
+    data = {}
+    for P in P_VALUES:
+        for pz in PZ_VALUES:
+            px, py = grid_for(P, pz)
+            solver = get_solver(name, px, py, pz, machine=CORI_HASWELL)
+            b = rhs_for(solver)
+            for alg in ("new3d", "baseline3d"):
+                out = solver.solve(b, algorithm=alg)
+                check_solution(solver, out, b)
+                for phase in ("l", "u"):
+                    # Z-comm excluded, as in the paper's figure.
+                    t = (out.report.per_rank(phase=phase, category="fp")
+                         + out.report.per_rank(phase=phase, category="xy"))
+                    data[(P, pz, alg, phase)] = (t.mean(), t.min(), t.max())
+    return data
+
+
+def balance_rows(name, data):
+    rows = [f"Fig 7/8 ({name}): per-rank L/U time [us] mean (min..max), "
+            f"Z-comm excluded",
+            f"{'P':>5s} {'Pz':>4s} {'alg':>11s} {'phase':>5s} "
+            f"{'mean':>8s} {'min':>8s} {'max':>8s} {'max/mean':>8s}"]
+    for key in sorted(data):
+        P, pz, alg, phase = key
+        mean, lo, hi = data[key]
+        imb = hi / mean if mean > 0 else 1.0
+        rows.append(f"{P:5d} {pz:4d} {alg:>11s} {phase:>5s} "
+                    f"{mean*1e6:8.1f} {lo*1e6:8.1f} {hi*1e6:8.1f} "
+                    f"{imb:8.2f}")
+    return rows
+
+
+def test_fig7(benchmark):
+    name = "s2D9pt2048"
+    data = load_balance(name)
+    write_report("fig7_s2D9pt2048.txt", balance_rows(name, data))
+
+    # Reasonable balance on the 2D-PDE matrix.  The baseline's spread grows
+    # at large Pz (idle grids below the active level); the proposed
+    # algorithm stays tight because every grid does the replicated work.
+    for (P, pz, alg, phase), (mean, lo, hi) in data.items():
+        if mean > 0:
+            assert hi / mean < 4.0, (P, pz, alg, phase)
+    for P in P_VALUES:
+        for phase in ("l", "u"):
+            mean_b, _, max_b = data[(P, 16, "baseline3d", phase)]
+            mean_n, _, max_n = data[(P, 16, "new3d", phase)]
+            assert max_n / mean_n <= max_b / mean_b
+
+    px, py = grid_for(64, 4)
+    solver = get_solver(name, px, py, 4, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b).report.per_rank(phase="l"),
+                       rounds=1, iterations=1)

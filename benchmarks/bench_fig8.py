@@ -1,0 +1,36 @@
+"""Fig. 8: load balance for nlpkkt80 — the baseline's imbalance story.
+
+The paper's observation: at large Pz the baseline shows large per-rank
+imbalance on the 3D-PDE matrix (idle grids and per-level lockstep expose
+uneven node sizes), while the proposed algorithm stays balanced because
+every grid performs the replicated ancestor work.  The proposed code shows
+higher *mean* time (duplicated FP) but lower *max* — and the max is what
+determines the runtime.
+"""
+
+from bench_fig7 import balance_rows, load_balance
+from common import CORI_HASWELL, get_solver, grid_for, rhs_for, write_report
+
+
+def test_fig8(benchmark):
+    name = "nlpkkt80"
+    data = load_balance(name)
+    write_report("fig8_nlpkkt80.txt", balance_rows(name, data))
+
+    # At the largest Pz, the proposed algorithm's relative imbalance
+    # (max / mean) in the L phase is no worse than the baseline's.
+    for P in (64, 256):
+        mean_b, _, max_b = data[(P, 16, "baseline3d", "l")]
+        mean_n, _, max_n = data[(P, 16, "new3d", "l")]
+        imb_base = max_b / mean_b
+        imb_new = max_n / mean_n
+        assert imb_new <= imb_base * 1.10, (P, imb_new, imb_base)
+        # Replication raises the proposed algorithm's mean.
+        assert mean_n >= 0.9 * mean_b
+
+    px, py = grid_for(64, 16)
+    solver = get_solver(name, px, py, 16, machine=CORI_HASWELL)
+    b = rhs_for(solver)
+    benchmark.pedantic(
+        lambda: solver.solve(b, algorithm="baseline3d").report.per_rank(),
+        rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""Fig. 9: Crusher (AMD MI250X) 1x1xPz — CPU vs GPU, 1 and 50 RHS.
+
+ROC-SHMEM lacks MPI sub-communicator support, so the paper runs Crusher
+with Px = Py = 1 only (no intra-grid communication).  For each Pz the
+figure reports total, L-solve, U-solve and inter-grid (Z) time, for the
+proposed CPU and GPU 3D algorithms.
+
+Shape claims (paper §4.2.1):
+- the inter-grid time is negligible (sparse allreduce);
+- GPU beats CPU at small Pz, with shrinking gains as Pz grows
+  (replicated FP dominates once per-grid work is small);
+- multi-RHS solves amortize: time(50 rhs) << 50 x time(1 rhs).
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    check_solution,
+    fmt_ms,
+    get_solver,
+    rhs_for,
+    write_report,
+)
+from repro.comm import CRUSHER_CPU, CRUSHER_GPU
+
+PZ_VALUES = [1, 4, 16, 64]
+
+
+def run_cpu_gpu(name, machine_gpu, machine_cpu, pz_values=PZ_VALUES,
+                nrhs_values=(1, 50)):
+    """{(pz, nrhs, dev): report} for one matrix on one machine pair."""
+    out = {}
+    for pz in pz_values:
+        solver = get_solver(name, 1, 1, pz, machine=machine_gpu)
+        for nrhs in nrhs_values:
+            b = rhs_for(solver, nrhs)
+            g = solver.solve(b, device="gpu")
+            check_solution(solver, g, b)
+            c = solver.solve(b, device="cpu", machine=machine_cpu)
+            check_solution(solver, c, b)
+            out[(pz, nrhs, "gpu")] = g.report
+            out[(pz, nrhs, "cpu")] = c.report
+    return out
+
+
+def cpu_gpu_rows(name, machine_name, data, pz_values=PZ_VALUES,
+                 nrhs_values=(1, 50)):
+    rows = [f"Fig 9/10 ({name}, {machine_name}): 1x1xPz CPU vs GPU [ms]",
+            f"{'Pz':>4s} {'nrhs':>5s} {'dev':>4s} {'total':>9s} "
+            f"{'L-solve':>9s} {'U-solve':>9s} {'Z-comm':>9s} "
+            f"{'cpu/gpu':>8s}"]
+    for pz in pz_values:
+        for nrhs in nrhs_values:
+            for dev in ("cpu", "gpu"):
+                rep = data[(pz, nrhs, dev)]
+                l = float(rep.per_rank(phase="l").max())
+                u = float(rep.per_rank(phase="u").max())
+                z = float(rep.per_rank(category="z").max())
+                speed = (data[(pz, nrhs, "cpu")].total_time
+                         / data[(pz, nrhs, "gpu")].total_time)
+                rows.append(
+                    f"{pz:4d} {nrhs:5d} {dev:>4s} {fmt_ms(rep.total_time)} "
+                    f"{fmt_ms(l)} {fmt_ms(u)} {fmt_ms(z)} "
+                    f"{speed:7.2f}x")
+    return rows
+
+
+@pytest.mark.parametrize("name", ["s1_mat_0_253872", "s2D9pt2048", "ldoor"])
+def test_fig9(benchmark, name):
+    data = run_cpu_gpu(name, CRUSHER_GPU, CRUSHER_CPU)
+    write_report(f"fig9_crusher_{name}.txt",
+                 cpu_gpu_rows(name, "crusher", data))
+
+    for nrhs in (1, 50):
+        # GPU wins at small Pz.
+        assert (data[(1, nrhs, "gpu")].total_time
+                < data[(1, nrhs, "cpu")].total_time)
+        # Z-comm is a small fraction of the GPU total (sparse allreduce).
+        rep = data[(16, nrhs, "gpu")]
+        assert (rep.per_rank(category="z").max()
+                < 0.5 * rep.total_time)
+        # Multi-RHS amortization.
+        t1 = data[(4, 1, "gpu")].total_time
+        t50 = data[(4, 50, "gpu")].total_time
+        assert t50 < 15 * t1
+    # GPU gains shrink as Pz grows (replication).
+    gain_small = (data[(1, 1, "cpu")].total_time
+                  / data[(1, 1, "gpu")].total_time)
+    gain_large = (data[(64, 1, "cpu")].total_time
+                  / data[(64, 1, "gpu")].total_time)
+    assert gain_large < gain_small
+
+    solver = get_solver(name, 1, 1, 4, machine=CRUSHER_GPU)
+    b = rhs_for(solver, 1)
+    benchmark.pedantic(lambda: solver.solve(b, device="gpu"),
+                       rounds=1, iterations=1)

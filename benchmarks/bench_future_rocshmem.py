@@ -1,0 +1,55 @@
+"""Future-work projection: Crusher with ROC-SHMEM sub-communicators (§3.4).
+
+The paper: "The AMD GPU's counterpart ROC-SHMEM currently does not support
+MPI subcommunicators... Adding support for MPI subbcommunicators in
+ROC-SHMEM will enable significantly improved scalability of SpTRSV for
+large numbers of GPU nodes."
+
+This bench quantifies that projection on the Crusher model: today's
+constraint (Px = Py = 1, so per-grid work cannot be spread across GPUs)
+versus the projected machine (`crusher-gpu-future`) running the
+NVSHMEM-style multi-GPU solves with Px up to 4.
+"""
+
+from common import check_solution, fmt_ms, get_solver, rhs_for, write_report
+from repro.comm import CRUSHER_GPU, CRUSHER_GPU_FUTURE
+
+
+def test_future_rocshmem(benchmark):
+    name = "s2D9pt2048"
+    rows = ["Future-work: Crusher GPU with one-sided sub-communicators [ms]",
+            f"{'config':>10s} {'GPUs':>5s} {'today':>9s} {'projected':>10s}"]
+    data = {}
+    for px, pz in [(1, 4), (1, 16), (2, 16), (4, 16), (4, 64)]:
+        solver = get_solver(name, px, 1, pz, machine=CRUSHER_GPU_FUTURE)
+        b = rhs_for(solver)
+        out = solver.solve(b, device="gpu")
+        check_solution(solver, out, b)
+        data[(px, pz, "future")] = out.report.total_time
+        if px == 1:
+            today = solver.solve(b, device="gpu",
+                                 machine=CRUSHER_GPU).report.total_time
+            data[(px, pz, "today")] = today
+        rows.append(
+            f"{px}x1x{pz:<5d} {px*pz:5d} "
+            f"{fmt_ms(data.get((px, pz, 'today'), float('nan')))} "
+            f"{fmt_ms(data[(px, pz, 'future')])}")
+    write_report("future_rocshmem.txt", rows)
+
+    # Today's Crusher cannot use px > 1 at all.
+    import pytest
+
+    solver = get_solver(name, 2, 1, 4, machine=CRUSHER_GPU)
+    with pytest.raises(ValueError, match="sub-communicators"):
+        solver.solve(rhs_for(solver), device="gpu")
+    # With sub-communicators, px=1 configurations behave identically...
+    assert data[(1, 16, "future")] == pytest.approx(data[(1, 16, "today")],
+                                                    rel=1e-9)
+    # ...and multi-GPU grids become *possible*, opening configurations the
+    # current stack cannot reach (the projection the paper makes).
+    assert (4, 64, "future") in data
+
+    solver = get_solver(name, 4, 1, 16, machine=CRUSHER_GPU_FUTURE)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b, device="gpu"),
+                       rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+"""Headline claims of the paper, checked end-to-end in one place.
+
+Paper abstract:
+1. proposed 3D SpTRSV attains up to 3.45x over the baseline 3D SpTRSV on
+   Cori (CPU) — here: the new-vs-baseline speedup grows with P and Pz and
+   clearly exceeds 1 at the largest configuration;
+2. the GPU 3D SpTRSV achieves up to 6.5x over the CPU 3D SpTRSV with Pz up
+   to 64 (Perlmutter) — here: peak CPU/GPU speedup above 2x, Perlmutter
+   above Crusher;
+3. the GPU 3D SpTRSV scales to 256 GPUs while the 2D GPU algorithm stops
+   at ~4 GPUs — here: the best 3D GPU config beats the best 2D GPU config
+   and 2D gains nothing past one node.
+"""
+
+from common import (
+    CORI_HASWELL,
+    check_solution,
+    get_solver,
+    grid_for,
+    rhs_for,
+    write_report,
+)
+from repro.comm import CRUSHER_CPU, CRUSHER_GPU, PERLMUTTER_CPU, PERLMUTTER_GPU
+
+
+def test_headline(benchmark):
+    rows = ["Headline claims (paper abstract) — measured on the analogues"]
+
+    # --- claim 1: new vs baseline on the CPU model ---------------------
+    # The paper's peak (3.45x) is at P=2048; the gap must grow with P.
+    name = "s2D9pt2048"
+    gains = []
+    for P, pz in [(64, 16), (256, 16), (512, 32), (1024, 32)]:
+        px, py = grid_for(P, pz)
+        solver = get_solver(name, px, py, pz, machine=CORI_HASWELL)
+        b = rhs_for(solver)
+        tn = solver.solve(b).report.total_time
+        tb = solver.solve(b, algorithm="baseline3d").report.total_time
+        gains.append((P, tb / tn))
+        rows.append(f"claim1 {name} P={P} Pz={pz}: baseline/new = {tb/tn:.2f}x"
+                    f" (paper: up to 3.45x at P=2048)")
+    assert max(g for _, g in gains) > 1.3
+    # Monotone-ish growth with P (the paper's strong-scaling story).
+    assert gains[-1][1] > gains[0][1]
+
+    # --- claim 2: GPU vs CPU, Perlmutter > Crusher ----------------------
+    def peak_cpu_gpu(machine_gpu, machine_cpu):
+        peak = 0.0
+        for pz in (4, 16):
+            solver = get_solver(name, 1, 1, pz, machine=machine_gpu)
+            b = rhs_for(solver)
+            g = solver.solve(b, device="gpu")
+            check_solution(solver, g, b)
+            c = solver.solve(b, device="cpu", machine=machine_cpu)
+            peak = max(peak, c.report.total_time / g.report.total_time)
+        return peak
+
+    perl = peak_cpu_gpu(PERLMUTTER_GPU, PERLMUTTER_CPU)
+    crush = peak_cpu_gpu(CRUSHER_GPU, CRUSHER_CPU)
+    rows.append(f"claim2 {name}: CPU/GPU peak perlmutter={perl:.2f}x "
+                f"crusher={crush:.2f}x (paper: 6.5x / 2.9x peaks)")
+    assert perl > 2.0
+    assert perl > crush
+
+    # --- claim 3: 3D GPU outscales 2D GPU -------------------------------
+    t2d = {}
+    for px in (1, 2, 4, 8):
+        solver = get_solver(name, px, 1, 1, machine=PERLMUTTER_GPU)
+        b = rhs_for(solver)
+        t2d[px] = solver.solve(b, device="gpu").report.total_time
+    solver = get_solver(name, 4, 1, 64, machine=PERLMUTTER_GPU)
+    b = rhs_for(solver)
+    t3d_256 = solver.solve(b, device="gpu").report.total_time
+    solver = get_solver(name, 1, 1, 16, machine=PERLMUTTER_GPU)
+    b = rhs_for(solver)
+    t3d_best = solver.solve(b, device="gpu").report.total_time
+    rows.append(f"claim3 {name}: 2D GPU best={min(t2d.values())*1e3:.3f}ms "
+                f"(stalls past 4 GPUs: t(8)={t2d[8]*1e3:.3f} vs "
+                f"t(4)={t2d[4]*1e3:.3f}); 3D GPU 16 GPUs="
+                f"{t3d_best*1e3:.3f}ms, 256 GPUs={t3d_256*1e3:.3f}ms")
+    assert t2d[8] > 0.95 * t2d[4]       # one node is the 2D limit
+    assert t3d_best < min(t2d.values())  # 3D beats any 2D configuration
+
+    write_report("headline.txt", rows)
+
+    solver = get_solver(name, 1, 1, 16, machine=PERLMUTTER_GPU)
+    b = rhs_for(solver)
+    benchmark.pedantic(lambda: solver.solve(b, device="gpu"),
+                       rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Motivation: shared-memory level-set SpTRSV vs the distributed 3D solver.
+
+The paper's introduction: "shared-memory SpTRSV implementation quickly
+becomes incapable of handling large linear systems and one needs to turn
+to distributed-memory SpTRSV".  This bench quantifies the two limits of
+the level-set method on one simulated node — thread scaling saturating at
+the DAG width, and the per-level barrier floor — against the distributed
+3D solver's continued scaling across nodes.
+"""
+
+from common import CORI_HASWELL, check_solution, fmt_ms, get_solver, grid_for, rhs_for, write_report
+from repro.core.levelset import solve_levelset
+
+
+def test_motivation_levelset(benchmark):
+    name = "s2D9pt2048"
+    solver1 = get_solver(name, 1, 1, 1, machine=CORI_HASWELL)
+    lu = solver1.lu
+    b = rhs_for(solver1)
+    bp = b[solver1.perm]
+
+    rows = ["Motivation: shared-memory level-set vs distributed 3D [ms]",
+            f"{'config':>22s} {'time':>9s}"]
+    t_threads = {}
+    for nt in (1, 4, 16, 64, 256):
+        res = solve_levelset(lu, bp, CORI_HASWELL, nthreads=nt)
+        t_threads[nt] = res.time
+        rows.append(f"level-set {nt:4d} threads {fmt_ms(res.time)}")
+    dist = {}
+    for P, pz in [(16, 4), (64, 16), (256, 16)]:
+        px, py = grid_for(P, pz)
+        s = get_solver(name, px, py, pz, machine=CORI_HASWELL)
+        out = s.solve(rhs_for(s))
+        check_solution(s, out, rhs_for(s))
+        dist[P] = out.report.total_time
+        rows.append(f"3D solve P={P:4d} (pz={pz}) {fmt_ms(dist[P])}")
+    write_report("motivation_levelset.txt", rows)
+
+    # Thread scaling saturates: 256 threads barely beat 64.
+    assert t_threads[256] > 0.8 * t_threads[64]
+    # More threads never hurt; a few threads clearly help.
+    assert t_threads[4] < t_threads[1]
+    # The distributed solver keeps scaling past the shared-memory floor.
+    assert dist[256] < t_threads[256]
+
+    benchmark.pedantic(
+        lambda: solve_levelset(lu, bp, CORI_HASWELL, nthreads=16),
+        rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation section: it sweeps the same parameters (scaled down per
+EXPERIMENTS.md), prints the paper-style rows, writes them to
+``benchmarks/results/``, and asserts the qualitative claims the paper makes
+about that experiment.
+
+Pipelines (nested dissection → symbolic → numeric LU) are cached per matrix
+and shared across grid shapes via :meth:`SpTRSVSolver.from_pipeline`, so a
+whole figure's sweep factorizes each matrix once.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm.costmodel import CORI_HASWELL, Machine
+from repro.core.solver import SpTRSVSolver
+from repro.matrices import get_matrix, make_rhs
+from repro.numfact import lu_factorize, solve_residual
+from repro.ordering import nested_dissection
+from repro.symbolic import symbolic_factor
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Depth every cached separator tree is binary-complete to (supports Pz<=64).
+MAX_DEPTH = 6
+# Benchmark matrix scale; "medium" keeps full sweeps within minutes.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium")
+
+# The four matrices of the paper's CPU figures (Fig. 4) and the subsets
+# used by the GPU figures (Figs. 9-11).
+FIG4_MATRICES = ["s2D9pt2048", "nlpkkt80", "ldoor", "dielFilterV3real"]
+FIG9_MATRICES = ["s1_mat_0_253872", "s2D9pt2048", "ldoor"]
+FIG10_MATRICES = ["s1_mat_0_253872", "s2D9pt2048", "nlpkkt80",
+                  "dielFilterV3real"]
+FIG11_MATRICES = ["s1_mat_0_253872", "nlpkkt80", "Ga19As19H42",
+                  "dielFilterV3real"]
+
+
+@lru_cache(maxsize=None)
+def pipeline(name: str, scale: str = SCALE, max_supernode: int = 16,
+             mode: str = "fixed"):
+    """Factor one suite matrix once: (A, tree, sym, lu)."""
+    A = get_matrix(name, scale)
+    n = A.shape[0]
+    tree = nested_dissection(A, leaf_size=max(8, n // 256),
+                             min_depth=MAX_DEPTH)
+    Ap = sp.csr_matrix(A[tree.perm][:, tree.perm])
+    sym = symbolic_factor(Ap, max_supernode=max_supernode,
+                          boundaries=tree.boundaries(), mode=mode)
+    lu = lu_factorize(Ap, sym.partition)
+    return A, tree, sym, lu
+
+
+def get_solver(name: str, px: int, py: int, pz: int,
+               machine: Machine = CORI_HASWELL,
+               scale: str = SCALE) -> SpTRSVSolver:
+    """Solver over the cached pipeline of a suite matrix."""
+    A, tree, sym, lu = pipeline(name, scale)
+    return SpTRSVSolver.from_pipeline(A, tree, sym, lu, px, py, pz,
+                                      machine=machine)
+
+
+def grid_for(P: int, pz: int) -> tuple[int, int]:
+    """Near-square (Px, Py) with Px * Py = P / pz, as the paper sets it."""
+    if P % pz:
+        raise ValueError(f"P={P} not divisible by pz={pz}")
+    pxy = P // pz
+    px = int(np.sqrt(pxy))
+    while pxy % px:
+        px -= 1
+    return px, pxy // px
+
+
+def rhs_for(solver: SpTRSVSolver, nrhs: int = 1) -> np.ndarray:
+    return make_rhs(solver.n, nrhs, kind="manufactured")
+
+
+def check_solution(solver: SpTRSVSolver, out, b) -> None:
+    """Benchmarked solves must stay numerically exact."""
+    res = solve_residual(solver.A, out.x, b)
+    assert res < 1e-9, f"solve residual {res:.2e}"
+
+
+def write_report(filename: str, lines: list[str]) -> str:
+    """Write (and echo) one experiment's output rows."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as f:
+        f.write(text)
+    print("\n" + text)
+    return path
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.3f}"

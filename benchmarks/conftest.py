@@ -1,0 +1,6 @@
+"""Pytest path setup so the bench modules can import ``common``."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,73 @@
+"""Implicit time stepping: the repeated-solve workload that motivates SpTRSV.
+
+The paper's introduction: SpTRSV "can become a computational bottleneck for
+linear systems with many RHSs or preconditioned iterative solvers requiring
+repeated application of SpTRSV".  This example integrates the heat equation
+``u_t = laplace(u) + f`` with backward Euler on a 2D grid: the operator
+``(I - dt*L)`` is factorized once, then every time step is a pair of
+triangular solves — exactly the amortization scenario.
+
+It also demonstrates the multi-RHS path: stepping an ensemble of 8 initial
+conditions at once costs far less than 8 separate solves.
+
+Run:  python examples/implicit_heat_stepping.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm import PERLMUTTER_CPU
+from repro.core import SpTRSVSolver
+from repro.matrices import poisson2d
+from repro.numfact import solve_residual
+
+
+def main():
+    nx = 40
+    n = nx * nx
+    dt = 0.05
+    nsteps = 10
+    nensemble = 8
+
+    # Backward Euler operator: (I + dt * A) with A the (positive) Laplacian.
+    A = poisson2d(nx, stencil=5, seed=1)
+    M = sp.identity(n, format="csr") + dt * A
+
+    solver = SpTRSVSolver(M, px=2, py=2, pz=2, machine=PERLMUTTER_CPU,
+                          max_supernode=16)
+    print(f"factorized (I + dt*A): n={n}, {solver.lu.nsup} supernodes")
+
+    # Ensemble of initial conditions: hot spots at different locations.
+    rng = np.random.default_rng(2)
+    u = np.zeros((n, nensemble))
+    for k in range(nensemble):
+        u[rng.integers(0, n), k] = 1.0
+
+    total_sim_time = 0.0
+    for step in range(nsteps):
+        out = solver.solve(u, algorithm="new3d")
+        assert solve_residual(M, out.x, u) < 1e-9
+        u = out.x
+        total_sim_time += out.report.total_time
+        if step % 2 == 0:
+            print(f"  step {step:2d}: max u = {u.max():.4f}, "
+                  f"solve {out.report.total_time * 1e3:.3f} ms (simulated)")
+
+    print(f"\n{nsteps} implicit steps of an {nensemble}-member ensemble: "
+          f"{total_sim_time * 1e3:.2f} ms simulated solve time")
+
+    # Amortization: one 8-RHS solve vs eight 1-RHS solves.
+    b = np.ascontiguousarray(u)
+    t8 = solver.solve(b).report.total_time
+    t1 = solver.solve(b[:, :1]).report.total_time
+    print(f"multi-RHS amortization: 8 RHS in one solve = {t8 * 1e3:.3f} ms, "
+          f"8 x single = {8 * t1 * 1e3:.3f} ms "
+          f"({8 * t1 / t8:.1f}x saved)")
+    assert t8 < 8 * t1
+
+    # Energy decays under diffusion: a cheap physics sanity check.
+    assert u.max() < 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""SpTRSV as a preconditioner inside an iterative solver.
+
+Direct-solver preconditioning applies ``M^-1 = U^-1 L^-1`` every iteration
+— the "repeated application of SpTRSV" workload from the paper's intro.
+Here we solve a *perturbed* system ``(A + E) x = b`` by preconditioned
+Richardson iteration using the factorization of ``A`` as the
+preconditioner; each iteration is one distributed 3D SpTRSV.
+
+Run:  python examples/preconditioned_richardson.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm import CORI_HASWELL
+from repro.core import SpTRSVSolver
+from repro.matrices import make_rhs, poisson2d
+
+
+def main():
+    A = poisson2d(32, stencil=9, seed=3)
+    n = A.shape[0]
+    # Perturbed operator: A plus a small random diagonal drift (e.g. a
+    # Jacobian that moved slightly since the last factorization).
+    rng = np.random.default_rng(4)
+    E = sp.diags(0.05 * rng.standard_normal(n) * A.diagonal())
+    A_pert = sp.csr_matrix(A + E)
+
+    solver = SpTRSVSolver(A, px=2, py=2, pz=4, machine=CORI_HASWELL,
+                          max_supernode=16)
+    b = make_rhs(n, 1, kind="random", seed=5)[:, 0]
+
+    x = np.zeros(n)
+    r = b.copy()
+    b_norm = np.linalg.norm(b)
+    sim_time = 0.0
+    print("preconditioned Richardson on (A + E) x = b, M = LU(A):")
+    for it in range(30):
+        out = solver.solve(r, algorithm="new3d")   # z = M^-1 r
+        sim_time += out.report.total_time
+        x += out.x
+        r = b - A_pert @ x
+        rel = np.linalg.norm(r) / b_norm
+        if it % 5 == 0 or rel < 1e-10:
+            print(f"  iter {it:2d}: |r|/|b| = {rel:.3e}")
+        if rel < 1e-10:
+            break
+    assert rel < 1e-10, "Richardson failed to converge"
+    print(f"\nconverged in {it + 1} iterations, "
+          f"{sim_time * 1e3:.2f} ms simulated SpTRSV time "
+          f"({sim_time / (it + 1) * 1e3:.3f} ms/application)")
+
+    # Exactness check on the perturbed system.
+    assert np.linalg.norm(A_pert @ x - b) / b_norm < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim: keeps `pip install -e .` working offline (no wheel pkg)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'Unified Communication Optimization "
+                 "Strategies for Sparse Triangular Solver on CPU and GPU "
+                 "Clusters' (SC '23)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

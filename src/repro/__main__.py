@@ -1,0 +1,7 @@
+"""Enable ``python -m repro <command>``."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

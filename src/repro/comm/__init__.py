@@ -1,0 +1,59 @@
+"""Simulated distributed-memory runtime.
+
+This package replaces MPI for the reproduction: ranks are generator
+coroutines scheduled by a deterministic discrete-event simulator
+(:mod:`repro.comm.simulator`).  Messages carry *real* numpy payloads, so the
+distributed algorithms are functionally exact, while per-rank virtual clocks
+driven by α-β network models and CPU/GPU roofline cost models
+(:mod:`repro.comm.costmodel`) provide the performance dimension the paper's
+experiments measure.
+"""
+
+from repro.comm.collectives import allreduce, barrier, bcast, reduce
+from repro.comm.costmodel import (
+    CORI_HASWELL,
+    CRUSHER_CPU,
+    CRUSHER_GPU,
+    CRUSHER_GPU_FUTURE,
+    MACHINES,
+    PERLMUTTER_CPU,
+    PERLMUTTER_GPU,
+    CpuModel,
+    GpuModel,
+    Machine,
+    NetworkModel,
+    gemm_bytes,
+    gemm_flops,
+)
+from repro.comm.simulator import (ANY, DeadlockError, RankCtx, SimResult,
+                                  Simulator, TraceEvent)
+from repro.comm.trees import CommTree, binary_tree, flat_tree
+
+__all__ = [
+    "Simulator",
+    "RankCtx",
+    "SimResult",
+    "TraceEvent",
+    "ANY",
+    "DeadlockError",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "barrier",
+    "CommTree",
+    "binary_tree",
+    "flat_tree",
+    "Machine",
+    "NetworkModel",
+    "CpuModel",
+    "GpuModel",
+    "gemm_flops",
+    "gemm_bytes",
+    "MACHINES",
+    "CORI_HASWELL",
+    "PERLMUTTER_CPU",
+    "PERLMUTTER_GPU",
+    "CRUSHER_CPU",
+    "CRUSHER_GPU",
+    "CRUSHER_GPU_FUTURE",
+]

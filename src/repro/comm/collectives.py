@@ -1,0 +1,103 @@
+"""Collective operations built on the simulator's point-to-point layer.
+
+Each collective is a generator meant to be driven with ``yield from`` inside
+a rank function; ``members`` is the explicit participant list (the
+sub-communicator), so arbitrary subsets of the 3D grid can synchronize —
+this is how the per-grid and cross-grid communicators of the paper are
+expressed without a full MPI communicator implementation.
+
+All participating ranks must call the same collective with the same
+``members`` and ``tag``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.comm.simulator import RankCtx
+
+
+def _binomial_peers(idx: int, size: int) -> tuple[int, list[int]]:
+    """Binomial-tree parent and children for position ``idx`` of ``size``."""
+    parent = -1
+    children = []
+    mask = 1
+    while mask < size:
+        if idx & mask:
+            parent = idx & ~mask
+            break
+        mask <<= 1
+    peer_mask = 1
+    while peer_mask < size:
+        if idx & (peer_mask - 1) == 0 and not idx & peer_mask:
+            c = idx | peer_mask
+            if c < size:
+                children.append(c)
+        peer_mask <<= 1
+    return parent, children
+
+
+def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
+          tag: Any = "bcast", category: str = "comm"):
+    """Broadcast ``value`` from ``root`` to all ``members``; returns it."""
+    members = sorted(members)
+    size = len(members)
+    ridx = members.index(root)
+    # Rotate so the root is position 0 of the binomial tree.
+    idx = (members.index(ctx.rank) - ridx) % size
+    parent, children = _binomial_peers(idx, size)
+    if parent >= 0:
+        _, _, value = yield ctx.recv(src=members[(parent + ridx) % size],
+                                     tag=tag, category=category)
+    for c in children:
+        yield ctx.send(members[(c + ridx) % size], value, tag=tag,
+                       category=category)
+    return value
+
+
+def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
+           op: Callable = np.add, tag: Any = "reduce",
+           category: str = "comm"):
+    """Reduce ``value`` over ``members`` onto ``root``.
+
+    Returns the reduced array on the root, the (partially reduced) local
+    value elsewhere.
+    """
+    members = sorted(members)
+    size = len(members)
+    ridx = members.index(root)
+    idx = (members.index(ctx.rank) - ridx) % size
+    parent, children = _binomial_peers(idx, size)
+    acc = np.array(value, copy=True)
+    # Receive from children in ascending order: smaller subtrees finish first.
+    for c in children:
+        _, _, v = yield ctx.recv(src=members[(c + ridx) % size], tag=tag,
+                                 category=category)
+        acc = op(acc, v)
+    if parent >= 0:
+        yield ctx.send(members[(parent + ridx) % size], acc, tag=tag,
+                       category=category)
+    return acc
+
+
+def allreduce(ctx: RankCtx, members: list[int], value: np.ndarray,
+              op: Callable = np.add, tag: Any = "allreduce",
+              category: str = "comm"):
+    """Reduce-then-broadcast allreduce over ``members``; returns the sum."""
+    members = sorted(members)
+    root = members[0]
+    acc = yield from reduce(ctx, members, root, value, op=op,
+                            tag=(tag, "r"), category=category)
+    out = yield from bcast(ctx, members, root, acc, tag=(tag, "b"),
+                           category=category)
+    return out
+
+
+def barrier(ctx: RankCtx, members: list[int], tag: Any = "barrier",
+            category: str = "comm"):
+    """Synchronize ``members``: nobody returns before everyone arrived."""
+    token = np.zeros(1)
+    yield from allreduce(ctx, members, token, tag=(tag, "bar"),
+                         category=category)

@@ -1,0 +1,233 @@
+"""Performance models: α-β networks, CPU/GPU rooflines, machine presets.
+
+The presets encode the three systems of the paper's evaluation with
+parameters taken from the paper's text (Slingshot 25 GB/s per node,
+NVLink 300 GB/s vs 12.5 GB/s per-GPU inter-node in §4.2.2) and public specs
+(A100/MI250X HBM bandwidth, Aries latency).  Absolute times from the
+simulator are *model* times; the reproduction targets the paper's scaling
+shape, not its absolute seconds (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """α-β point-to-point cost model with intra/inter-node tiers.
+
+    A message of ``b`` bytes between ranks on the same node costs
+    ``alpha_intra + b * beta_intra`` seconds end-to-end, else the inter
+    tier; the sender is busy only for ``send_overhead`` (eager buffering,
+    matching the MPI_Isend-driven solvers).
+    """
+
+    alpha_intra: float
+    alpha_inter: float
+    beta_intra: float   # s/byte = 1 / bandwidth
+    beta_inter: float
+    send_overhead: float = 2.0e-7
+    # Per-message CPU cost on the receiver (matching + copy-out); this is
+    # what serializes flat fan-in/fan-out roots and makes the binary
+    # communication trees of §3.3 pay off.
+    recv_overhead: float = 5.0e-7
+
+    def latency(self, nbytes: int, same_node: bool) -> float:
+        if same_node:
+            return self.alpha_intra + nbytes * self.beta_intra
+        return self.alpha_inter + nbytes * self.beta_inter
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Roofline-ish per-rank CPU model.
+
+    ``flop_rate`` caps compute-bound kernels, ``mem_bw`` caps
+    bandwidth-bound ones (SpTRSV GEMVs are the latter), ``op_overhead`` is
+    the per-kernel dispatch/loop cost that dominates tiny supernode ops.
+    """
+
+    flop_rate: float
+    mem_bw: float
+    op_overhead: float = 2.0e-7
+
+    def op_time(self, flops: float, nbytes: float) -> float:
+        return max(flops / self.flop_rate, nbytes / self.mem_bw) + self.op_overhead
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Per-GPU execution model for the Alg. 4/5 kernels.
+
+    One thread block processes one supernode column; ``num_sms`` bounds the
+    number of concurrently *computing* blocks, ``block_flop_rate`` /
+    ``block_mem_bw`` are per-thread-block throughputs, ``block_overhead``
+    models scheduling/spin-wait release latency, and ``nvshmem_*`` give the
+    GPU-initiated one-sided message cost (two tiers like the network).
+    ``u_penalty`` is the paper's observed U-solve slowdown from reversed,
+    less-coalesced memory access.
+    """
+
+    num_sms: int
+    block_flop_rate: float
+    block_mem_bw: float
+    block_overhead: float
+    nvshmem_alpha_intra: float
+    nvshmem_alpha_inter: float
+    nvshmem_beta_intra: float
+    nvshmem_beta_inter: float
+    gpus_per_node: int = 4
+    u_penalty: float = 1.3
+    # Whether the one-sided library supports MPI sub-communicators (NVSHMEM
+    # does; ROC-SHMEM does not, limiting Crusher to Px = Py = 1, §3.4).
+    one_sided_subcomms: bool = True
+
+    def op_time(self, flops: float, nbytes: float, u_solve: bool = False) -> float:
+        t = max(flops / self.block_flop_rate, nbytes / self.block_mem_bw)
+        t += self.block_overhead
+        if u_solve:
+            t *= self.u_penalty
+        return t
+
+    def msg_latency(self, nbytes: int, same_node: bool) -> float:
+        if same_node:
+            return self.nvshmem_alpha_intra + nbytes * self.nvshmem_beta_intra
+        return self.nvshmem_alpha_inter + nbytes * self.nvshmem_beta_inter
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A machine preset: network + per-rank CPU model (+ optional GPU)."""
+
+    name: str
+    net: NetworkModel
+    cpu: CpuModel
+    ranks_per_node: int
+    gpu: GpuModel | None = None
+
+    def same_node(self, r0: int, r1: int) -> bool:
+        return r0 // self.ranks_per_node == r1 // self.ranks_per_node
+
+    def with_(self, **kwargs) -> "Machine":
+        """Return a modified copy (ablation knob)."""
+        return replace(self, **kwargs)
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """FLOPs of an m×k by k×n multiply-accumulate."""
+    return 2.0 * m * n * k
+
+
+def gemm_bytes(m: int, n: int, k: int) -> float:
+    """Bytes touched by an m×k by k×n GEMM (read A, B; read+write C)."""
+    return 8.0 * (m * k + k * n + 2 * m * n)
+
+
+# ---------------------------------------------------------------------------
+# Machine presets.  Absolute numbers are order-of-magnitude calibrations; the
+# experiments depend on the *ratios* (latency vs bandwidth vs compute,
+# intra- vs inter-node, CPU vs GPU), which follow the published specs.
+# ---------------------------------------------------------------------------
+
+CORI_HASWELL = Machine(
+    name="cori-haswell",
+    # Cray Aries: ~1.3 us MPI latency; per-rank share of the node injection
+    # bandwidth with 32 ranks per node.
+    net=NetworkModel(alpha_intra=9.0e-7, alpha_inter=2.2e-6,
+                     beta_intra=1 / 3.0e9, beta_inter=1 / 1.0e9,
+                     send_overhead=6.0e-7, recv_overhead=6.0e-7),
+    # One Haswell core driving bandwidth-bound GEMVs.
+    cpu=CpuModel(flop_rate=9.0e9, mem_bw=3.5e9, op_overhead=2.5e-7),
+    ranks_per_node=32,
+)
+
+# CPU reference runs on the GPU systems: one MPI rank per GPU slot, each
+# using its share of an EPYC socket (the paper's CPU/GPU comparisons use the
+# same rank counts).
+PERLMUTTER_CPU = Machine(
+    name="perlmutter-cpu",
+    net=NetworkModel(alpha_intra=7.0e-7, alpha_inter=1.8e-6,
+                     beta_intra=1 / 6.0e9, beta_inter=1 / 6.0e9,
+                     send_overhead=5.0e-7, recv_overhead=5.0e-7),
+    cpu=CpuModel(flop_rate=6.0e10, mem_bw=2.5e10, op_overhead=1.0e-6),
+    ranks_per_node=4,
+)
+
+PERLMUTTER_GPU = Machine(
+    name="perlmutter-gpu",
+    net=PERLMUTTER_CPU.net,  # MPI path (used by the inter-grid allreduce)
+    cpu=PERLMUTTER_CPU.cpu,
+    ranks_per_node=4,
+    gpu=GpuModel(
+        num_sms=108,
+        # Per-thread-block GEMV throughput on A100 (HBM2e 1.55 TB/s over
+        # ~108 blocks, small-op efficiency ~0.5).
+        block_flop_rate=9.0e10,
+        block_mem_bw=2.5e10,
+        block_overhead=1.1e-6,
+        # NVSHMEM one-sided: NVLink intra-node, Slingshot inter-node
+        # (300 GB/s vs 12.5 GB/s per direction per GPU, §4.2.2).
+        nvshmem_alpha_intra=1.4e-6,
+        nvshmem_alpha_inter=3.0e-6,
+        nvshmem_beta_intra=1 / 300.0e9,
+        nvshmem_beta_inter=1 / 12.5e9,
+        gpus_per_node=4,
+        u_penalty=1.35,
+    ),
+)
+
+CRUSHER_CPU = Machine(
+    name="crusher-cpu",
+    net=NetworkModel(alpha_intra=8.0e-7, alpha_inter=2.0e-6,
+                     beta_intra=1 / 6.0e9, beta_inter=1 / 6.0e9,
+                     send_overhead=5.0e-7, recv_overhead=5.0e-7),
+    # EPYC 7A53 share per GCD-rank (8 ranks/node): slightly more CPU
+    # bandwidth per rank than Perlmutter's 4-rank split.
+    cpu=CpuModel(flop_rate=5.0e10, mem_bw=2.5e10, op_overhead=1.1e-6),
+    ranks_per_node=8,
+)
+
+CRUSHER_GPU = Machine(
+    name="crusher-gpu",
+    net=CRUSHER_CPU.net,
+    cpu=CRUSHER_CPU.cpu,
+    ranks_per_node=8,
+    gpu=GpuModel(
+        num_sms=110,
+        block_flop_rate=9.0e10,
+        # MI250X GCD has higher HBM bandwidth but the paper observes much
+        # lower SpTRSV CPU->GPU gains on Crusher (1.6-2.9x vs 4-6.5x);
+        # modeled as lower small-op efficiency + higher launch overhead on
+        # the ROCm stack.
+        block_mem_bw=1.2e10,
+        block_overhead=2.4e-6,
+        # ROC-SHMEM absent: Crusher GPU runs use Px=Py=1 only (no intra-grid
+        # comm), but the fields keep the interface uniform.
+        nvshmem_alpha_intra=2.0e-6,
+        nvshmem_alpha_inter=4.0e-6,
+        nvshmem_beta_intra=1 / 200.0e9,
+        nvshmem_beta_inter=1 / 12.5e9,
+        gpus_per_node=8,
+        u_penalty=1.4,
+        one_sided_subcomms=False,
+    ),
+)
+
+# The paper's future-work projection (§3.4): "Adding support for MPI
+# subcommunicators in ROC-SHMEM will enable significantly improved
+# scalability of SpTRSV for large numbers of GPU nodes."  Same hardware,
+# one-sided sub-communicators enabled.
+CRUSHER_GPU_FUTURE = Machine(
+    name="crusher-gpu-future",
+    net=CRUSHER_GPU.net,
+    cpu=CRUSHER_GPU.cpu,
+    ranks_per_node=CRUSHER_GPU.ranks_per_node,
+    gpu=replace(CRUSHER_GPU.gpu, one_sided_subcomms=True),
+)
+
+MACHINES: dict[str, Machine] = {
+    m.name: m
+    for m in (CORI_HASWELL, PERLMUTTER_CPU, PERLMUTTER_GPU,
+              CRUSHER_CPU, CRUSHER_GPU, CRUSHER_GPU_FUTURE)
+}

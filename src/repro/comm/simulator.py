@@ -1,0 +1,419 @@
+"""Deterministic discrete-event simulator for message-passing programs.
+
+Each rank is a generator that yields operation objects created through its
+:class:`RankCtx` (``send`` / ``recv`` / ``compute``).  The scheduler always
+advances the runnable rank with the smallest virtual clock, so message
+availability tracks causal order closely; ``recv(ANY, ANY)`` picks the
+matching message with the earliest arrival time, mirroring
+``MPI_Recv(MPI_ANY_SOURCE)`` in the paper's Algorithm 3 while staying
+deterministic.
+
+Sends are eager and buffered (the solvers use ``MPI_Isend``): the sender is
+busy only for the network model's injection overhead, and the payload is
+copied so later mutation by the sender cannot race the receiver.
+
+Every operation carries a ``(phase, category)`` label; per-rank time is
+accumulated per label, which is how the paper's Z-Comm / XY-Comm /
+FP-Operation breakdowns (Figs. 5-6) and per-rank load-balance plots
+(Figs. 7-8) are produced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable
+
+import numpy as np
+
+
+class _AnyType:
+    """Singleton wildcard for recv source/tag matching."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "ANY"
+
+
+ANY = _AnyType()
+
+
+class DeadlockError(RuntimeError):
+    """All live ranks are blocked on receives with no matching messages."""
+
+
+@dataclass
+class _Message:
+    arrival: float
+    seq: int
+    src: int
+    tag: Hashable
+    payload: Any
+    nbytes: int
+
+    def __lt__(self, other: "_Message") -> bool:
+        return (self.arrival, self.seq) < (other.arrival, other.seq)
+
+
+@dataclass
+class _SendOp:
+    dst: int
+    payload: Any
+    tag: Hashable
+    nbytes: int
+    category: str
+
+
+@dataclass
+class _RecvOp:
+    src: Any
+    tag: Any
+    category: str
+
+
+@dataclass
+class _ComputeOp:
+    seconds: float
+    category: str
+
+
+def _payload_nbytes(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(p) for p in payload) + 16
+    return 32  # control message
+
+
+def _copy_payload(payload: Any) -> Any:
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(_copy_payload(p) for p in payload)
+    if isinstance(payload, list):
+        return [_copy_payload(p) for p in payload]
+    return payload
+
+
+class RankCtx:
+    """Per-rank handle: build ops to ``yield`` and accumulate timing."""
+
+    def __init__(self, rank: int, nranks: int, machine):
+        self.rank = rank
+        self.nranks = nranks
+        self.machine = machine
+        self.clock = 0.0
+        self.phase = ""
+        self.times: dict[tuple[str, str], float] = {}
+        self.sent_msgs: dict[tuple[str, str], int] = {}
+        self.sent_bytes: dict[tuple[str, str], float] = {}
+        self.marks: dict[str, float] = {}
+
+    # -- op builders (use as `yield ctx.send(...)`) -------------------------
+
+    def send(self, dst: int, payload: Any, tag: Hashable = None,
+             nbytes: int | None = None, category: str = "comm") -> _SendOp:
+        """Eager buffered send of ``payload`` to rank ``dst``."""
+        if not (0 <= dst < self.nranks):
+            raise ValueError(f"send to invalid rank {dst}")
+        if nbytes is None:
+            nbytes = _payload_nbytes(payload)
+        return _SendOp(dst, payload, tag, nbytes, category)
+
+    def recv(self, src: Any = ANY, tag: Any = ANY,
+             category: str = "comm") -> _RecvOp:
+        """Blocking receive; yields ``(src, tag, payload)``.
+
+        ``tag`` may be ``ANY``, an exact value, or a predicate
+        ``callable(tag) -> bool`` (used to scope phases of a protocol).
+        """
+        return _RecvOp(src, tag, category)
+
+    def compute(self, seconds: float, category: str = "fp") -> _ComputeOp:
+        """Advance the local clock by ``seconds`` of work."""
+        if seconds < 0:
+            raise ValueError("compute time must be >= 0")
+        return _ComputeOp(seconds, category)
+
+    def gemm(self, m: int, n: int, k: int, category: str = "fp") -> _ComputeOp:
+        """Convenience: a dense m×k @ k×n on this rank's CPU model."""
+        from repro.comm.costmodel import gemm_bytes, gemm_flops
+
+        t = self.machine.cpu.op_time(gemm_flops(m, n, k), gemm_bytes(m, n, k))
+        return _ComputeOp(t, category)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+
+    def mark(self, name: str) -> None:
+        """Record the current clock under ``name`` (phase boundaries)."""
+        self.marks[name] = self.clock
+
+    def _charge(self, category: str, seconds: float) -> None:
+        key = (self.phase, category)
+        self.times[key] = self.times.get(key, 0.0) + seconds
+
+    def _charge_msg(self, category: str, nbytes: int) -> None:
+        key = (self.phase, category)
+        self.sent_msgs[key] = self.sent_msgs.get(key, 0) + 1
+        self.sent_bytes[key] = self.sent_bytes.get(key, 0.0) + nbytes
+
+
+@dataclass
+class TraceEvent:
+    """One timeline entry (only recorded with ``Simulator(trace=True)``)."""
+
+    rank: int
+    t0: float
+    t1: float
+    kind: str        # "compute" | "send" | "wait"
+    phase: str
+    category: str
+    detail: Any = None  # dst rank for sends, src for waits
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation: per-rank clocks, times, and return values."""
+
+    clocks: np.ndarray
+    times: list[dict[tuple[str, str], float]]
+    sent_msgs: list[dict[tuple[str, str], int]]
+    sent_bytes: list[dict[tuple[str, str], float]]
+    marks: list[dict[str, float]]
+    results: list[Any]
+    trace: list[TraceEvent] | None = None
+
+    def trace_timeline(self, rank: int | None = None) -> list[TraceEvent]:
+        """Chronological trace events (optionally for one rank)."""
+        if self.trace is None:
+            raise ValueError("run the Simulator with trace=True to record "
+                             "a timeline")
+        events = (self.trace if rank is None
+                  else [e for e in self.trace if e.rank == rank])
+        return sorted(events, key=lambda e: (e.t0, e.rank))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.clocks)
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock of the parallel run: the slowest rank's finish time."""
+        return float(self.clocks.max())
+
+    def time_by(self, phase: str | None = None,
+                category: str | None = None) -> np.ndarray:
+        """Per-rank total seconds over labels matching the filters.
+
+        ``phase``/``category`` of ``None`` match everything; otherwise exact
+        string match.
+        """
+        out = np.zeros(self.nranks)
+        for r, t in enumerate(self.times):
+            for (p, c), v in t.items():
+                if (phase is None or p == phase) and (category is None or c == category):
+                    out[r] += v
+        return out
+
+    def msgs_by(self, phase: str | None = None,
+                category: str | None = None) -> int:
+        total = 0
+        for t in self.sent_msgs:
+            for (p, c), v in t.items():
+                if (phase is None or p == phase) and (category is None or c == category):
+                    total += v
+        return total
+
+    def bytes_by(self, phase: str | None = None,
+                 category: str | None = None) -> float:
+        total = 0.0
+        for t in self.sent_bytes:
+            for (p, c), v in t.items():
+                if (phase is None or p == phase) and (category is None or c == category):
+                    total += v
+        return total
+
+    def categories(self) -> set[tuple[str, str]]:
+        out: set[tuple[str, str]] = set()
+        for t in self.times:
+            out.update(t)
+        return out
+
+
+_READY, _RECV, _DONE = 0, 1, 2
+
+
+class Simulator:
+    """Run a message-passing program over ``nranks`` simulated ranks."""
+
+    def __init__(self, nranks: int, machine, max_events: int = 50_000_000,
+                 trace: bool = False):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        self.machine = machine
+        self.max_events = max_events
+        self.trace = trace
+
+    def run(self, rank_fn: Callable[[RankCtx], Iterable]) -> SimResult:
+        """Execute ``rank_fn(ctx)`` as a generator on every rank.
+
+        ``rank_fn`` may also return a non-generator (rank does nothing).
+        Returns a :class:`SimResult`; generator return values become
+        ``results``.
+        """
+        n = self.nranks
+        ctxs = [RankCtx(r, n, self.machine) for r in range(n)]
+        gens: list[Any] = []
+        for r in range(n):
+            g = rank_fn(ctxs[r])
+            gens.append(g if hasattr(g, "send") else iter(()))
+        state = [_READY] * n
+        pending_recv: list[_RecvOp | None] = [None] * n
+        resume_val: list[Any] = [None] * n
+        results: list[Any] = [None] * n
+        mailbox: list[list[_Message]] = [[] for _ in range(n)]
+        seq = 0
+        events = 0
+        started = [False] * n
+        trace: list[TraceEvent] | None = [] if self.trace else None
+
+        def match(r: int) -> int | None:
+            """Index of the earliest-arriving matching message for rank r."""
+            spec = pending_recv[r]
+            best = None
+            best_key = None
+            for i, m in enumerate(mailbox[r]):
+                if spec.src is not ANY and m.src != spec.src:
+                    continue
+                if spec.tag is not ANY:
+                    if callable(spec.tag):
+                        if not spec.tag(m.tag):
+                            continue
+                    elif m.tag != spec.tag:
+                        continue
+                key = (m.arrival, m.seq)
+                if best_key is None or key < best_key:
+                    best, best_key = i, key
+            return best
+
+        def advance(r: int, value: Any) -> None:
+            """Run rank r's generator until it blocks on a recv or finishes."""
+            nonlocal seq, events
+            ctx = ctxs[r]
+            gen = gens[r]
+            while True:
+                events += 1
+                if events > self.max_events:
+                    raise RuntimeError("simulation exceeded max_events")
+                try:
+                    if not started[r]:
+                        started[r] = True
+                        op = next(gen)
+                    else:
+                        op = gen.send(value)
+                except StopIteration as stop:
+                    state[r] = _DONE
+                    results[r] = stop.value
+                    return
+                value = None
+                if isinstance(op, _SendOp):
+                    net = self.machine.net
+                    t0 = ctx.clock
+                    ctx.clock += net.send_overhead
+                    ctx._charge(op.category, net.send_overhead)
+                    ctx._charge_msg(op.category, op.nbytes)
+                    same = self.machine.same_node(r, op.dst)
+                    arrival = ctx.clock + net.latency(op.nbytes, same)
+                    heapq.heappush(
+                        mailbox[op.dst],
+                        _Message(arrival, seq, r, op.tag,
+                                 _copy_payload(op.payload), op.nbytes))
+                    seq += 1
+                    if trace is not None:
+                        trace.append(TraceEvent(r, t0, ctx.clock, "send",
+                                                ctx.phase, op.category,
+                                                op.dst))
+                elif isinstance(op, _ComputeOp):
+                    t0 = ctx.clock
+                    ctx.clock += op.seconds
+                    ctx._charge(op.category, op.seconds)
+                    if trace is not None and op.seconds > 0:
+                        trace.append(TraceEvent(r, t0, ctx.clock, "compute",
+                                                ctx.phase, op.category))
+                elif isinstance(op, _RecvOp):
+                    state[r] = _RECV
+                    pending_recv[r] = op
+                    return
+                else:
+                    raise TypeError(
+                        f"rank {r} yielded {op!r}; yield ctx.send/recv/compute")
+
+        while True:
+            best_rank = -1
+            best_key = None
+            best_msg_idx = None
+            for r in range(n):
+                if state[r] == _DONE:
+                    continue
+                if state[r] == _READY:
+                    key = (ctxs[r].clock, 0.0, r)
+                    midx = None
+                else:  # _RECV
+                    midx = match(r)
+                    if midx is None:
+                        continue
+                    m = mailbox[r][midx]
+                    key = (max(ctxs[r].clock, m.arrival), m.arrival, r)
+                if best_key is None or key < best_key:
+                    best_rank, best_key, best_msg_idx = r, key, midx
+            if best_rank < 0:
+                blocked = [r for r in range(n) if state[r] != _DONE]
+                if not blocked:
+                    break
+                detail = ", ".join(
+                    f"rank {r} (phase={ctxs[r].phase!r}, "
+                    f"waiting src={pending_recv[r].src} tag={pending_recv[r].tag})"
+                    for r in blocked[:8])
+                raise DeadlockError(
+                    f"{len(blocked)} rank(s) blocked with no matching "
+                    f"messages: {detail}")
+
+            r = best_rank
+            if state[r] == _READY:
+                advance(r, None)
+            else:
+                m = mailbox[r].pop(best_msg_idx)
+                heapq.heapify(mailbox[r])
+                spec = pending_recv[r]
+                ctx = ctxs[r]
+                ro = self.machine.net.recv_overhead
+                t0 = ctx.clock
+                wait = max(0.0, m.arrival - ctx.clock)
+                ctx.clock = max(ctx.clock, m.arrival) + ro
+                ctx._charge(spec.category, wait + ro)
+                if trace is not None:
+                    trace.append(TraceEvent(r, t0, ctx.clock, "wait",
+                                            ctx.phase, spec.category, m.src))
+                state[r] = _READY
+                pending_recv[r] = None
+                advance(r, (m.src, m.tag, m.payload))
+
+        return SimResult(
+            clocks=np.array([c.clock for c in ctxs]),
+            times=[c.times for c in ctxs],
+            sent_msgs=[c.sent_msgs for c in ctxs],
+            sent_bytes=[c.sent_bytes for c in ctxs],
+            marks=[c.marks for c in ctxs],
+            results=results,
+            trace=trace,
+        )

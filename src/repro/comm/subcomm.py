@@ -1,0 +1,110 @@
+"""Sub-communicators: MPI-style groups over the simulated runtime.
+
+The 3D algorithms are naturally expressed over sub-communicators (each 2D
+grid, each z-line of peer ranks); the core solvers pass explicit member
+lists, and this class wraps the same idea in an MPI-like API — group rank
+translation plus collectives bound to the group — for user code built on
+the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.comm import collectives
+from repro.comm.simulator import RankCtx
+
+
+@dataclass(frozen=True)
+class Subcomm:
+    """An ordered group of global ranks with MPI-like collectives.
+
+    All members must construct the same ``Subcomm`` (same members, same
+    ``name``) and call the same operation for a collective to complete —
+    exactly MPI's communicator semantics.
+    """
+
+    members: tuple[int, ...]
+    name: str = "subcomm"
+
+    def __post_init__(self):
+        m = tuple(sorted(self.members))
+        if len(set(m)) != len(m) or not m:
+            raise ValueError("members must be a non-empty set of ranks")
+        object.__setattr__(self, "members", m)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def rank_of(self, global_rank: int) -> int:
+        """Group rank of a global rank (raises if not a member)."""
+        try:
+            return self.members.index(global_rank)
+        except ValueError:
+            raise KeyError(f"rank {global_rank} not in {self.name}")
+
+    def global_of(self, group_rank: int) -> int:
+        return self.members[group_rank]
+
+    def contains(self, global_rank: int) -> bool:
+        return global_rank in self.members
+
+    # -- collectives (generators; drive with `yield from`) -----------------
+
+    def _tag(self, op: str, tag: Any) -> Any:
+        return (self.name, op, tag)
+
+    def bcast(self, ctx: RankCtx, value: Any, root: int = 0, tag: Any = 0,
+              category: str = "comm"):
+        """Broadcast from group rank ``root``."""
+        return collectives.bcast(ctx, list(self.members),
+                                 self.global_of(root), value,
+                                 tag=self._tag("b", tag), category=category)
+
+    def reduce(self, ctx: RankCtx, value: np.ndarray, root: int = 0,
+               op: Callable = np.add, tag: Any = 0, category: str = "comm"):
+        return collectives.reduce(ctx, list(self.members),
+                                  self.global_of(root), value, op=op,
+                                  tag=self._tag("r", tag), category=category)
+
+    def allreduce(self, ctx: RankCtx, value: np.ndarray,
+                  op: Callable = np.add, tag: Any = 0,
+                  category: str = "comm"):
+        return collectives.allreduce(ctx, list(self.members), value, op=op,
+                                     tag=self._tag("a", tag),
+                                     category=category)
+
+    def barrier(self, ctx: RankCtx, tag: Any = 0, category: str = "comm"):
+        return collectives.barrier(ctx, list(self.members),
+                                   tag=self._tag("bar", tag),
+                                   category=category)
+
+    def split(self, color_of: Callable[[int], int]) -> dict[int, "Subcomm"]:
+        """MPI_Comm_split: partition members by color into sub-groups."""
+        groups: dict[int, list[int]] = {}
+        for r in self.members:
+            groups.setdefault(color_of(r), []).append(r)
+        return {color: Subcomm(tuple(rs), name=f"{self.name}/{color}")
+                for color, rs in groups.items()}
+
+
+def grid_subcomms(grid) -> tuple[list[Subcomm], list[Subcomm]]:
+    """The two communicator families of the 3D layout.
+
+    Returns ``(xy_comms, z_comms)``: one communicator per 2D grid (the
+    intra-grid family) and one per (i, j) position across grids (the
+    z-line family the sparse allreduce runs over).
+    """
+    xy = [Subcomm(tuple(grid.grid_ranks(z)), name=f"xy{z}")
+          for z in range(grid.pz)]
+    zs = []
+    for i in range(grid.px):
+        for j in range(grid.py):
+            zs.append(Subcomm(tuple(grid.rank_of(i, j, z)
+                                    for z in range(grid.pz)),
+                              name=f"z{i}_{j}"))
+    return xy, zs

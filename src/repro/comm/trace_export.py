@@ -1,0 +1,53 @@
+"""Export simulator traces to standard timeline formats.
+
+``Simulator(trace=True)`` records every compute/send/wait interval; this
+module writes them as Chrome trace-event JSON (loadable in
+``chrome://tracing`` / Perfetto, one track per rank) or as CSV for ad-hoc
+analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.comm.simulator import SimResult
+
+
+def to_chrome_trace(result: SimResult, path: str,
+                    time_unit: float = 1e6) -> int:
+    """Write a Chrome trace-event JSON file; returns the event count.
+
+    ``time_unit`` converts simulated seconds to trace microseconds
+    (Chrome's expected unit).
+    """
+    events = []
+    for e in result.trace_timeline():
+        events.append({
+            "name": f"{e.phase}:{e.category}" if e.phase else e.category,
+            "cat": e.kind,
+            "ph": "X",
+            "ts": e.t0 * time_unit,
+            "dur": max(0.0, (e.t1 - e.t0) * time_unit),
+            "pid": 0,
+            "tid": e.rank,
+            "args": ({"peer": e.detail} if e.detail is not None else {}),
+        })
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, f)
+    return len(events)
+
+
+def to_csv(result: SimResult, path: str) -> int:
+    """Write the trace as CSV (rank, t0, t1, kind, phase, category, peer)."""
+    rows = 0
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["rank", "t0", "t1", "kind", "phase", "category", "peer"])
+        for e in result.trace_timeline():
+            w.writerow([e.rank, f"{e.t0:.9e}", f"{e.t1:.9e}", e.kind,
+                        e.phase, e.category,
+                        "" if e.detail is None else e.detail])
+            rows += 1
+    return rows

@@ -1,0 +1,109 @@
+"""Broadcast/reduction communication trees.
+
+The paper's intra-grid latency optimization (§3.3, from Liu et al. CSC'18)
+replaces flat fan-out/fan-in with *binary* trees, cutting the root's message
+count from ``O(p)`` to ``O(1)`` and the depth to ``O(log p)``.  A
+:class:`CommTree` describes one tree over an explicit participant list
+(e.g. the process rows owning nonzero blocks in one supernode column); the
+same shape is used for broadcasts (root → leaves) and reductions (leaves →
+root, edges reversed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommTree:
+    """A rooted tree over ``members`` (global rank ids, root first).
+
+    ``parent_idx[i]`` / ``children_idx[i]`` use positions within
+    ``members``; position 0 is the root.
+    """
+
+    members: tuple[int, ...]
+    parent_idx: tuple[int, ...]
+    children_idx: tuple[tuple[int, ...], ...]
+
+    @property
+    def root(self) -> int:
+        return self.members[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def contains(self, rank: int) -> bool:
+        return rank in self.members
+
+    def _pos(self, rank: int) -> int:
+        try:
+            return self.members.index(rank)
+        except ValueError:
+            raise KeyError(f"rank {rank} is not a member of this tree")
+
+    def parent(self, rank: int) -> int | None:
+        """Parent rank of ``rank`` (None for the root)."""
+        i = self._pos(rank)
+        return None if i == 0 else self.members[self.parent_idx[i]]
+
+    def children(self, rank: int) -> tuple[int, ...]:
+        """Child ranks of ``rank`` (broadcast targets / reduction sources)."""
+        return tuple(self.members[j] for j in self.children_idx[self._pos(rank)])
+
+    def nchildren(self, rank: int) -> int:
+        return len(self.children_idx[self._pos(rank)])
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length in edges."""
+        d = [0] * self.size
+        best = 0
+        for i in range(1, self.size):
+            d[i] = d[self.parent_idx[i]] + 1
+            best = max(best, d[i])
+        return best
+
+    def max_fanout(self) -> int:
+        return max((len(c) for c in self.children_idx), default=0)
+
+
+def _build(members: list[int], arity: int) -> CommTree:
+    m = len(members)
+    parent = [0] * m
+    children: list[list[int]] = [[] for _ in range(m)]
+    for i in range(1, m):
+        p = (i - 1) // arity
+        parent[i] = p
+        children[p].append(i)
+    return CommTree(tuple(members), tuple(parent),
+                    tuple(tuple(c) for c in children))
+
+
+def binary_tree(members: list[int], root: int) -> CommTree:
+    """Binary (arity-2) heap-shaped tree rooted at ``root``.
+
+    Participants keep their relative order (after rotating the root to the
+    front), making the shape deterministic across ranks that compute it
+    independently.
+    """
+    return _ordered_tree(members, root, 2)
+
+
+def flat_tree(members: list[int], root: int) -> CommTree:
+    """Flat fan-out: the root sends to / receives from everyone directly.
+
+    This is the unoptimized baseline the paper's binary trees replace.
+    """
+    return _ordered_tree(members, root, max(1, len(members) - 1))
+
+
+def _ordered_tree(members: list[int], root: int, arity: int) -> CommTree:
+    members = list(members)
+    if len(set(members)) != len(members):
+        raise ValueError("tree members must be distinct")
+    if root not in members:
+        raise ValueError(f"root {root} not in members")
+    members.remove(root)
+    members.sort()
+    return _build([root] + members, arity)

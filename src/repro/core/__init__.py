@@ -1,0 +1,34 @@
+"""The paper's contribution: 2D and 3D SpTRSV algorithms.
+
+Public entry point is :class:`repro.core.solver.SpTRSVSolver`, which wires
+the substrates together (ordering → symbolic → numeric LU → 3D layout →
+distributed solves) and exposes every algorithm variant of the paper:
+
+- ``algorithm="2d"``        — communication-optimized 2D SpTRSV (CSC'18);
+  equivalently ``algorithm="new3d"`` with ``Pz=1``.
+- ``algorithm="baseline3d"``— the ICS'19 communication-avoiding 3D SpTRSV
+  with per-level inter-grid synchronization.
+- ``algorithm="new3d"``     — the paper's proposed 3D SpTRSV: replicated
+  ancestor computation, one sparse allreduce between L and U solves.
+
+GPU execution (Algorithms 4-5) lives in :mod:`repro.gpu`.
+"""
+
+from repro.core.levelset import LevelSetResult, solve_levelset
+from repro.core.plan2d import RankPlan, build_2d_plans, u_blockrows
+from repro.core.solver import PerfReport, SolveOutcome, SpTRSVSolver
+from repro.core.sparse_allreduce import sparse_allreduce
+from repro.core.sptrsv2d import sptrsv_2d
+
+__all__ = [
+    "SpTRSVSolver",
+    "SolveOutcome",
+    "PerfReport",
+    "build_2d_plans",
+    "RankPlan",
+    "u_blockrows",
+    "sptrsv_2d",
+    "sparse_allreduce",
+    "solve_levelset",
+    "LevelSetResult",
+]

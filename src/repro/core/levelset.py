@@ -1,0 +1,100 @@
+"""Shared-memory level-set SpTRSV — the paper's §1 baseline class.
+
+Before distributed algorithms, the paper surveys shared-memory solvers that
+"rely on level-set, color-set or blocking methods to exploit available
+parallelism from the DAG".  This module implements the classic level-set
+scheduler for a simulated multicore node: supernodes on the same DAG level
+run concurrently on up to ``nthreads`` cores with a barrier between levels.
+
+It provides the single-node reference point for the distributed solvers
+(and demonstrates the motivation of §1: shared-memory SpTRSV "quickly
+becomes incapable of handling large linear systems") with both real
+numerics and a simulated-time estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.costmodel import Machine, gemm_bytes, gemm_flops
+from repro.core.plan2d import u_blockrows
+from repro.numfact.lu import BlockSparseLU
+from repro.perf.levels import level_profile
+from repro.util import as_2d_rhs
+
+
+@dataclass
+class LevelSetResult:
+    """Solution plus the simulated schedule of a level-set solve."""
+
+    x: np.ndarray
+    time: float
+    levels_l: int
+    levels_u: int
+    barrier_time: float
+
+
+def _schedule_level(costs: list[float], nthreads: int) -> float:
+    """Makespan of one level: longest-processing-time list scheduling."""
+    if not costs:
+        return 0.0
+    loads = [0.0] * min(nthreads, len(costs))
+    for c in sorted(costs, reverse=True):
+        i = int(np.argmin(loads))
+        loads[i] += c
+    return max(loads)
+
+
+def solve_levelset(lu: BlockSparseLU, b: np.ndarray, machine: Machine,
+                   nthreads: int = 8,
+                   barrier_cost: float = 2.0e-6) -> LevelSetResult:
+    """Level-set L+U solve on one simulated ``nthreads``-core node.
+
+    Each supernode task = diagonal solve + the GEMVs of its column (L) or
+    transpose-column (U); tasks within a level are list-scheduled onto the
+    threads, with a ``barrier_cost`` synchronization between levels (the
+    per-level barrier is the known scalability limit of the method).
+    """
+    part = lu.partition
+    y2, was1d = as_2d_rhs(b)
+    nrhs = y2.shape[1]
+    cpu = machine.cpu
+
+    def col_cost(K: int, adj) -> float:
+        w = part.size(K)
+        t = cpu.op_time(gemm_flops(w, nrhs, w), gemm_bytes(w, nrhs, w))
+        for I in adj[K]:
+            m = part.size(int(I))
+            t += cpu.op_time(gemm_flops(m, nrhs, w), gemm_bytes(m, nrhs, w))
+        return t
+
+    total = 0.0
+    barrier_total = 0.0
+
+    # ---- L phase (numerics are the sequential reference; the schedule
+    # only orders independent work, so results are identical).
+    prof_l = level_profile(lu, "L")
+    y = lu.solve_L(y2)
+    for lev in range(prof_l.depth):
+        ks = np.flatnonzero(prof_l.levels == lev)
+        total += _schedule_level([col_cost(int(K), lu.l_blockrows)
+                                  for K in ks], nthreads)
+        total += barrier_cost
+        barrier_total += barrier_cost
+
+    # ---- U phase
+    prof_u = level_profile(lu, "U")
+    uadj = u_blockrows(lu)
+    x = lu.solve_U(y)
+    for lev in range(prof_u.depth):
+        ks = np.flatnonzero(prof_u.levels == lev)
+        total += _schedule_level([col_cost(int(K), uadj) for K in ks],
+                                 nthreads)
+        total += barrier_cost
+        barrier_total += barrier_cost
+
+    return LevelSetResult(x=x[:, 0] if was1d else x, time=total,
+                          levels_l=prof_l.depth, levels_u=prof_u.depth,
+                          barrier_time=barrier_total)

@@ -1,0 +1,216 @@
+"""Per-rank communication/computation plans for the 2D SpTRSV kernel.
+
+A *plan* is everything a rank precomputes before a 2D triangular solve (the
+paper precomputes the same artifacts: ``fmod``/``bmod`` counters and the
+broadcast/reduction trees of every supernode row and column).  The L- and
+U-solves share one plan structure by viewing the solve symmetrically:
+
+- a **producer** supernode ``J`` yields its subvector value (``y(J)`` in the
+  L-solve, ``x(J)`` in the U-solve) at its diagonal owner and broadcasts it
+  down the process column ``J mod Py`` to the owners of the consumer blocks;
+- a **consumer** row ``I`` accumulates ``block(I, J) @ value(J)`` partial
+  sums, which are reduced across process columns to row ``I``'s diagonal
+  owner; when all contributions arrived, ``I`` itself becomes a producer.
+
+The baseline 3D algorithm reuses the same builder with three knobs: a
+restricted ``solve_set`` (one elimination-tree node), an ``update_set``
+reaching into ancestor rows (partial sums exported to later levels), and an
+``ext_set`` of already-solved producers (ancestor ``x`` values in the
+U-phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.comm.trees import CommTree, binary_tree, flat_tree
+from repro.grids.grid3d import BlockCyclicMap, Grid3D
+from repro.numfact.lu import BlockSparseLU
+
+# Fan-out above which "auto" switches from a flat tree to a binary tree.
+# Calibrated on the simulator's cost model: below ~16 members the root's
+# injection cost is cheaper than the extra tree-hop latency; above it the
+# flat root serializes and the binary tree wins (the §3.3 optimization).
+AUTO_TREE_CUTOFF = 16
+
+
+def u_blockrows(lu: BlockSparseLU) -> list[np.ndarray]:
+    """Transpose adjacency of U: for each J, the rows K < J with U(K,J) != 0.
+
+    This is the producer->consumer map of the U-solve (x(J) updates row K).
+    """
+    rows: list[list[int]] = [[] for _ in range(lu.nsup)]
+    for K in range(lu.nsup):
+        for J in lu.u_blockcols[K]:
+            rows[J].append(K)
+    return [np.array(sorted(r), dtype=np.int64) for r in rows]
+
+
+@dataclass
+class RankPlan:
+    """One rank's share of a 2D solve.
+
+    ``consumer_blocks[J]`` lists ``(I, block)`` pairs this rank applies when
+    the value of producer ``J`` arrives; ``fmod0``/``frecv0`` are the
+    dependency counters of Algorithm 3 (local blocks / reduction-tree
+    children per consumer row); ``nrecv`` is the total message count this
+    rank will receive, the loop bound of the message-driven solve.
+    """
+
+    rank: int
+    solve_cols: list[int] = field(default_factory=list)
+    ext_cols: list[int] = field(default_factory=list)
+    consumer_blocks: dict[int, list[tuple[int, np.ndarray]]] = field(default_factory=dict)
+    bcast_trees: dict[int, CommTree] = field(default_factory=dict)
+    red_trees: dict[int, CommTree] = field(default_factory=dict)
+    fmod0: dict[int, int] = field(default_factory=dict)
+    frecv0: dict[int, int] = field(default_factory=dict)
+    nrecv: int = 0
+    out_rows: list[int] = field(default_factory=list)
+
+    def total_messages_sent(self) -> int:
+        """Upper bound on messages this rank sends (tree edges it drives)."""
+        total = 0
+        for J, t in self.bcast_trees.items():
+            if t.contains(self.rank):
+                total += t.nchildren(self.rank)
+        for I, t in self.red_trees.items():
+            if t.contains(self.rank) and t.root != self.rank:
+                total += 1
+        return total
+
+
+@dataclass
+class Plan2D:
+    """All ranks' plans for one 2D solve, plus shared metadata."""
+
+    grid: Grid3D
+    z: int
+    ranks: dict[int, RankPlan]
+    solve_set: list[int]
+    update_set: set[int]
+    ext_set: list[int]
+    diag_inv: list[np.ndarray]
+    sn_size: Callable[[int], int]
+
+    def plan_of(self, rank: int) -> RankPlan:
+        return self.ranks[rank]
+
+
+def build_2d_plans(
+    lu: BlockSparseLU,
+    grid: Grid3D,
+    z: int,
+    phase: str,
+    solve_set: Iterable[int],
+    update_set: Iterable[int] | None = None,
+    ext_set: Iterable[int] = (),
+    tree_kind: str = "binary",
+    u_adj: list[np.ndarray] | None = None,
+) -> Plan2D:
+    """Build the per-rank plans of one 2D solve on grid ``z``.
+
+    ``phase`` is ``"L"`` or ``"U"``; ``solve_set`` are the supernodes whose
+    subvectors this solve produces, ``update_set`` (defaults to
+    ``solve_set``) the rows that accumulate partial sums, and ``ext_set``
+    producers whose values are already known at their diagonal owners.
+    ``tree_kind`` selects ``"binary"`` trees (the paper's latency
+    optimization) or ``"flat"`` fan-out/fan-in.
+    """
+    if phase == "L":
+        adj = lu.l_blockrows
+        blocks = lu.Lblocks
+        diag_inv = lu.diagLinv
+    elif phase == "U":
+        adj = u_adj if u_adj is not None else u_blockrows(lu)
+        blocks = lu.Ublocks
+        diag_inv = lu.diagUinv
+    else:
+        raise ValueError(f"phase must be 'L' or 'U', got {phase!r}")
+    if tree_kind == "binary":
+        tree_fn = binary_tree
+    elif tree_kind == "flat":
+        tree_fn = flat_tree
+    elif tree_kind == "auto":
+        # Adaptive selection (as production tree solvers do): a binary tree
+        # only pays off once the fan-out is large enough that the root's
+        # per-message injection cost exceeds the extra tree-hop latency.
+        def tree_fn(members, root):
+            if len(members) > AUTO_TREE_CUTOFF:
+                return binary_tree(members, root)
+            return flat_tree(members, root)
+    else:
+        raise ValueError(
+            f"tree_kind must be 'binary', 'flat' or 'auto', got {tree_kind!r}")
+
+    solve_set = sorted(solve_set)
+    solve_lookup = set(solve_set)
+    update_lookup = (set(update_set) if update_set is not None
+                     else set(solve_set))
+    if not solve_lookup <= update_lookup:
+        raise ValueError("update_set must contain solve_set")
+    ext_set = sorted(ext_set)
+    if solve_lookup & set(ext_set):
+        raise ValueError("ext_set must be disjoint from solve_set")
+
+    cmap = BlockCyclicMap(grid)
+    plans = {r: RankPlan(rank=r) for r in grid.grid_ranks(z)}
+
+    # Contributor ranks per consumer row (for the reduction trees).
+    contributors: dict[int, set[int]] = {}
+
+    for J in list(solve_set) + ext_set:
+        root = cmap.diag_owner_rank(J, z)
+        members = {root}
+        for I in adj[J]:
+            I = int(I)
+            if I not in update_lookup:
+                continue
+            blk = blocks[(I, J)]
+            owner = cmap.owner_rank(I, J, z)
+            members.add(owner)
+            p = plans[owner]
+            p.consumer_blocks.setdefault(J, []).append((I, blk))
+            p.fmod0[I] = p.fmod0.get(I, 0) + 1
+            contributors.setdefault(I, set()).add(owner)
+        if len(members) > 1:
+            tree = tree_fn(sorted(members), root)
+            for m in members:
+                plans[m].bcast_trees[J] = tree
+                if m != root:
+                    plans[m].nrecv += 1
+        if J in solve_lookup:
+            plans[root].solve_cols.append(J)
+        else:
+            plans[root].ext_cols.append(J)
+
+    for I, contribs in contributors.items():
+        root = cmap.diag_owner_rank(I, z)
+        members = set(contribs) | {root}
+        if len(members) > 1:
+            tree = tree_fn(sorted(members), root)
+            for m in members:
+                p = plans[m]
+                p.red_trees[I] = tree
+                nch = tree.nchildren(m)
+                if nch:
+                    p.frecv0[I] = nch
+                    p.nrecv += nch
+
+    # Output rows: update-only rows whose reduced partial sums this rank
+    # exports (it is their diagonal owner).
+    for I in update_lookup - solve_lookup:
+        if I in contributors:
+            plans[cmap.diag_owner_rank(I, z)].out_rows.append(I)
+
+    for p in plans.values():
+        p.solve_cols.sort()
+        p.ext_cols.sort()
+        p.out_rows.sort()
+
+    return Plan2D(grid=grid, z=z, ranks=plans, solve_set=solve_set,
+                  update_set=update_lookup, ext_set=ext_set,
+                  diag_inv=diag_inv, sn_size=lu.partition.size)

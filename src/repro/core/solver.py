@@ -1,0 +1,296 @@
+"""High-level API: factor a sparse matrix once, solve with any algorithm.
+
+:class:`SpTRSVSolver` runs the full preprocessing pipeline of the paper
+(nested dissection → symbolic factorization → supernodal LU → 3D layout)
+and then executes the requested distributed SpTRSV on the simulated
+machine, returning both the (verified-exact) solution and a
+:class:`PerfReport` with the simulated timing breakdown the paper's figures
+are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm.costmodel import CORI_HASWELL, Machine
+from repro.comm.simulator import Simulator, SimResult
+from repro.core.sptrsv3d_baseline import (
+    Baseline3DSetup,
+    baseline3d_rank_fn,
+    build_baseline3d_setup,
+    collect_solution_baseline,
+)
+from repro.core.sptrsv3d_new import (
+    New3DSetup,
+    build_new3d_setup,
+    collect_solution,
+    new3d_rank_fn,
+)
+from repro.grids.grid3d import Grid3D
+from repro.numfact.lu import lu_factorize
+from repro.ordering.layout import build_layout_tree
+from repro.ordering.nested_dissection import nested_dissection
+from repro.symbolic.fill import symbolic_factor
+from repro.util import as_2d_rhs, ilog2, inverse_permutation
+
+
+@dataclass
+class PerfReport:
+    """Timing view over a simulation run.
+
+    Phases: ``"l"`` (L-solve), ``"z"`` (inter-grid), ``"u"`` (U-solve).
+    Categories: ``"fp"`` (GEMV/GEMM + diagonal solves), ``"xy"`` (intra-grid
+    communication incl. waits), ``"z"`` (inter-grid communication).
+    """
+
+    sim: SimResult
+    algorithm: str
+    grid: Grid3D
+    nrhs: int
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall-clock of the whole solve (max over ranks)."""
+        return self.sim.makespan
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-rank seconds by category, as in the paper's Figs. 5-6."""
+        return {
+            "fp": float(self.sim.time_by(category="fp").mean()),
+            "xy_comm": float(self.sim.time_by(category="xy").mean()),
+            "z_comm": float(self.sim.time_by(category="z").mean()),
+        }
+
+    def per_rank(self, phase: str | None = None,
+                 category: str | None = None) -> np.ndarray:
+        """Per-rank seconds matching the filters (load-balance figures)."""
+        return self.sim.time_by(phase=phase, category=category)
+
+    def phase_time(self, phase: str) -> float:
+        """Mean per-rank seconds spent in a phase."""
+        return float(self.sim.time_by(phase=phase).mean())
+
+    def message_count(self, category: str | None = None) -> int:
+        return self.sim.msgs_by(category=category)
+
+    def message_bytes(self, category: str | None = None) -> float:
+        return self.sim.bytes_by(category=category)
+
+
+@dataclass
+class SolveOutcome:
+    """A solution (original ordering/shape) plus its performance report."""
+
+    x: np.ndarray
+    report: PerfReport
+
+
+class SpTRSVSolver:
+    """Factor ``A`` once; solve ``A x = b`` with any of the paper's solvers.
+
+    Parameters
+    ----------
+    A : scipy sparse, structurally symmetric, LU-factorizable w/o pivoting
+    px, py, pz : 3D process grid (``pz`` must be a power of two)
+    machine : simulated machine preset (see ``repro.comm.MACHINES``)
+    max_supernode : supernode size cap
+    symbolic_mode : ``"detect"`` (exact supernodes) or ``"fixed"`` (chunked)
+    leaf_size : nested-dissection leaf subdomain size (default: heuristic)
+    ordering : ``"nd"`` (nested dissection; required for ``pz > 1``) or
+        ``"mmd"`` (minimum degree; 2D layouts only)
+    """
+
+    def __init__(self, A: sp.spmatrix, px: int = 1, py: int = 1, pz: int = 1,
+                 machine: Machine = CORI_HASWELL, max_supernode: int = 16,
+                 symbolic_mode: str = "detect", leaf_size: int | None = None,
+                 ordering: str = "nd"):
+        A = sp.csr_matrix(A)
+        n = A.shape[0]
+        self.A = A
+        self.grid = Grid3D(px, py, pz)
+        self.machine = machine
+        depth = ilog2(pz)
+        if leaf_size is None:
+            leaf_size = max(8, n // max(4 * pz, 8))
+        if ordering == "nd":
+            self.tree = nested_dissection(A, leaf_size=leaf_size,
+                                          min_depth=depth)
+        elif ordering == "mmd":
+            if pz != 1:
+                raise ValueError(
+                    "minimum-degree ordering has no separator tree; the 3D "
+                    "layout (pz > 1) requires ordering='nd'")
+            from repro.ordering.min_degree import min_degree_tree
+
+            self.tree = min_degree_tree(A)
+        else:
+            raise ValueError(f"unknown ordering {ordering!r}")
+        self.perm = self.tree.perm
+        self.iperm = inverse_permutation(self.perm)
+        self.A_perm = sp.csr_matrix(A[self.perm][:, self.perm])
+        self.sym = symbolic_factor(self.A_perm, max_supernode=max_supernode,
+                                   boundaries=self.tree.boundaries(),
+                                   mode=symbolic_mode)
+        self.lu = lu_factorize(self.A_perm, self.sym.partition)
+        self.layout = build_layout_tree(self.tree, pz)
+        self._setups: dict[tuple, object] = {}
+
+    @classmethod
+    def from_pipeline(cls, A: sp.spmatrix, tree, sym, lu, px: int = 1,
+                      py: int = 1, pz: int = 1,
+                      machine: Machine = CORI_HASWELL) -> "SpTRSVSolver":
+        """Build a solver from a precomputed pipeline (ND tree, symbolic,
+        LU).  Lets benchmarks factor a matrix once and sweep grid shapes;
+        the separator tree must be binary-complete to depth ``log2(pz)``.
+        """
+        self = object.__new__(cls)
+        self.A = sp.csr_matrix(A)
+        self.grid = Grid3D(px, py, pz)
+        self.machine = machine
+        self.tree = tree
+        self.perm = tree.perm
+        self.iperm = inverse_permutation(tree.perm)
+        self.A_perm = sp.csr_matrix(self.A[self.perm][:, self.perm])
+        self.sym = sym
+        self.lu = lu
+        self.layout = build_layout_tree(tree, pz)
+        self._setups = {}
+        return self
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+    # -- setup caches ---------------------------------------------------------
+
+    def _new3d_setup(self, tree_kind: str) -> New3DSetup:
+        key = ("new3d", tree_kind)
+        if key not in self._setups:
+            self._setups[key] = build_new3d_setup(self.lu, self.layout,
+                                                  self.grid, tree_kind)
+        return self._setups[key]  # type: ignore[return-value]
+
+    def _baseline_setup(self, tree_kind: str) -> Baseline3DSetup:
+        key = ("baseline3d", tree_kind)
+        if key not in self._setups:
+            self._setups[key] = build_baseline3d_setup(self.lu, self.layout,
+                                                       self.grid, tree_kind)
+        return self._setups[key]  # type: ignore[return-value]
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(self, b: np.ndarray, algorithm: str = "new3d",
+              tree_kind: str | None = None, machine: Machine | None = None,
+              device: str = "cpu", baseline_level_sync: bool = True,
+              allreduce_impl: str = "sparse") -> SolveOutcome:
+        """Solve ``A x = b``; ``b`` may be ``(n,)`` or ``(n, nrhs)``.
+
+        ``algorithm``: ``"new3d"`` (proposed; adaptive "auto" trees),
+        ``"baseline3d"`` (ICS'19, default flat communication), or ``"2d"``
+        (requires ``pz == 1``; the CSC'18 2D solver, which is exactly the
+        proposed algorithm on a single grid).
+
+        ``device="gpu"`` runs the proposed algorithm with GPU 2D solves
+        (Algorithms 4-5); requires a machine with a GPU model and, for
+        multi-GPU grids, ``Py == 1``.
+        """
+        b2, was1d = as_2d_rhs(b)
+        if b2.shape[0] != self.n:
+            raise ValueError(f"b has {b2.shape[0]} rows, expected {self.n}")
+        nrhs = b2.shape[1]
+        b_perm = b2[self.perm]
+        machine = machine or self.machine
+
+        if device == "gpu":
+            if algorithm not in ("new3d", "2d"):
+                raise ValueError(
+                    "GPU solves implement the proposed algorithm only "
+                    "(algorithm='new3d', or '2d' with pz == 1)")
+            if algorithm == "2d" and self.grid.pz != 1:
+                raise ValueError("algorithm='2d' requires pz == 1")
+            from repro.gpu.solver3d import solve_new3d_gpu
+
+            setup = self._new3d_setup(tree_kind or "binary")
+            gres = solve_new3d_gpu(setup, machine, b_perm, nrhs)
+            x_perm = collect_solution(setup, gres.results, self.n, nrhs)
+            x = np.empty_like(x_perm)
+            x[self.perm] = x_perm
+            report = PerfReport(sim=gres.sim, algorithm=f"{algorithm}-gpu",
+                                grid=self.grid, nrhs=nrhs)
+            return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
+        if device != "cpu":
+            raise ValueError(f"unknown device {device!r}")
+
+        sim = Simulator(self.grid.nranks, machine)
+
+        if algorithm == "2d":
+            if self.grid.pz != 1:
+                raise ValueError("algorithm='2d' requires pz == 1")
+            algorithm_impl = "new3d"
+        elif algorithm in ("new3d", "baseline3d"):
+            algorithm_impl = algorithm
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+
+        if algorithm_impl == "new3d":
+            kind = tree_kind or "auto"
+            setup = self._new3d_setup(kind)
+            res = sim.run(new3d_rank_fn(setup, b_perm, nrhs,
+                                        allreduce_impl=allreduce_impl))
+            x_perm = collect_solution(setup, res.results, self.n, nrhs)
+        else:
+            kind = tree_kind or "flat"
+            setup = self._baseline_setup(kind)
+            res = sim.run(baseline3d_rank_fn(setup, b_perm, nrhs,
+                                             level_sync=baseline_level_sync))
+            x_perm = collect_solution_baseline(setup, res.results, self.n,
+                                               nrhs)
+
+        x = np.empty_like(x_perm)
+        x[self.perm] = x_perm
+        report = PerfReport(sim=res, algorithm=algorithm, grid=self.grid,
+                            nrhs=nrhs)
+        return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
+
+    def solve_blocked(self, b: np.ndarray, rhs_block: int = 16,
+                      **solve_kw) -> SolveOutcome:
+        """Solve a wide multi-RHS problem in column panels.
+
+        Very wide RHS matrices (e.g. hundreds of columns) are processed in
+        panels of ``rhs_block`` columns — the standard memory/cache
+        trade-off for GEMM-heavy solves.  The report of the returned
+        outcome aggregates the panels' simulated times (panels run one
+        after another, as a real implementation would).
+        """
+        if rhs_block < 1:
+            raise ValueError("rhs_block must be >= 1")
+        b2, was1d = as_2d_rhs(b)
+        nrhs = b2.shape[1]
+        if nrhs <= rhs_block:
+            return self.solve(b, **solve_kw)
+        x = np.empty_like(b2)
+        first: SolveOutcome | None = None
+        total = 0.0
+        for c0 in range(0, nrhs, rhs_block):
+            c1 = min(nrhs, c0 + rhs_block)
+            out = self.solve(b2[:, c0:c1], **solve_kw)
+            x[:, c0:c1] = out.x
+            total += out.report.total_time
+            if first is None:
+                first = out
+        # Aggregate view: scale the first panel's clocks to the summed
+        # panel times (panels are independent, identical-shape solves).
+        rep = first.report
+        rep.sim.clocks = rep.sim.clocks + (total - rep.sim.makespan)
+        return SolveOutcome(x=x[:, 0] if was1d else x, report=rep)
+
+    def reference_solve(self, b: np.ndarray) -> np.ndarray:
+        """Sequential reference solve through the same LU factors."""
+        b2, was1d = as_2d_rhs(b)
+        xp = self.lu.solve(b2[self.perm])
+        x = np.empty_like(xp)
+        x[self.perm] = xp
+        return x[:, 0] if was1d else x

@@ -1,0 +1,143 @@
+"""Sparse inter-grid allreduce (the paper's Algorithm 2).
+
+After the per-grid 2D L-solves, the partial solutions of every *replicated*
+(ancestor) supernode must be summed across the grids sharing it.  A naive
+per-node ``MPI_Allreduce`` costs a latency per elimination-tree node; the
+sparse allreduce instead performs ``log2(Pz)`` pairwise exchange steps each
+way — a hypercube reduce toward grid 0 followed by the mirrored broadcast —
+with each rank packing all its supernode subvectors for a step into one
+buffer.
+
+Note on the paper's pseudocode: Algorithm 2 as printed sends from
+``z % 2^(l+1) == 0`` during the reduce, but Fig. 3 (and the baseline's
+"reduce to the smallest grid id" convention) show the accumulation flowing
+*toward* the smaller grid; we follow the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.simulator import RankCtx
+from repro.grids.grid3d import Grid3D
+from repro.ordering.layout import LayoutTree
+from repro.symbolic.supernodes import SupernodePartition
+
+
+def ancestor_supernodes(layout: LayoutTree, part: SupernodePartition,
+                        z: int) -> list[list[int]]:
+    """For each allreduce step ``l``, the supernodes exchanged by grid ``z``.
+
+    Step ``l`` pairs grids differing in bit ``l`` and moves the nodes those
+    two grids still share: the ancestors of the level-``(depth-l)`` node on
+    ``z``'s path, i.e. ``path[l+1:]``.  The per-step lists are identical for
+    both members of a pair, which keeps the exchange symmetric.
+    """
+    path = layout.path(z)
+    out: list[list[int]] = []
+    for l in range(layout.depth):
+        sns: list[int] = []
+        for node in path[l + 1:]:
+            lo, hi = part.sn_range(node.first, node.last)
+            sns.extend(range(lo, hi))
+        out.append(sorted(sns))
+    return out
+
+
+def _my_sns(sns: list[int], grid: Grid3D, i: int, j: int) -> list[int]:
+    """Supernodes in ``sns`` whose diagonal block lives at 2D coords (i, j)."""
+    return [K for K in sns if K % grid.px == i and K % grid.py == j]
+
+
+def sparse_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
+                     part: SupernodePartition, values: dict[int, np.ndarray],
+                     category: str = "z"):
+    """Sum ``values[K]`` across all grids replicating supernode ``K``.
+
+    ``values`` holds the partial subvectors this rank diagonally owns; the
+    entries for replicated supernodes are updated in place to the full sum.
+    Every rank of every grid must call this (ranks with nothing to exchange
+    at a step skip it — their partner skips symmetrically).
+    """
+    i, j, z = grid.coords_of(ctx.rank)
+    depth = layout.depth
+    if depth == 0:
+        return
+    steps = ancestor_supernodes(layout, part, z)
+    my_steps = [_my_sns(sns, grid, i, j) for sns in steps]
+
+    def pack(ks: list[int]) -> np.ndarray:
+        return np.concatenate([values[K] for K in ks], axis=0)
+
+    def unpack(ks: list[int], buf: np.ndarray, accumulate: bool) -> None:
+        ofs = 0
+        for K in ks:
+            w = values[K].shape[0]
+            if accumulate:
+                values[K] += buf[ofs:ofs + w]
+            else:
+                values[K][:] = buf[ofs:ofs + w]
+            ofs += w
+
+    # Sparse reduce: accumulate toward grid 0.
+    for l in range(depth):
+        ks = my_steps[l]
+        if not ks:
+            continue
+        stride = 1 << l
+        if z % (2 * stride) == stride:
+            yield ctx.send(grid.zpeer(ctx.rank, z - stride), pack(ks),
+                           tag=("sar", "r", l), category=category)
+        elif z % (2 * stride) == 0:
+            _, _, buf = yield ctx.recv(src=grid.zpeer(ctx.rank, z + stride),
+                                       tag=("sar", "r", l), category=category)
+            unpack(ks, buf, accumulate=True)
+
+    # Sparse broadcast: mirrored, full sums flow back out.
+    for l in range(depth - 1, -1, -1):
+        ks = my_steps[l]
+        if not ks:
+            continue
+        stride = 1 << l
+        if z % (2 * stride) == 0:
+            yield ctx.send(grid.zpeer(ctx.rank, z + stride), pack(ks),
+                           tag=("sar", "b", l), category=category)
+        elif z % (2 * stride) == stride:
+            _, _, buf = yield ctx.recv(src=grid.zpeer(ctx.rank, z - stride),
+                                       tag=("sar", "b", l), category=category)
+            unpack(ks, buf, accumulate=False)
+
+
+def naive_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
+                    part: SupernodePartition, values: dict[int, np.ndarray],
+                    category: str = "z"):
+    """The straw-man the paper argues against (§3.2): one ``MPI_Allreduce``
+    per elimination-tree node over the grids sharing it.
+
+    Functionally equivalent to :func:`sparse_allreduce` but pays a full
+    reduce+broadcast latency per *node* instead of one packed pairwise
+    exchange per *level* — the ablation benchmark quantifies the gap.
+    """
+    from repro.comm.collectives import allreduce
+
+    i, j, z = grid.coords_of(ctx.rank)
+    for node in layout.nodes:
+        nshare = node.grid_hi - node.grid_lo
+        if nshare < 2 or not (node.grid_lo <= z < node.grid_hi):
+            continue
+        lo, hi = part.sn_range(node.first, node.last)
+        ks = [K for K in range(lo, hi)
+              if K % grid.px == i and K % grid.py == j]
+        if not ks:
+            continue
+        buf = np.concatenate([values[K] for K in ks], axis=0)
+        members = [grid.zpeer(ctx.rank, zz)
+                   for zz in range(node.grid_lo, node.grid_hi)]
+        out = yield from allreduce(ctx, members, buf,
+                                   tag=("nar", node.heap_id),
+                                   category=category)
+        ofs = 0
+        for K in ks:
+            w = values[K].shape[0]
+            values[K][:] = out[ofs:ofs + w]
+            ofs += w

@@ -1,0 +1,367 @@
+"""Resource-constrained dataflow simulation of the GPU 2D solves.
+
+Executes one 2D triangular solve (L or U) over the GPUs of one 2D grid.
+The grid must have ``Py == 1`` (the paper's choice for NVSHMEM solves:
+reduction trees are slower than broadcast trees on GPUs, §4.2.2), which
+makes every supernode *row* local to a single GPU — only the broadcast of
+solved subvectors crosses GPUs, exactly Algorithm 5.
+
+Task model per GPU (one thread block per supernode column, as in the CUDA
+kernels):
+
+- ``DIAG(K)`` on K's owner: ready when ``fmod(K)`` hits zero; computes
+  ``value(K)``, fires the NVSHMEM sends down K's broadcast tree at the
+  moment the value exists, then applies the GPU's own blocks of column K.
+- ``RECV(K)`` on a non-root tree member: ready when the one-sided message
+  arrives; forwards to its tree children, then applies local blocks.
+
+At most ``num_sms`` tasks compute concurrently per GPU (the WAIT/SOLVE
+two-kernel trick means *waiting* columns do not occupy SMs, so only running
+tasks count).  Real numpy numerics run inside the tasks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.costmodel import Machine, gemm_bytes, gemm_flops
+from repro.core.plan2d import Plan2D
+
+
+@dataclass
+class GpuSolveResult:
+    """Outcome of one dataflow solve over the GPUs of a 2D grid.
+
+    Keys of the per-rank dicts are global simulator rank ids.
+    ``busy``: seconds of SM compute; ``finish``: completion clock (includes
+    spin waits); ``values``: solved subvectors at their diagonal owners.
+    """
+
+    values: dict[int, dict[int, np.ndarray]]
+    busy: dict[int, float]       # SM-seconds (sum of task durations)
+    occupied: dict[int, float]   # wall seconds with >= 1 task computing
+    finish: dict[int, float]
+    nvshmem_msgs: int
+    nvshmem_bytes: float
+
+
+def run_gpu_2d_solve(plan2d: Plan2D, machine: Machine,
+                     rhs: dict[int, dict[int, np.ndarray]], nrhs: int,
+                     u_solve: bool = False,
+                     start_times: dict[int, float] | None = None,
+                     two_kernel: bool = True,
+                     ) -> GpuSolveResult:
+    """Simulate one GPU 2D solve for the grid/plan in ``plan2d``.
+
+    ``rhs[rank][K]`` holds the right-hand side subvectors at each diagonal
+    owner; ``start_times[rank]`` lets a later phase (the U-solve after the
+    inter-grid allreduce) begin from per-GPU clock offsets.
+
+    ``two_kernel`` models the paper's WAIT/SOLVE design (§3.4): waiting
+    columns do not occupy SMs, so any *ready* column may compute.  With
+    ``two_kernel=False`` the pre-fix NVSHMEM behavior is modeled: at most
+    ``num_sms`` thread blocks are resident, admitted in ascending column
+    order, and a resident block spin-waiting on its dependencies *blocks
+    its SM* — the concurrency restriction the two-kernel trick removes.
+    """
+    gpu = machine.gpu
+    if gpu is None:
+        raise ValueError(f"machine {machine.name!r} has no GPU model")
+    grid = plan2d.grid
+    if grid.py != 1:
+        raise ValueError("GPU 2D solves require Py == 1 (see module docs)")
+    if not two_kernel:
+        return _run_single_kernel(plan2d, machine, rhs, nrhs, u_solve,
+                                  start_times or {})
+    z = plan2d.z
+    ranks = grid.grid_ranks(z)
+    start_times = start_times or {}
+    size = plan2d.sn_size
+    diag_inv = plan2d.diag_inv
+
+    # Per-rank state.
+    lsum: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
+    values: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
+    fmod: dict[int, dict[int, int]] = {
+        r: dict(plan2d.plan_of(r).fmod0) for r in ranks}
+    busy = {r: 0.0 for r in ranks}
+    occupied = {r: 0.0 for r in ranks}
+    last_t = {r: start_times.get(r, 0.0) for r in ranks}
+    finish = {r: start_times.get(r, 0.0) for r in ranks}
+    running = {r: 0 for r in ranks}
+    waiting: dict[int, list] = {r: [] for r in ranks}
+    nvshmem_msgs = 0
+    nvshmem_bytes = 0.0
+
+    def acc(r: int, I: int) -> np.ndarray:
+        a = lsum[r].get(I)
+        if a is None:
+            a = lsum[r][I] = np.zeros((size(I), nrhs))
+        return a
+
+    def apply_cost(r: int, J: int) -> float:
+        """One thread block processes all local blocks of column J at once."""
+        fl = bt = 0.0
+        for I, blk in plan2d.plan_of(r).consumer_blocks.get(J, ()):
+            m, k = blk.shape
+            fl += gemm_flops(m, nrhs, k)
+            bt += gemm_bytes(m, nrhs, k)
+        if fl == 0.0:
+            return 0.0
+        return gpu.op_time(fl, bt, u_solve=u_solve)
+
+    events: list = []  # (time, seq, kind, payload)
+    seq = 0
+
+    def push(t: float, kind: str, payload) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, kind, payload))
+        seq += 1
+
+    def release(t: float, kind: str, r: int, J: int) -> None:
+        """A column task became ready at time t on GPU r."""
+        if running[r] < gpu.num_sms:
+            start_task(t, kind, r, J)
+        else:
+            heapq.heappush(waiting[r], (t, seq, kind, J))
+
+    def _occupy(t: float, r: int) -> None:
+        """Advance the occupancy integral for GPU r up to time t."""
+        if running[r] > 0:
+            occupied[r] += max(0.0, t - last_t[r])
+        last_t[r] = t
+
+    def start_task(t: float, kind: str, r: int, J: int) -> None:
+        _occupy(t, r)
+        running[r] += 1
+        plan = plan2d.plan_of(r)
+        if kind == "diag":
+            w = size(J)
+            dur_diag = gpu.op_time(gemm_flops(w, nrhs, w),
+                                   gemm_bytes(w, nrhs, w), u_solve=u_solve)
+            val = diag_inv[J] @ (rhs[r][J] - acc(r, J))
+            values[r][J] = val
+            send_tree(t + dur_diag, r, J, val)
+            dur = dur_diag + apply_cost(r, J)
+        else:  # recv: value already stored by the message event
+            val = values[r][J]
+            send_tree(t, r, J, val)
+            dur = apply_cost(r, J)
+        busy[r] += dur
+        push(t + dur, "done", (r, J))
+
+    def send_tree(t: float, r: int, J: int, val: np.ndarray) -> None:
+        """Fire one-sided sends to this GPU's children in J's bcast tree."""
+        nonlocal nvshmem_msgs, nvshmem_bytes
+        tree = plan2d.plan_of(r).bcast_trees.get(J)
+        if tree is None or not tree.contains(r):
+            return
+        for c in tree.children(r):
+            lat = gpu.msg_latency(val.nbytes, machine.same_node(r, c))
+            nvshmem_msgs += 1
+            nvshmem_bytes += val.nbytes
+            push(t + lat, "arrive", (c, J, val))
+
+    def post_contributions(t: float, r: int, J: int) -> None:
+        """Apply column J's local blocks (numerics) and release new tasks."""
+        for I, blk in plan2d.plan_of(r).consumer_blocks.get(J, ()):
+            acc(r, I)[:] += blk @ values[r][J]
+            fmod[r][I] -= 1
+            if fmod[r][I] == 0 and I in my_diag[r]:
+                release(t, "diag", r, I)
+
+    # Diagonal owners and initially-ready columns.
+    my_diag = {r: set(plan2d.plan_of(r).solve_cols) for r in ranks}
+    for r in ranks:
+        for K in plan2d.plan_of(r).solve_cols:
+            if fmod[r].get(K, 0) == 0:
+                release(start_times.get(r, 0.0), "diag", r, K)
+
+    while events:
+        t, _, kind, payload = heapq.heappop(events)
+        if kind == "arrive":
+            r, J, val = payload
+            values[r][J] = val
+            release(t, "recv", r, J)
+        elif kind == "done":
+            r, J = payload
+            _occupy(t, r)
+            running[r] -= 1
+            finish[r] = max(finish[r], t)
+            post_contributions(t, r, J)
+            if waiting[r] and running[r] < gpu.num_sms:
+                _, _, wkind, wcol = heapq.heappop(waiting[r])
+                start_task(t, wkind, r, wcol)
+
+    # Sanity: every solve column must have produced a value.
+    for r in ranks:
+        missing = my_diag[r] - set(values[r])
+        if missing:  # pragma: no cover - indicates a dependency bug
+            raise RuntimeError(
+                f"GPU dataflow deadlock on rank {r}: {sorted(missing)[:5]}")
+
+    # Strip non-diag-owned received values so callers see owner values only.
+    out_values = {r: {K: values[r][K] for K in my_diag[r]} for r in ranks}
+    return GpuSolveResult(values=out_values, busy=busy, occupied=occupied,
+                          finish=finish, nvshmem_msgs=nvshmem_msgs,
+                          nvshmem_bytes=nvshmem_bytes)
+
+
+def _run_single_kernel(plan2d: Plan2D, machine: Machine,
+                       rhs: dict[int, dict[int, np.ndarray]], nrhs: int,
+                       u_solve: bool,
+                       start_times: dict[int, float]) -> GpuSolveResult:
+    """Pre-WAIT/SOLVE NVSHMEM execution model (§3.4's limitation).
+
+    At most ``num_sms`` thread blocks are resident per GPU, admitted in
+    topological column order (ascending for L, descending for U); a
+    resident block spin-waiting on dependencies *occupies its SM* until its
+    work completes.  Admission order is topological across GPUs too, so no
+    deadlock arises — only the concurrency loss the two-kernel fix removes.
+    """
+    gpu = machine.gpu
+    grid = plan2d.grid
+    ranks = grid.grid_ranks(plan2d.z)
+    size = plan2d.sn_size
+    diag_inv = plan2d.diag_inv
+
+    lsum: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
+    values: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
+    fmod = {r: dict(plan2d.plan_of(r).fmod0) for r in ranks}
+    my_diag = {r: set(plan2d.plan_of(r).solve_cols) for r in ranks}
+    busy = {r: 0.0 for r in ranks}
+    occupied = {r: 0.0 for r in ranks}
+    finish = {r: start_times.get(r, 0.0) for r in ranks}
+    nvshmem_msgs = 0
+    nvshmem_bytes = 0.0
+
+    # Admission order: every column this GPU has a thread block for.
+    admission = {}
+    cursor = {}
+    resident_at: dict[tuple[int, int], float] = {}
+    ready_at: dict[tuple[int, int], float] = {}
+    done_scheduled: set[tuple[int, int]] = set()
+    for r in ranks:
+        plan = plan2d.plan_of(r)
+        cols = set(plan.consumer_blocks) | set(plan.solve_cols)
+        admission[r] = sorted(cols, reverse=u_solve)
+        cursor[r] = 0
+
+    def acc(r: int, I: int) -> np.ndarray:
+        a = lsum[r].get(I)
+        if a is None:
+            a = lsum[r][I] = np.zeros((size(I), nrhs))
+        return a
+
+    def apply_cost(r: int, J: int) -> float:
+        fl = bt = 0.0
+        for I, blk in plan2d.plan_of(r).consumer_blocks.get(J, ()):
+            m, k = blk.shape
+            fl += gemm_flops(m, nrhs, k)
+            bt += gemm_bytes(m, nrhs, k)
+        return gpu.op_time(fl, bt, u_solve=u_solve) if fl else 0.0
+
+    events: list = []
+    seq = 0
+
+    def push(t: float, kind: str, payload) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, kind, payload))
+        seq += 1
+
+    def send_tree(t: float, r: int, J: int, val: np.ndarray) -> None:
+        nonlocal nvshmem_msgs, nvshmem_bytes
+        tree = plan2d.plan_of(r).bcast_trees.get(J)
+        if tree is None or not tree.contains(r):
+            return
+        for c in tree.children(r):
+            lat = gpu.msg_latency(val.nbytes, machine.same_node(r, c))
+            nvshmem_msgs += 1
+            nvshmem_bytes += val.nbytes
+            push(t + lat, "arrive", (c, J, val))
+
+    def maybe_start(t: float, r: int, J: int) -> None:
+        """If task (r, J) is both resident and ready, run it to completion."""
+        key = (r, J)
+        if key in done_scheduled:
+            return
+        if key not in resident_at or key not in ready_at:
+            return
+        start = max(resident_at[key], ready_at[key], t)
+        if J in my_diag[r]:
+            w = size(J)
+            dur_diag = gpu.op_time(gemm_flops(w, nrhs, w),
+                                   gemm_bytes(w, nrhs, w), u_solve=u_solve)
+            val = diag_inv[J] @ (rhs[r][J] - acc(r, J))
+            values[r][J] = val
+            send_tree(start + dur_diag, r, J, val)
+            dur = dur_diag + apply_cost(r, J)
+        else:
+            val = values[r][J]
+            send_tree(start, r, J, val)
+            dur = apply_cost(r, J)
+        busy[r] += dur
+        # Occupied = residency (includes the spin wait before `start`).
+        done_scheduled.add(key)
+        push(start + dur, "done", (r, J))
+
+    def admit(t: float, r: int) -> None:
+        """Admit further columns up to the SM residency cap."""
+        while (cursor[r] < len(admission[r])
+               and sum(1 for (rr, _) in resident_at if rr == r)
+               - sum(1 for (rr, _) in done_counted if rr == r)
+               < gpu.num_sms):
+            J = admission[r][cursor[r]]
+            cursor[r] += 1
+            resident_at[(r, J)] = t
+            if J in my_diag[r] and fmod[r].get(J, 0) == 0:
+                ready_at[(r, J)] = t
+            maybe_start(t, r, J)
+
+    done_counted: set[tuple[int, int]] = set()
+
+    def post_contributions(t: float, r: int, J: int) -> None:
+        for I, blk in plan2d.plan_of(r).consumer_blocks.get(J, ()):
+            acc(r, I)[:] += blk @ values[r][J]
+            fmod[r][I] -= 1
+            if fmod[r][I] == 0 and I in my_diag[r]:
+                key = (r, I)
+                if key not in ready_at:
+                    ready_at[key] = t
+                    maybe_start(t, r, I)
+
+    for r in ranks:
+        admit(start_times.get(r, 0.0), r)
+
+    while events:
+        t, _, kind, payload = heapq.heappop(events)
+        if kind == "arrive":
+            r, J, val = payload
+            values[r][J] = val
+            key = (r, J)
+            if key not in ready_at:
+                ready_at[key] = t
+                maybe_start(t, r, J)
+        elif kind == "done":
+            r, J = payload
+            key = (r, J)
+            done_counted.add(key)
+            occupied[r] += t - resident_at[key]
+            finish[r] = max(finish[r], t)
+            post_contributions(t, r, J)
+            admit(t, r)
+
+    for r in ranks:
+        missing = my_diag[r] - set(values[r])
+        if missing:  # pragma: no cover - indicates a scheduling bug
+            raise RuntimeError(
+                f"single-kernel GPU schedule stalled on rank {r}: "
+                f"{sorted(missing)[:5]}")
+
+    out_values = {r: {K: values[r][K] for K in my_diag[r]} for r in ranks}
+    return GpuSolveResult(values=out_values, busy=busy, occupied=occupied,
+                          finish=finish, nvshmem_msgs=nvshmem_msgs,
+                          nvshmem_bytes=nvshmem_bytes)

@@ -1,0 +1,137 @@
+"""GPU 3D SpTRSV: the proposed algorithm with GPU 2D solves (Alg. 1 GPU path).
+
+Orchestrates three phases exactly as the paper's implementation does:
+
+1. per-grid GPU 2D L-solves (Alg. 4/5; dataflow simulation, no CPU in the
+   loop),
+2. the MPI-based inter-grid sparse allreduce (Alg. 2) — the only
+   CPU-involved communication,
+3. per-grid GPU 2D U-solves starting from each GPU's post-allreduce clock.
+
+The result carries per-rank time splits compatible with the CPU solver's
+:class:`~repro.core.solver.PerfReport` (``fp`` = SM busy time, ``xy`` =
+intra-grid wait incl. spin waits, ``z`` = inter-grid communication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.costmodel import Machine
+from repro.comm.simulator import SimResult, Simulator
+from repro.core.sparse_allreduce import sparse_allreduce
+from repro.core.sptrsv3d_new import New3DSetup
+from repro.gpu.dataflow import run_gpu_2d_solve
+
+
+@dataclass
+class Gpu3DResult:
+    """Per-rank results + the synthesized timing view of the 3-phase run."""
+
+    sim: SimResult
+    results: list
+
+
+def solve_new3d_gpu(setup: New3DSetup, machine: Machine,
+                    b_perm: np.ndarray, nrhs: int) -> Gpu3DResult:
+    """Run the proposed 3D SpTRSV with GPU 2D solves.
+
+    ``setup`` is the same plan bundle the CPU path uses (binary trees); the
+    machine must carry a GPU model.  Grids with more than one GPU require
+    ``Py == 1`` and one-sided sub-communicator support (NVSHMEM; absent on
+    the Crusher preset, mirroring ROC-SHMEM's limitation).
+    """
+    gpu = machine.gpu
+    if gpu is None:
+        raise ValueError(f"machine {machine.name!r} has no GPU model")
+    grid = setup.grid
+    if grid.grid_size > 1 and not getattr(gpu, "one_sided_subcomms", True):
+        raise ValueError(
+            f"{machine.name}: the GPU one-sided library does not support "
+            f"sub-communicators; use Px = Py = 1 (as the paper does on "
+            f"Crusher)")
+    part = setup.part
+
+    # ---- Phase 1: per-grid GPU L-solves --------------------------------
+    rhs_by_rank: dict[int, dict[int, np.ndarray]] = {}
+    for z in range(grid.pz):
+        for r in grid.grid_ranks(z):
+            cols = setup.plans_L[z].plan_of(r).solve_cols
+            rr = {}
+            for K in cols:
+                c0, c1 = part.first(K), part.last(K)
+                if setup.sn_owner_grid[K] == z:
+                    rr[K] = np.array(b_perm[c0:c1], copy=True)
+                else:
+                    rr[K] = np.zeros((c1 - c0, nrhs))
+            rhs_by_rank[r] = rr
+
+    l_results = {}
+    for z in range(grid.pz):
+        l_results[z] = run_gpu_2d_solve(setup.plans_L[z], machine,
+                                        rhs_by_rank, nrhs, u_solve=False)
+
+    busy_l: dict[int, float] = {}
+    finish_l: dict[int, float] = {}
+    y_by_rank: dict[int, dict[int, np.ndarray]] = {}
+    for z in range(grid.pz):
+        busy_l.update(l_results[z].occupied)
+        finish_l.update(l_results[z].finish)
+        y_by_rank.update(l_results[z].values)
+
+    # ---- Phase 2: inter-grid sparse allreduce over MPI ------------------
+    def rank_fn(ctx):
+        r = ctx.rank
+        ctx.set_phase("l")
+        yield ctx.compute(busy_l[r], category="fp")
+        yield ctx.compute(max(0.0, finish_l[r] - busy_l[r]), category="xy")
+        ctx.mark("l_end")
+        ctx.set_phase("z")
+        vals = y_by_rank[r]
+        yield from sparse_allreduce(ctx, grid, setup.layout, part, vals,
+                                    category="z")
+        ctx.mark("z_end")
+        return vals
+
+    sim = Simulator(grid.nranks, machine)
+    res = sim.run(rank_fn)
+    y_reduced = {r: res.results[r] for r in range(grid.nranks)}
+    start_u = {r: float(res.clocks[r]) for r in range(grid.nranks)}
+
+    # ---- Phase 3: per-grid GPU U-solves ----------------------------------
+    u_results = {}
+    for z in range(grid.pz):
+        u_results[z] = run_gpu_2d_solve(setup.plans_U[z], machine,
+                                        y_reduced, nrhs, u_solve=True,
+                                        start_times=start_u)
+
+    # ---- Synthesize the combined timing view ------------------------------
+    clocks = np.zeros(grid.nranks)
+    times = [dict(res.times[r]) for r in range(grid.nranks)]
+    results: list = [None] * grid.nranks
+    msgs = [dict(res.sent_msgs[r]) for r in range(grid.nranks)]
+    nbytes = [dict(res.sent_bytes[r]) for r in range(grid.nranks)]
+    marks = [dict(res.marks[r]) for r in range(grid.nranks)]
+    for z in range(grid.pz):
+        ur = u_results[z]
+        nv = ur.nvshmem_msgs
+        nb = ur.nvshmem_bytes
+        lr = l_results[z]
+        for idx, r in enumerate(grid.grid_ranks(z)):
+            clocks[r] = ur.finish[r]
+            times[r][("u", "fp")] = ur.occupied[r]
+            times[r][("u", "xy")] = max(
+                0.0, ur.finish[r] - start_u[r] - ur.occupied[r])
+            results[r] = ur.values[r]
+            marks[r]["u_end"] = ur.finish[r]
+            if idx == 0:  # attribute grid-level NVSHMEM stats to rank 0
+                msgs[r][("l", "xy")] = msgs[r].get(("l", "xy"), 0) + lr.nvshmem_msgs
+                nbytes[r][("l", "xy")] = nbytes[r].get(("l", "xy"), 0.0) + lr.nvshmem_bytes
+                msgs[r][("u", "xy")] = msgs[r].get(("u", "xy"), 0) + nv
+                nbytes[r][("u", "xy")] = nbytes[r].get(("u", "xy"), 0.0) + nb
+
+    merged = SimResult(clocks=clocks, times=times, sent_msgs=msgs,
+                       sent_bytes=nbytes, marks=marks, results=results)
+    return Gpu3DResult(sim=merged, results=results)

@@ -1,0 +1,5 @@
+"""Process grids: the paper's ``Px x Py x Pz`` layout and block-cyclic maps."""
+
+from repro.grids.grid3d import BlockCyclicMap, Grid3D
+
+__all__ = ["Grid3D", "BlockCyclicMap"]

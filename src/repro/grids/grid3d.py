@@ -1,0 +1,87 @@
+"""The 3D process grid and the 2D block-cyclic distribution.
+
+Ranks are numbered so each 2D grid (fixed ``z``) occupies a contiguous rank
+range: ``rank = z * Px * Py + i * Py + j``.  With ``ranks_per_node`` from
+the machine model this places whole 2D grids on as few nodes as possible —
+the property the paper's GPU experiments exploit (NVSHMEM traffic confined
+within a node when ``Px * Py`` ≤ GPUs per node).
+
+Blocks are distributed block-cyclically by *global* supernode index:
+``L(I, K)`` lives at 2D coordinates ``(I mod Px, K mod Py)``.  Using the
+global index (as SuperLU_DIST does) makes the owner of a replicated
+ancestor supernode identical across all 2D grids, which is what lets the
+inter-grid sparse allreduce exchange rank-to-rank without redistribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import is_power_of_two
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A ``Px x Py x Pz`` process grid."""
+
+    px: int
+    py: int
+    pz: int
+
+    def __post_init__(self):
+        if self.px < 1 or self.py < 1 or self.pz < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if not is_power_of_two(self.pz):
+            raise ValueError(f"Pz must be a power of two, got {self.pz}")
+
+    @property
+    def nranks(self) -> int:
+        return self.px * self.py * self.pz
+
+    @property
+    def grid_size(self) -> int:
+        """Ranks per 2D grid."""
+        return self.px * self.py
+
+    def rank_of(self, i: int, j: int, z: int) -> int:
+        """Global rank of 2D coordinates ``(i, j)`` in grid ``z``."""
+        if not (0 <= i < self.px and 0 <= j < self.py and 0 <= z < self.pz):
+            raise ValueError(f"coords ({i},{j},{z}) outside {self}")
+        return z * self.grid_size + i * self.py + j
+
+    def coords_of(self, rank: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`rank_of`: ``(i, j, z)`` of a global rank."""
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} outside {self}")
+        z, r = divmod(rank, self.grid_size)
+        i, j = divmod(r, self.py)
+        return i, j, z
+
+    def grid_ranks(self, z: int) -> list[int]:
+        """All global ranks of 2D grid ``z`` (the intra-grid communicator)."""
+        base = z * self.grid_size
+        return list(range(base, base + self.grid_size))
+
+    def zpeer(self, rank: int, z2: int) -> int:
+        """Rank with the same 2D coordinates in grid ``z2`` (z-communicator)."""
+        i, j, _ = self.coords_of(rank)
+        return self.rank_of(i, j, z2)
+
+
+@dataclass(frozen=True)
+class BlockCyclicMap:
+    """Owner lookup for supernode blocks on one 2D grid."""
+
+    grid: Grid3D
+
+    def owner_coords(self, I: int, K: int) -> tuple[int, int]:
+        """2D coordinates owning block ``(I, K)`` (global supernode ids)."""
+        return I % self.grid.px, K % self.grid.py
+
+    def owner_rank(self, I: int, K: int, z: int) -> int:
+        i, j = self.owner_coords(I, K)
+        return self.grid.rank_of(i, j, z)
+
+    def diag_owner_rank(self, K: int, z: int) -> int:
+        """Rank holding the diagonal block (and the subvector) of ``K``."""
+        return self.owner_rank(K, K, z)

@@ -1,0 +1,49 @@
+"""Sparse-matrix substrate: generators, I/O and right-hand sides.
+
+The paper evaluates on six matrices (Table 1).  Four come from SuiteSparse
+and two are private; none are shipped here, so :mod:`repro.matrices.suite`
+provides parameterized *structural analogues* of each class (2D PDE, 3D PDE,
+KKT/optimization, structural FEM, vector wave, high-fill chemistry) that can
+be generated at any scale.
+"""
+
+from repro.matrices.analysis import MatrixStats, check_solver_requirements, matrix_stats
+from repro.matrices.generators import (
+    block_tridiagonal,
+    chemistry_like,
+    elasticity3d,
+    fusion_block,
+    helmholtz_like,
+    kkt3d,
+    maxwell_like,
+    poisson2d,
+    poisson2d_anisotropic,
+    poisson3d,
+    random_spd_like,
+)
+from repro.matrices.io import load_matrix_market, save_matrix_market
+from repro.matrices.rhs import make_rhs
+from repro.matrices.suite import PAPER_MATRICES, MatrixSpec, get_matrix
+
+__all__ = [
+    "matrix_stats",
+    "MatrixStats",
+    "check_solver_requirements",
+    "poisson2d",
+    "poisson3d",
+    "kkt3d",
+    "elasticity3d",
+    "maxwell_like",
+    "chemistry_like",
+    "fusion_block",
+    "random_spd_like",
+    "poisson2d_anisotropic",
+    "helmholtz_like",
+    "block_tridiagonal",
+    "make_rhs",
+    "load_matrix_market",
+    "save_matrix_market",
+    "PAPER_MATRICES",
+    "MatrixSpec",
+    "get_matrix",
+]

@@ -1,0 +1,86 @@
+"""Structural analysis of sparse matrices: the inputs' vital signs.
+
+Used by the CLI and the test suite to characterize generated matrices the
+way the paper's Table 1 characterizes its suite (plus the properties the
+pipeline *requires*: structural symmetry and diagonal dominance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Structural summary of a square sparse matrix."""
+
+    n: int
+    nnz: int
+    density: float
+    bandwidth: int          # max |i - j| over nonzeros
+    avg_degree: float       # mean off-diagonal nonzeros per row
+    max_degree: int
+    pattern_symmetric: bool
+    diag_dominance: float   # min_i (|a_ii| - sum_j |a_ij|); > 0 is strict
+
+    def summary(self) -> str:
+        return (f"n={self.n} nnz={self.nnz} density={self.density:.4%} "
+                f"bandwidth={self.bandwidth} avg_deg={self.avg_degree:.1f} "
+                f"max_deg={self.max_degree} "
+                f"sym_pattern={self.pattern_symmetric} "
+                f"dd_margin={self.diag_dominance:.3g}")
+
+
+def matrix_stats(A: sp.spmatrix) -> MatrixStats:
+    """Compute the structural summary of a square sparse matrix."""
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("matrix must be square")
+    coo = A.tocoo()
+    if A.nnz:
+        bandwidth = int(np.abs(coo.row - coo.col).max())
+    else:
+        bandwidth = 0
+    off_mask = coo.row != coo.col
+    degrees = np.bincount(coo.row[off_mask], minlength=n)
+    pattern = (A != 0).astype(np.int8)
+    pattern_symmetric = (pattern != pattern.T).nnz == 0
+    diag = A.diagonal()
+    offsum = np.abs(A).sum(axis=1).A1 - np.abs(diag)
+    dd = float((np.abs(diag) - offsum).min()) if n else 0.0
+    return MatrixStats(
+        n=n,
+        nnz=A.nnz,
+        density=A.nnz / float(n) / float(n) if n else 0.0,
+        bandwidth=bandwidth,
+        avg_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        pattern_symmetric=bool(pattern_symmetric),
+        diag_dominance=dd,
+    )
+
+
+def check_solver_requirements(A: sp.spmatrix) -> list[str]:
+    """Return the list of pipeline requirements ``A`` violates (empty = ok).
+
+    The solvers need a square, structurally symmetric matrix that
+    factorizes without pivoting (strict diagonal dominance is the
+    sufficient condition the generators guarantee).
+    """
+    problems = []
+    if A.shape[0] != A.shape[1]:
+        return ["matrix is not square"]
+    stats = matrix_stats(A)
+    if not stats.pattern_symmetric:
+        problems.append("nonzero pattern is not symmetric")
+    if stats.diag_dominance <= 0:
+        problems.append(
+            "matrix is not strictly diagonally dominant; LU without "
+            "pivoting may be unstable")
+    if (A.diagonal() == 0).any():
+        problems.append("zero diagonal entries")
+    return problems

@@ -1,0 +1,314 @@
+"""Parameterized sparse matrix generators.
+
+All generators return a diagonally dominant ``scipy.sparse.csr_matrix`` with
+a structurally symmetric nonzero pattern, the two assumptions the paper's
+SpTRSV pipeline makes (no pivoting during LU, symmetric pattern for the
+supernodal U layout).  Each generator is a structural analogue of one of the
+paper's Table 1 matrix classes and is scalable through its size parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _make_diag_dominant(A: sp.spmatrix, margin: float = 1.0) -> sp.csr_matrix:
+    """Rescale the diagonal so every row is strictly diagonally dominant.
+
+    Keeps the off-diagonal pattern/values and sets
+    ``a_ii = margin + sum_j |a_ij|`` which guarantees LU without pivoting
+    and a well-conditioned triangular solve.
+    """
+    A = sp.csr_matrix(A)
+    A = A + A.T  # symmetrize the pattern (values too; fine for test operators)
+    A.setdiag(0.0)
+    A.eliminate_zeros()
+    rowsum = np.abs(A).sum(axis=1).A1
+    A = A + sp.diags(rowsum + margin)
+    A.sort_indices()
+    return sp.csr_matrix(A)
+
+
+def _grid_stencil(shape: tuple[int, ...], offsets: list[tuple[int, ...]],
+                  rng: np.random.Generator | None = None) -> sp.csr_matrix:
+    """Build the adjacency of a regular grid with the given neighbor offsets.
+
+    ``shape`` is the grid extent per dimension; ``offsets`` lists relative
+    neighbor coordinates (the zero offset is ignored).  Off-diagonal values
+    are -1 unless ``rng`` is given, in which case they are drawn from
+    U(0.5, 1.5) with a negative sign (keeps M-matrix flavor but breaks exact
+    symmetry of values).
+    """
+    ndim = len(shape)
+    n = int(np.prod(shape))
+    coords = np.indices(shape).reshape(ndim, n)
+    strides = np.array([int(np.prod(shape[d + 1:])) for d in range(ndim)])
+
+    rows_all = []
+    cols_all = []
+    vals_all = []
+    for off in offsets:
+        off = np.asarray(off)
+        if not off.any():
+            continue
+        shifted = coords + off[:, None]
+        ok = np.ones(n, dtype=bool)
+        for d in range(ndim):
+            ok &= (shifted[d] >= 0) & (shifted[d] < shape[d])
+        src = np.flatnonzero(ok)
+        dst = (shifted[:, ok] * strides[:, None]).sum(axis=0)
+        rows_all.append(src)
+        cols_all.append(dst)
+        if rng is None:
+            vals_all.append(-np.ones(len(src)))
+        else:
+            vals_all.append(-rng.uniform(0.5, 1.5, size=len(src)))
+    rows = np.concatenate(rows_all)
+    cols = np.concatenate(cols_all)
+    vals = np.concatenate(vals_all)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def _offsets_box(ndim: int, radius: int = 1) -> list[tuple[int, ...]]:
+    """All offsets in the full box stencil (3^ndim - 1 neighbors)."""
+    ranges = [range(-radius, radius + 1)] * ndim
+    grids = np.meshgrid(*ranges, indexing="ij")
+    pts = np.stack([g.ravel() for g in grids], axis=1)
+    return [tuple(p) for p in pts if any(p)]
+
+
+def _offsets_star(ndim: int) -> list[tuple[int, ...]]:
+    """Axis-aligned nearest-neighbor offsets (2*ndim neighbors)."""
+    out = []
+    for d in range(ndim):
+        for s in (-1, 1):
+            off = [0] * ndim
+            off[d] = s
+            out.append(tuple(off))
+    return out
+
+
+def poisson2d(nx: int, ny: int | None = None, stencil: int = 9,
+              seed: int | None = None) -> sp.csr_matrix:
+    """2D Poisson matrix on an ``nx x ny`` grid (``s2D9pt2048`` analogue).
+
+    ``stencil`` is 5 (star) or 9 (box).  The paper's s2D9pt2048 is the
+    9-point discretization on a 2048^2 grid; pass smaller ``nx`` to scale.
+    """
+    ny = nx if ny is None else ny
+    if stencil == 5:
+        offsets = _offsets_star(2)
+    elif stencil == 9:
+        offsets = _offsets_box(2)
+    else:
+        raise ValueError("stencil must be 5 or 9")
+    rng = None if seed is None else np.random.default_rng(seed)
+    A = _grid_stencil((nx, ny), offsets, rng)
+    return _make_diag_dominant(A)
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None,
+              stencil: int = 7, seed: int | None = None) -> sp.csr_matrix:
+    """3D Poisson matrix on an ``nx x ny x nz`` grid.
+
+    ``stencil`` is 7 (star) or 27 (box).  3D discretizations produce the
+    large separators that drive the replication cost discussed for nlpkkt80.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if stencil == 7:
+        offsets = _offsets_star(3)
+    elif stencil == 27:
+        offsets = _offsets_box(3)
+    else:
+        raise ValueError("stencil must be 7 or 27")
+    rng = None if seed is None else np.random.default_rng(seed)
+    A = _grid_stencil((nx, ny, nz), offsets, rng)
+    return _make_diag_dominant(A)
+
+
+def kkt3d(nx: int, seed: int = 0) -> sp.csr_matrix:
+    """KKT-like saddle-point analogue of ``nlpkkt80`` (3D PDE-constrained opt).
+
+    Builds ``[[H, B^T], [B, C]]`` where H is a 3D 7-point operator on an
+    ``nx^3`` grid and B couples each grid point to its +x neighbor (a crude
+    discrete constraint Jacobian), then shifts to diagonal dominance.  The
+    key structural property preserved is the *3D* separator growth, which is
+    what makes nlpkkt80 replication-heavy in the paper's Fig. 6.
+    """
+    rng = np.random.default_rng(seed)
+    H = _grid_stencil((nx, nx, nx), _offsets_star(3), rng)
+    n = H.shape[0]
+    # Constraint block: identity plus +x-neighbor coupling.
+    stride = nx * nx
+    rows = np.arange(n - stride)
+    B = sp.csr_matrix((rng.uniform(0.5, 1.5, size=len(rows)),
+                       (rows, rows + stride)), shape=(n, n))
+    B = B + sp.identity(n, format="csr")
+    K = sp.bmat([[H, B.T], [B, None]], format="csr")
+    return _make_diag_dominant(K)
+
+
+def elasticity3d(nx: int, dof: int = 3, seed: int = 0) -> sp.csr_matrix:
+    """3D structural FEM analogue of ``ldoor`` (multi-dof elasticity).
+
+    An ``nx^3`` grid with ``dof`` unknowns per node and 7-point node
+    coupling; each node-node coupling is a dense ``dof x dof`` block, the
+    signature sparsity of vector FEM structural matrices.
+    """
+    rng = np.random.default_rng(seed)
+    Anode = _grid_stencil((nx, nx, nx), _offsets_star(3), rng)
+    Anode = Anode + sp.identity(Anode.shape[0], format="csr")
+    block = -np.abs(rng.standard_normal((dof, dof))) - 0.1
+    A = sp.kron(Anode, block, format="csr")
+    return _make_diag_dominant(A)
+
+
+def maxwell_like(nx: int, seed: int = 0) -> sp.csr_matrix:
+    """Vector-wave analogue of ``dielFilterV3real`` (FEM Maxwell).
+
+    A 3D grid with 2 coupled field components per node and a box (27-point)
+    stencil, mimicking the denser coupling of edge-element curl-curl
+    discretizations.
+    """
+    rng = np.random.default_rng(seed)
+    Anode = _grid_stencil((nx, nx, nx), _offsets_box(3), rng)
+    Anode = Anode + sp.identity(Anode.shape[0], format="csr")
+    block = np.array([[-1.0, 0.4], [-0.4, -1.0]])
+    A = sp.kron(Anode, block, format="csr")
+    return _make_diag_dominant(A)
+
+
+def chemistry_like(n: int, band: int | None = None, extra_density: float = 0.01,
+                   seed: int = 0) -> sp.csr_matrix:
+    """High-fill analogue of ``Ga19As19H42`` (quantum chemistry).
+
+    A wide band plus random long-range couplings.  These matrices have
+    nearly dense LU factors (9.15% LU density in the paper), stressing the
+    compute-bound side of the solve.
+    """
+    rng = np.random.default_rng(seed)
+    band = max(2, n // 40) if band is None else band
+    diags = []
+    offs = []
+    for k in range(1, band + 1):
+        diags.append(-rng.uniform(0.5, 1.5, size=n - k))
+        offs.append(k)
+    A = sp.diags(diags, offs, shape=(n, n), format="csr")
+    nnz_extra = int(extra_density * n * n / 2)
+    if nnz_extra > 0:
+        rows = rng.integers(0, n, size=nnz_extra)
+        cols = rng.integers(0, n, size=nnz_extra)
+        keep = rows != cols
+        E = sp.csr_matrix((-rng.uniform(0.1, 1.0, size=keep.sum()),
+                           (rows[keep], cols[keep])), shape=(n, n))
+        A = A + E
+    return _make_diag_dominant(A)
+
+
+def fusion_block(n_blocks: int, block: int = 16, couplings: int = 2,
+                 long_range: int | None = None, seed: int = 0) -> sp.csr_matrix:
+    """Block-structured analogue of ``s1_mat_0_253872`` (fusion simulation).
+
+    ``n_blocks`` dense ``block x block`` diagonal blocks coupled to their
+    ``couplings`` nearest block neighbors (a block band, as produced by
+    coupled multi-species 1D-radial plasma discretizations), plus a few
+    seeded ``long_range`` block ties (default ``n_blocks // 32``) standing
+    in for flux-surface couplings.
+    """
+    rng = np.random.default_rng(seed)
+    if long_range is None:
+        long_range = max(1, n_blocks // 32)
+    Ablk = sp.identity(n_blocks, format="lil")
+    for i in range(n_blocks):
+        for k in range(1, couplings + 1):
+            if i + k < n_blocks:
+                Ablk[i, i + k] = -rng.uniform(0.2, 1.0)
+    for _ in range(long_range):
+        i = int(rng.integers(0, n_blocks))
+        j = int(rng.integers(0, n_blocks))
+        if i != j:
+            Ablk[i, j] = -rng.uniform(0.2, 1.0)
+    dense = -np.abs(rng.standard_normal((block, block))) - 0.05
+    A = sp.kron(sp.csr_matrix(Ablk), dense, format="csr")
+    return _make_diag_dominant(A)
+
+
+def poisson2d_anisotropic(nx: int, ny: int | None = None,
+                          epsilon: float = 0.01,
+                          seed: int | None = None) -> sp.csr_matrix:
+    """Anisotropic 2D diffusion: strong x-coupling, weak y-coupling.
+
+    Anisotropy stretches the elimination tree (separators become lines of
+    strongly coupled unknowns), a classic stress test for orderings.
+    """
+    ny = nx if ny is None else ny
+    n = nx * ny
+    coords = np.indices((nx, ny)).reshape(2, n)
+    rows, cols, vals = [], [], []
+    for (dx, dy), w in (((1, 0), -1.0), ((0, 1), -epsilon)):
+        shifted = coords + np.array([[dx], [dy]])
+        ok = (shifted[0] < nx) & (shifted[1] < ny)
+        src = np.flatnonzero(ok)
+        dst = shifted[0, ok] * ny + shifted[1, ok]
+        rows.extend([src, dst])
+        cols.extend([dst, src])
+        vals.extend([np.full(len(src), w)] * 2)
+    A = sp.csr_matrix((np.concatenate(vals),
+                       (np.concatenate(rows), np.concatenate(cols))),
+                      shape=(n, n))
+    return _make_diag_dominant(A)
+
+
+def helmholtz_like(nx: int, shift: float = 0.3,
+                   seed: int | None = None) -> sp.csr_matrix:
+    """Shifted 2D Laplacian (Helmholtz-flavored), kept diagonally dominant.
+
+    The negative shift weakens the diagonal the way indefinite Helmholtz
+    operators do; ``_make_diag_dominant`` restores the strict dominance the
+    no-pivoting factorization needs, so the *pattern and value spread*
+    stress the solver while stability is preserved.
+    """
+    if not 0 <= shift < 1:
+        raise ValueError("shift must be in [0, 1)")
+    rng = None if seed is None else np.random.default_rng(seed)
+    A = _grid_stencil((nx, nx), _offsets_star(2), rng)
+    A = _make_diag_dominant(A)
+    # Weaken the diagonal by the shift, then re-dominate minimally.
+    d = A.diagonal()
+    A = A - sp.diags(shift * (d - 1.0))
+    return _make_diag_dominant(A)
+
+
+def block_tridiagonal(nblocks: int, block: int = 8,
+                      seed: int = 0) -> sp.csr_matrix:
+    """Dense-block tridiagonal matrix (1D multi-variable discretizations).
+
+    The worst case for level-set parallelism — the DAG is a single chain —
+    and therefore the case where the 3D layout's Pz replication helps
+    least; useful as a contrast workload in studies.
+    """
+    rng = np.random.default_rng(seed)
+    diags = sp.identity(nblocks, format="lil")
+    for i in range(nblocks - 1):
+        diags[i, i + 1] = -rng.uniform(0.5, 1.5)
+    dense = -np.abs(rng.standard_normal((block, block))) - 0.05
+    A = sp.kron(sp.csr_matrix(diags), dense, format="csr")
+    return _make_diag_dominant(A)
+
+
+def random_spd_like(n: int, avg_degree: int = 4, seed: int = 0) -> sp.csr_matrix:
+    """Random structurally symmetric diagonally dominant matrix.
+
+    Used by the property-based tests as an adversarial input distribution:
+    no grid structure, arbitrary degree distribution.
+    """
+    rng = np.random.default_rng(seed)
+    nnz = max(1, avg_degree * n // 2)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    keep = rows != cols
+    A = sp.csr_matrix((-rng.uniform(0.1, 1.0, size=keep.sum()),
+                       (rows[keep], cols[keep])), shape=(n, n))
+    return _make_diag_dominant(A)

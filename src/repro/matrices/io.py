@@ -1,0 +1,58 @@
+"""Minimal Matrix Market (coordinate, real, general) reader/writer.
+
+Implemented from scratch so the repository has no I/O dependency beyond
+numpy/scipy data structures; only the subset of the format the test suite
+and examples need is supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+_HEADER = "%%MatrixMarket matrix coordinate real general"
+
+
+def save_matrix_market(path: str, A: sp.spmatrix, comment: str = "") -> None:
+    """Write a sparse matrix in Matrix Market coordinate format (1-based)."""
+    A = sp.coo_matrix(A)
+    with open(path, "w") as f:
+        f.write(_HEADER + "\n")
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"%{line}\n")
+        f.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+        for i, j, v in zip(A.row, A.col, A.data):
+            f.write(f"{i + 1} {j + 1} {v:.17g}\n")
+
+
+def load_matrix_market(path: str) -> sp.csr_matrix:
+    """Read a Matrix Market coordinate file written by :func:`save_matrix_market`.
+
+    Also accepts the ``symmetric`` qualifier (the lower triangle is mirrored).
+    """
+    with open(path) as f:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens or "real" not in tokens:
+            raise ValueError(f"{path}: only 'coordinate real' is supported")
+        symmetric = "symmetric" in tokens
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        nrows, ncols, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = f.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if len(parts) > 2 else 1.0
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    if symmetric:
+        off = A.row != A.col
+        A = A + sp.coo_matrix((A.data[off], (A.col[off], A.row[off])), shape=A.shape)
+    return sp.csr_matrix(A)

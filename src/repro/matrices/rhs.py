@@ -1,0 +1,34 @@
+"""Right-hand side builders for the solvers, examples and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rhs(n: int, nrhs: int = 1, kind: str = "manufactured",
+             seed: int = 0) -> np.ndarray:
+    """Build an ``(n, nrhs)`` right-hand side matrix.
+
+    kinds:
+      ``ones``          all-ones columns,
+      ``random``        standard normal entries,
+      ``manufactured``  smooth per-column profiles ``sin(pi (i+1)(j+1)/n)``
+                        so that solution errors are easy to eyeball,
+      ``e1``            first unit vector per column.
+    """
+    if nrhs < 1:
+        raise ValueError("nrhs must be >= 1")
+    if kind == "ones":
+        return np.ones((n, nrhs))
+    if kind == "random":
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n, nrhs))
+    if kind == "manufactured":
+        i = np.arange(1, n + 1)[:, None]
+        j = np.arange(1, nrhs + 1)[None, :]
+        return np.sin(np.pi * i * j / (n + 1.0)) + 1.0
+    if kind == "e1":
+        b = np.zeros((n, nrhs))
+        b[0, :] = 1.0
+        return b
+    raise ValueError(f"unknown RHS kind {kind!r}")

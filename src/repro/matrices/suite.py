@@ -1,0 +1,122 @@
+"""The benchmark matrix suite: analogues of the paper's Table 1.
+
+Each entry records the paper's original matrix metadata (size, nnz in LU,
+density, application) next to the generator that produces the scaled-down
+structural analogue used by this reproduction.  ``scale`` selects preset
+sizes so the benchmarks stay laptop-runnable; ``EXPERIMENTS.md`` documents
+the mapping per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import scipy.sparse as sp
+
+from repro.matrices.generators import (
+    chemistry_like,
+    elasticity3d,
+    fusion_block,
+    kkt3d,
+    maxwell_like,
+    poisson2d,
+)
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One Table 1 row: the paper's matrix and our analogue generator."""
+
+    name: str
+    description: str
+    paper_n: int
+    paper_nnz_lu: int
+    paper_density: float  # nnz(LU) / n^2
+    factory: Callable[[str], sp.csr_matrix]
+    pde_class: str  # "2D", "3D", or "dense-ish": drives separator growth
+
+    def build(self, scale: str = "small") -> sp.csr_matrix:
+        """Generate the analogue at a preset scale (tiny/small/medium)."""
+        return self.factory(scale)
+
+
+_SIZES = {"tiny": 0, "small": 1, "medium": 2}
+
+
+def _pick(scale: str, opts):
+    try:
+        return opts[_SIZES[scale]]
+    except KeyError:
+        raise ValueError(f"scale must be one of {list(_SIZES)}, got {scale!r}")
+
+
+PAPER_MATRICES: dict[str, MatrixSpec] = {
+    "s2D9pt2048": MatrixSpec(
+        name="s2D9pt2048",
+        description="Poisson (2D 9-point finite difference)",
+        paper_n=4_194_304,
+        paper_nnz_lu=810_605_750,
+        paper_density=0.00005,
+        factory=lambda s: poisson2d(_pick(s, (24, 48, 96)), stencil=9, seed=1),
+        pde_class="2D",
+    ),
+    "nlpkkt80": MatrixSpec(
+        name="nlpkkt80",
+        description="Optimization (3D PDE-constrained KKT)",
+        paper_n=1_062_400,
+        paper_nnz_lu=1_928_132_340,
+        paper_density=0.0017,
+        factory=lambda s: kkt3d(_pick(s, (6, 9, 13)), seed=2),
+        pde_class="3D",
+    ),
+    "ldoor": MatrixSpec(
+        name="ldoor",
+        description="Structural (3D FEM elasticity)",
+        paper_n=952_203,
+        paper_nnz_lu=319_022_661,
+        paper_density=0.00035,
+        factory=lambda s: elasticity3d(_pick(s, (5, 7, 10)), dof=3, seed=3),
+        pde_class="3D",
+    ),
+    "dielFilterV3real": MatrixSpec(
+        name="dielFilterV3real",
+        description="Wave (FEM Maxwell, dielectric filter)",
+        paper_n=1_102_824,
+        paper_nnz_lu=1_138_910_076,
+        paper_density=0.00094,
+        factory=lambda s: maxwell_like(_pick(s, (4, 6, 10)), seed=4),
+        pde_class="3D",
+    ),
+    "Ga19As19H42": MatrixSpec(
+        name="Ga19As19H42",
+        description="Chemistry (quantum chemistry, high fill)",
+        paper_n=133_123,
+        paper_nnz_lu=1_565_515_001,
+        paper_density=0.0915,
+        factory=lambda s: chemistry_like(_pick(s, (300, 600, 2400)),
+                                         band=_pick(s, (15, 30, 120)),
+                                         extra_density=0.0, seed=5),
+        pde_class="dense-ish",
+    ),
+    "s1_mat_0_253872": MatrixSpec(
+        name="s1_mat_0_253872",
+        description="Fusion (coupled plasma blocks)",
+        paper_n=253_872,
+        paper_nnz_lu=425_394_978,
+        paper_density=0.0066,
+        factory=lambda s: fusion_block(_pick(s, (24, 64, 240)), block=8,
+                                       couplings=2, seed=6),
+        pde_class="3D",
+    ),
+}
+
+
+def get_matrix(name: str, scale: str = "small") -> sp.csr_matrix:
+    """Build the analogue of a paper matrix by name at the given scale."""
+    try:
+        spec = PAPER_MATRICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; available: {sorted(PAPER_MATRICES)}")
+    return spec.build(scale)

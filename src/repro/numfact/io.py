@@ -1,0 +1,90 @@
+"""Serialization of factorizations: save once, solve in later sessions.
+
+A :class:`BlockSparseLU` serializes to a single ``.npz`` with the partition,
+the block index arrays and the packed block data.  Factorization is the
+expensive preprocessing step of the paper's workflow ("most of the time is
+spent in symbolic and numeric LU factorization before calling SpTRSV"), so
+persisting it is the natural library feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numfact.lu import BlockSparseLU
+from repro.symbolic.supernodes import SupernodePartition
+
+
+def _pack(blocks: dict[tuple[int, int], np.ndarray]):
+    keys = sorted(blocks)
+    idx = np.array(keys, dtype=np.int64).reshape(len(keys), 2)
+    data = np.concatenate([blocks[k].ravel() for k in keys]) \
+        if keys else np.empty(0)
+    return idx, data
+
+
+def _unpack(idx: np.ndarray, data: np.ndarray, part: SupernodePartition,
+            transpose_dims: bool = False):
+    blocks: dict[tuple[int, int], np.ndarray] = {}
+    ofs = 0
+    for I, K in idx:
+        I, K = int(I), int(K)
+        m, n = part.size(I), part.size(K)
+        blocks[(I, K)] = data[ofs:ofs + m * n].reshape(m, n)
+        ofs += m * n
+    return blocks
+
+
+def save_factors(path: str, lu: BlockSparseLU) -> None:
+    """Write a factorization to ``path`` (.npz)."""
+    lidx, ldata = _pack(lu.Lblocks)
+    uidx, udata = _pack(lu.Ublocks)
+    np.savez_compressed(
+        path,
+        sn_start=lu.partition.sn_start,
+        l_idx=lidx, l_data=ldata,
+        u_idx=uidx, u_data=udata,
+        diagL=np.concatenate([d.ravel() for d in lu.diagL]),
+        diagU=np.concatenate([d.ravel() for d in lu.diagU]),
+    )
+
+
+def load_factors(path: str) -> BlockSparseLU:
+    """Read a factorization written by :func:`save_factors`.
+
+    Diagonal inverses are recomputed on load (they are derived data).
+    """
+    import scipy.linalg
+
+    with np.load(path) as z:
+        part = SupernodePartition(z["sn_start"])
+        Lblocks = _unpack(z["l_idx"], z["l_data"], part)
+        Ublocks = _unpack(z["u_idx"], z["u_data"], part)
+        diagL, diagU, diagLinv, diagUinv = [], [], [], []
+        ofs = 0
+        dl, du = z["diagL"], z["diagU"]
+        for s in range(part.nsup):
+            w = part.size(s)
+            diagL.append(dl[ofs:ofs + w * w].reshape(w, w))
+            diagU.append(du[ofs:ofs + w * w].reshape(w, w))
+            eye = np.eye(w)
+            diagLinv.append(scipy.linalg.solve_triangular(
+                diagL[-1], eye, lower=True, unit_diagonal=True))
+            diagUinv.append(scipy.linalg.solve_triangular(
+                diagU[-1], eye, lower=False))
+            ofs += w * w
+
+    nsup = part.nsup
+    l_rows: list[list[int]] = [[] for _ in range(nsup)]
+    u_cols: list[list[int]] = [[] for _ in range(nsup)]
+    for (I, K) in Lblocks:
+        l_rows[K].append(I)
+    for (K, J) in Ublocks:
+        u_cols[K].append(J)
+    return BlockSparseLU(
+        partition=part, diagL=diagL, diagU=diagU,
+        diagLinv=diagLinv, diagUinv=diagUinv,
+        Lblocks=Lblocks, Ublocks=Ublocks,
+        l_blockrows=[np.array(sorted(r), dtype=np.int64) for r in l_rows],
+        u_blockcols=[np.array(sorted(c), dtype=np.int64) for c in u_cols],
+    )

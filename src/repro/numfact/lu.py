@@ -1,0 +1,251 @@
+"""Supernodal block-sparse LU factorization (right-looking, no pivoting).
+
+Blocks are dense ``size(I) x size(K)`` panels at supernode granularity;
+fill blocks are created lazily during the Schur updates, which produces a
+block pattern that is a superset of the scalar fill pattern (the standard
+supernodal storage trade-off).  The ancestor-ordering invariant the 3D
+layout needs — every block row of column K lies in a separator-tree node on
+the path from K's node to the root — is preserved by elimination (see
+DESIGN.md) and asserted by the distribution code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.symbolic.supernodes import SupernodePartition
+from repro.util import as_2d_rhs
+
+
+def dense_lu_nopivot(D: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense LU without pivoting: returns (unit-lower L, upper U).
+
+    Raises ``ZeroDivisionError``-style ``np.linalg.LinAlgError`` if a zero
+    pivot is hit (the generators' diagonal dominance rules this out).
+    """
+    m = D.shape[0]
+    LU = np.array(D, dtype=np.float64, copy=True)
+    for k in range(m - 1):
+        piv = LU[k, k]
+        if piv == 0.0:
+            raise np.linalg.LinAlgError(f"zero pivot at position {k}")
+        LU[k + 1:, k] /= piv
+        LU[k + 1:, k + 1:] -= np.outer(LU[k + 1:, k], LU[k, k + 1:])
+    if m and LU[m - 1, m - 1] == 0.0:
+        raise np.linalg.LinAlgError(f"zero pivot at position {m - 1}")
+    L = np.tril(LU, -1) + np.eye(m)
+    U = np.triu(LU)
+    return L, U
+
+
+@dataclass
+class BlockSparseLU:
+    """LU factors stored as dense supernode blocks.
+
+    - ``diagL[s]`` / ``diagU[s]``: unit-lower / upper triangular diagonal
+      blocks of supernode ``s``; ``diagLinv`` / ``diagUinv`` their inverses
+      (the paper assumes these are precomputed).
+    - ``Lblocks[(I, K)]``: dense L block, ``I > K``.
+    - ``Ublocks[(K, J)]``: dense U block, ``J > K``.
+    - ``l_blockrows[K]`` / ``u_blockcols[K]``: sorted adjacency.
+    """
+
+    partition: SupernodePartition
+    diagL: list[np.ndarray]
+    diagU: list[np.ndarray]
+    diagLinv: list[np.ndarray]
+    diagUinv: list[np.ndarray]
+    Lblocks: dict[tuple[int, int], np.ndarray]
+    Ublocks: dict[tuple[int, int], np.ndarray]
+    l_blockrows: list[np.ndarray] = field(default_factory=list)
+    u_blockcols: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def nsup(self) -> int:
+        return self.partition.nsup
+
+    @property
+    def n(self) -> int:
+        return self.partition.n
+
+    def nnz_stored(self) -> int:
+        """Scalar entries stored in all dense blocks (incl. both triangles)."""
+        total = 0
+        for s in range(self.nsup):
+            w = self.partition.size(s)
+            total += w * w  # diagonal L and U share the footprint of one block
+        total += sum(b.size for b in self.Lblocks.values())
+        total += sum(b.size for b in self.Ublocks.values())
+        return total
+
+    def solve_flops(self, nrhs: int = 1) -> int:
+        """FLOPs of one sequential L+U solve (2mn per GEMM, m^2 per TRSV)."""
+        f = 0
+        for s in range(self.nsup):
+            w = self.partition.size(s)
+            f += 2 * w * w * nrhs * 2  # L and U diagonal applications
+        for (_, K), blk in self.Lblocks.items():
+            f += 2 * blk.size * nrhs
+        for (K, _), blk in self.Ublocks.items():
+            f += 2 * blk.size * nrhs
+        return f
+
+    # ---- sequential reference solves -------------------------------------
+
+    def solve_L(self, b: np.ndarray) -> np.ndarray:
+        """Sequential reference forward solve ``L y = b`` (unit diagonal L)."""
+        y, was1d = as_2d_rhs(b)
+        y = y.copy()
+        part = self.partition
+        for K in range(self.nsup):
+            c0, c1 = part.first(K), part.last(K)
+            yK = self.diagLinv[K] @ y[c0:c1]
+            y[c0:c1] = yK
+            for I in self.l_blockrows[K]:
+                r0, r1 = part.first(I), part.last(I)
+                y[r0:r1] -= self.Lblocks[(I, K)] @ yK
+        return y[:, 0] if was1d else y
+
+    def solve_U(self, y: np.ndarray) -> np.ndarray:
+        """Sequential reference backward solve ``U x = y``."""
+        x, was1d = as_2d_rhs(y)
+        x = x.copy()
+        part = self.partition
+        for K in range(self.nsup - 1, -1, -1):
+            c0, c1 = part.first(K), part.last(K)
+            acc = x[c0:c1].copy()
+            for J in self.u_blockcols[K]:
+                j0, j1 = part.first(J), part.last(J)
+                acc -= self.Ublocks[(K, J)] @ x[j0:j1]
+            x[c0:c1] = self.diagUinv[K] @ acc
+        return x[:, 0] if was1d else x
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Sequential reference solve ``A x = b`` via L then U."""
+        return self.solve_U(self.solve_L(b))
+
+    # ---- reconstruction (for verification) --------------------------------
+
+    def to_csr(self) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+        """Reassemble (L, U) as scipy sparse matrices."""
+        part = self.partition
+        n = self.n
+
+        def emit(blocks, diag, lower: bool):
+            rows, cols, vals = [], [], []
+            for s in range(self.nsup):
+                c0 = part.first(s)
+                d = diag[s]
+                r, c = np.nonzero(d)
+                rows.append(r + c0)
+                cols.append(c + c0)
+                vals.append(d[r, c])
+            for (I, K), blk in blocks.items():
+                r0 = part.first(I)
+                c0 = part.first(K)
+                r, c = np.nonzero(blk)
+                rows.append(r + r0)
+                cols.append(c + c0)
+                vals.append(blk[r, c])
+            return sp.csr_matrix(
+                (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(n, n))
+
+        return emit(self.Lblocks, self.diagL, True), emit(self.Ublocks, self.diagU, False)
+
+
+def _scatter_blocks(A: sp.csc_matrix, part: SupernodePartition
+                    ) -> dict[tuple[int, int], np.ndarray]:
+    """Scatter scalar entries of A into dense supernode blocks."""
+    coo = sp.coo_matrix(A)
+    col2sn = part.col2sn()
+    bi = col2sn[coo.row]
+    bj = col2sn[coo.col]
+    order = np.lexsort((coo.col, coo.row, bj, bi))
+    bi, bj = bi[order], bj[order]
+    rows, cols, vals = coo.row[order], coo.col[order], coo.data[order]
+    # Group runs of equal (bi, bj).
+    key = bi * part.nsup + bj
+    starts = np.flatnonzero(np.r_[True, np.diff(key) != 0])
+    ends = np.r_[starts[1:], len(key)]
+    work: dict[tuple[int, int], np.ndarray] = {}
+    for s, e in zip(starts, ends):
+        I, J = int(bi[s]), int(bj[s])
+        blk = np.zeros((part.size(I), part.size(J)))
+        blk[rows[s:e] - part.first(I), cols[s:e] - part.first(J)] = vals[s:e]
+        work[(I, J)] = blk
+    return work
+
+
+def lu_factorize(A: sp.spmatrix, partition: SupernodePartition) -> BlockSparseLU:
+    """Right-looking supernodal LU of ``A`` over the given partition."""
+    A = sp.csc_matrix(A)
+    if A.shape[0] != A.shape[1] or A.shape[0] != partition.n:
+        raise ValueError("matrix/partition size mismatch")
+    nsup = partition.nsup
+    work = _scatter_blocks(A, partition)
+
+    # Adjacency: for each K, current block rows below / block cols right.
+    rows_of: list[set[int]] = [set() for _ in range(nsup)]
+    cols_of: list[set[int]] = [set() for _ in range(nsup)]
+    for (I, J) in work:
+        if I > J:
+            rows_of[J].add(I)
+        elif J > I:
+            cols_of[I].add(J)
+        # diagonal blocks handled separately
+
+    diagL: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+    diagU: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+    diagLinv: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+    diagUinv: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+    Lblocks: dict[tuple[int, int], np.ndarray] = {}
+    Ublocks: dict[tuple[int, int], np.ndarray] = {}
+
+    for K in range(nsup):
+        D = work.pop((K, K), None)
+        if D is None:
+            raise np.linalg.LinAlgError(f"structurally zero diagonal block {K}")
+        Lkk, Ukk = dense_lu_nopivot(D)
+        diagL[K], diagU[K] = Lkk, Ukk
+        eye = np.eye(Lkk.shape[0])
+        diagLinv[K] = scipy.linalg.solve_triangular(Lkk, eye, lower=True,
+                                                    unit_diagonal=True)
+        diagUinv[K] = scipy.linalg.solve_triangular(Ukk, eye, lower=False)
+
+        lrows = sorted(rows_of[K])
+        ucols = sorted(cols_of[K])
+        # Panel factorization: L(I,K) = A(I,K) U(K,K)^-1, U(K,J) = L(K,K)^-1 A(K,J).
+        for I in lrows:
+            Lblocks[(I, K)] = work.pop((I, K)) @ diagUinv[K]
+        for J in ucols:
+            Ublocks[(K, J)] = diagLinv[K] @ work.pop((K, J))
+        # Schur complement updates (lazy fill creation).
+        for I in lrows:
+            LIK = Lblocks[(I, K)]
+            for J in ucols:
+                upd = LIK @ Ublocks[(K, J)]
+                tgt = work.get((I, J))
+                if tgt is None:
+                    work[(I, J)] = -upd
+                    if I > J:
+                        rows_of[J].add(I)
+                    elif J > I:
+                        cols_of[I].add(J)
+                else:
+                    tgt -= upd
+
+    lu = BlockSparseLU(
+        partition=partition, diagL=diagL, diagU=diagU,
+        diagLinv=diagLinv, diagUinv=diagUinv,
+        Lblocks=Lblocks, Ublocks=Ublocks,
+        l_blockrows=[np.array(sorted(rows_of[K]), dtype=np.int64)
+                     for K in range(nsup)],
+        u_blockcols=[np.array(sorted(cols_of[K]), dtype=np.int64)
+                     for K in range(nsup)],
+    )
+    return lu

@@ -1,0 +1,68 @@
+"""Numerical stability monitoring for the no-pivoting factorization.
+
+The pipeline factors without pivoting, which is only safe for matrices the
+generators produce (diagonally dominant).  For arbitrary user matrices this
+module quantifies how safe a computed factorization actually was: the
+element growth factor (the classic stability measure of Gaussian
+elimination) and the smallest pivot relative to the matrix scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.numfact.lu import BlockSparseLU
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Stability diagnostics of a no-pivoting factorization."""
+
+    growth_factor: float     # max|U| / max|A|
+    min_pivot: float         # smallest |u_kk|
+    max_pivot: float
+    pivot_ratio: float       # min/max pivot magnitude
+
+    def is_stable(self, growth_tol: float = 1e4,
+                  pivot_tol: float = 1e-10) -> bool:
+        """Heuristic verdict: modest growth and no vanishing pivot."""
+        return (self.growth_factor <= growth_tol
+                and self.pivot_ratio >= pivot_tol)
+
+    def warnings(self, growth_tol: float = 1e4,
+                 pivot_tol: float = 1e-10) -> list[str]:
+        out = []
+        if self.growth_factor > growth_tol:
+            out.append(f"element growth {self.growth_factor:.3g} exceeds "
+                       f"{growth_tol:.0e}: factorization without pivoting "
+                       f"was likely unstable")
+        if self.pivot_ratio < pivot_tol:
+            out.append(f"pivot ratio {self.pivot_ratio:.3g} below "
+                       f"{pivot_tol:.0e}: near-singular pivot encountered")
+        return out
+
+
+def stability_report(A: sp.spmatrix, lu: BlockSparseLU) -> StabilityReport:
+    """Compute growth/pivot diagnostics of ``lu`` relative to ``A``."""
+    a_max = float(np.abs(A.tocoo().data).max()) if A.nnz else 0.0
+    u_max = 0.0
+    pivots = []
+    for s in range(lu.nsup):
+        d = lu.diagU[s]
+        u_max = max(u_max, float(np.abs(d).max()) if d.size else 0.0)
+        pivots.append(np.abs(np.diag(d)))
+    for blk in lu.Ublocks.values():
+        if blk.size:
+            u_max = max(u_max, float(np.abs(blk).max()))
+    piv = np.concatenate(pivots) if pivots else np.array([0.0])
+    min_p = float(piv.min())
+    max_p = float(piv.max())
+    return StabilityReport(
+        growth_factor=u_max / a_max if a_max else np.inf,
+        min_pivot=min_p,
+        max_pivot=max_p,
+        pivot_ratio=min_p / max_p if max_p else 0.0,
+    )

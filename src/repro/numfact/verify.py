@@ -1,0 +1,28 @@
+"""Verification helpers: factorization and solve residuals."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+from repro.numfact.lu import BlockSparseLU
+from repro.util import as_2d_rhs
+
+
+def factorization_residual(A: sp.spmatrix, lu: BlockSparseLU) -> float:
+    """Relative factorization residual ``||A - L U||_F / ||A||_F``."""
+    L, U = lu.to_csr()
+    R = sp.csr_matrix(A) - L @ U
+    denom = sp.linalg.norm(A) if sp.issparse(A) else np.linalg.norm(A)
+    return float(sp.linalg.norm(R) / denom)
+
+
+def solve_residual(A: sp.spmatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """Relative solve residual ``max_j ||A x_j - b_j|| / ||b_j||``."""
+    x2, _ = as_2d_rhs(x)
+    b2, _ = as_2d_rhs(b)
+    r = A @ x2 - b2
+    norms = np.linalg.norm(b2, axis=0)
+    norms[norms == 0] = 1.0
+    return float(np.max(np.linalg.norm(r, axis=0) / norms))

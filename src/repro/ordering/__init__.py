@@ -1,0 +1,30 @@
+"""Ordering substrate: nested dissection and elimination-tree utilities.
+
+The paper relies on a METIS nested-dissection (ND) ordering whose top
+``log2(Pz)`` levels form a binary tree; this package provides a from-scratch
+ND implementation (BFS level-set vertex separators with recursive bisection)
+plus the separator/elimination tree structures the 3D layout consumes.
+"""
+
+from repro.ordering.elimination_tree import etree, etree_levels, postorder
+from repro.ordering.layout import LayoutNode, LayoutTree, build_layout_tree
+from repro.ordering.min_degree import min_degree_tree, minimum_degree
+from repro.ordering.nested_dissection import (
+    SeparatorTree,
+    SepTreeNode,
+    nested_dissection,
+)
+
+__all__ = [
+    "nested_dissection",
+    "minimum_degree",
+    "min_degree_tree",
+    "SeparatorTree",
+    "SepTreeNode",
+    "build_layout_tree",
+    "LayoutTree",
+    "LayoutNode",
+    "etree",
+    "postorder",
+    "etree_levels",
+]

@@ -1,0 +1,132 @@
+"""The 3D layout tree: top ``log2(Pz)`` levels of the separator tree.
+
+Following the paper (Fig. 1), the 3D process layout maps the top of the
+elimination/separator tree onto ``Pz`` 2D grids: leaf-level node ``k`` lives
+on grid ``k`` and every ancestor separator is replicated across the grids of
+the leaves below it, owned (RHS-wise) by the smallest such grid id.
+Nodes are numbered heap-style like the paper's figure: root 0, children
+``2h+1``/``2h+2``, leaves ``Pz-1 .. 2*Pz-2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ordering.nested_dissection import SeparatorTree
+from repro.util import ilog2
+
+
+@dataclass(frozen=True)
+class LayoutNode:
+    """One node of the layout tree.
+
+    ``first:last`` is the node's own permuted column range (for leaves, the
+    whole undissected subtree; for internal nodes, the separator columns).
+    ``grid_lo:grid_hi`` is the half-open range of grid ids replicating the
+    node; ``owner_grid`` (= ``grid_lo``) receives the RHS entries.
+    """
+
+    heap_id: int
+    level: int          # root = 0, leaves = log2(Pz)
+    first: int
+    last: int
+    grid_lo: int
+    grid_hi: int
+
+    @property
+    def ncols(self) -> int:
+        return self.last - self.first
+
+    @property
+    def owner_grid(self) -> int:
+        return self.grid_lo
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.grid_hi - self.grid_lo == 1
+
+
+@dataclass(frozen=True)
+class LayoutTree:
+    """Complete binary layout tree with ``2*Pz - 1`` heap-indexed nodes."""
+
+    pz: int
+    nodes: tuple[LayoutNode, ...]  # indexed by heap id
+    n: int
+
+    @property
+    def depth(self) -> int:
+        """Leaf level = log2(Pz)."""
+        return ilog2(self.pz)
+
+    def leaf(self, z: int) -> LayoutNode:
+        """The leaf node handled (exclusively) by grid ``z``."""
+        return self.nodes[self.pz - 1 + z]
+
+    def path(self, z: int) -> list[LayoutNode]:
+        """Nodes on the path from grid ``z``'s leaf up to the root."""
+        h = self.pz - 1 + z
+        out = []
+        while h >= 0:
+            out.append(self.nodes[h])
+            h = (h - 1) // 2 if h > 0 else -1
+        return out
+
+    def nodes_of_grid(self, z: int) -> list[LayoutNode]:
+        """Alias for :meth:`path`: all nodes grid ``z`` participates in."""
+        return self.path(z)
+
+    def ancestors(self, node: LayoutNode) -> list[LayoutNode]:
+        """Strict ancestors of ``node``, nearest first."""
+        h = node.heap_id
+        out = []
+        while h > 0:
+            h = (h - 1) // 2
+            out.append(self.nodes[h])
+        return out
+
+    def node_of_col(self) -> np.ndarray:
+        """Map permuted column index -> layout heap id."""
+        out = np.full(self.n, -1, dtype=np.int64)
+        for nd in self.nodes:
+            out[nd.first:nd.last] = nd.heap_id
+        if (out < 0).any():
+            raise AssertionError("layout tree does not cover all columns")
+        return out
+
+
+def build_layout_tree(tree: SeparatorTree, pz: int) -> LayoutTree:
+    """Truncate a separator tree to the ``2*Pz - 1``-node layout tree.
+
+    Internal layout nodes keep the separator's own columns; layout leaves
+    absorb the *entire* remaining subtree of the separator tree.  Requires
+    the separator tree to be binary-complete to depth ``log2(Pz)``
+    (``nested_dissection(..., min_depth=log2(pz))`` guarantees it).
+    """
+    depth = ilog2(pz)
+    if tree.min_leaf_depth() < depth:
+        raise ValueError(
+            f"separator tree is binary-complete only to depth "
+            f"{tree.min_leaf_depth()}, need {depth}; rerun nested_dissection "
+            f"with min_depth={depth}")
+
+    layout: list[LayoutNode | None] = [None] * (2 * pz - 1)
+
+    def rec(sep_id: int, heap_id: int, level: int, grid_lo: int, grid_hi: int):
+        nd = tree.nodes[sep_id]
+        if level == depth:
+            # Layout leaf: whole remaining subtree of the separator tree.
+            layout[heap_id] = LayoutNode(heap_id, level, nd.subtree_first,
+                                         nd.last, grid_lo, grid_hi)
+            return
+        layout[heap_id] = LayoutNode(heap_id, level, nd.first, nd.last,
+                                     grid_lo, grid_hi)
+        mid = (grid_lo + grid_hi) // 2
+        left, right = nd.children
+        rec(left, 2 * heap_id + 1, level + 1, grid_lo, mid)
+        rec(right, 2 * heap_id + 2, level + 1, mid, grid_hi)
+
+    rec(tree.root, 0, 0, 0, pz)
+    return LayoutTree(pz=pz, nodes=tuple(layout), n=tree.n)

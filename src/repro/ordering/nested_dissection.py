@@ -1,0 +1,246 @@
+"""Nested dissection ordering via BFS level-set vertex separators.
+
+This is the from-scratch substitute for METIS used throughout the
+reproduction.  The recursion produces a *binary* separator tree: each
+internal node owns its separator columns and has exactly two children; each
+leaf owns the columns of an undissected subdomain.  The permutation orders
+``left subtree, right subtree, separator`` recursively, so every tree node's
+own columns and whole-subtree columns are contiguous ranges in the permuted
+matrix — the property the 3D layout and the supernode partition rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import check_permutation
+
+
+@dataclass
+class SepTreeNode:
+    """One node of the separator tree.
+
+    ``first:last`` is the node's *own* column range (separator columns for
+    internal nodes, subdomain columns for leaves) in the permuted numbering;
+    ``subtree_first:last`` covers the node's entire subtree.  Ranges may be
+    empty for degenerate splits of very small graphs.
+    """
+
+    id: int
+    parent: int
+    level: int
+    first: int
+    last: int
+    subtree_first: int
+    children: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def ncols(self) -> int:
+        return self.last - self.first
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class SeparatorTree:
+    """Binary separator tree plus the nested-dissection permutation.
+
+    ``perm`` maps permuted index -> original index, i.e. the reordered
+    matrix is ``A[perm][:, perm]``.
+    """
+
+    nodes: list[SepTreeNode]
+    root: int
+    perm: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.perm)
+
+    def depth(self) -> int:
+        """Maximum node level (root is level 0)."""
+        return max(nd.level for nd in self.nodes)
+
+    def min_leaf_depth(self) -> int:
+        """Smallest level at which a leaf occurs (binary-completeness bound)."""
+        return min(nd.level for nd in self.nodes if nd.is_leaf)
+
+    def node_of_col(self) -> np.ndarray:
+        """Array mapping permuted column -> owning tree node id."""
+        out = np.full(self.n, -1, dtype=np.int64)
+        for nd in self.nodes:
+            out[nd.first:nd.last] = nd.id
+        return out
+
+    def boundaries(self) -> np.ndarray:
+        """Sorted unique own-range starts; supernodes must not cross these."""
+        starts = sorted({nd.first for nd in self.nodes} | {self.n})
+        return np.asarray(starts, dtype=np.int64)
+
+
+def _symmetric_adjacency(A: sp.spmatrix) -> sp.csr_matrix:
+    """Pattern-symmetric adjacency (no diagonal) of a square sparse matrix."""
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("matrix must be square")
+    P = sp.csr_matrix((np.ones(A.nnz), A.nonzero()), shape=A.shape)
+    P = P + P.T
+    P.setdiag(0)
+    P.eliminate_zeros()
+    P.sort_indices()
+    return sp.csr_matrix(P)
+
+
+def _bfs_levels(indptr, indices, seeds, mask, level, token):
+    """BFS over the masked subgraph from ``seeds``.
+
+    ``mask`` holds ``token`` for vertices in the subgraph; visited vertices
+    get their distance written into ``level``.  Returns the visit order.
+    """
+    order = list(seeds)
+    for s in seeds:
+        level[s] = 0
+    head = 0
+    while head < len(order):
+        u = order[head]
+        head += 1
+        du = level[u]
+        for v in indices[indptr[u]:indptr[u + 1]]:
+            if mask[v] == token and level[v] < 0:
+                level[v] = du + 1
+                order.append(v)
+    return order
+
+
+def _pseudo_peripheral(indptr, indices, verts, mask, level, token):
+    """Double-BFS pseudo-peripheral vertex heuristic; returns (start, order)."""
+    start = verts[0]
+    for _ in range(2):
+        level[verts] = -1
+        order = _bfs_levels(indptr, indices, [start], mask, level, token)
+        start = order[-1]
+    level[verts] = -1
+    order = _bfs_levels(indptr, indices, [start], mask, level, token)
+    return start, order
+
+
+def _split(indptr, indices, verts, mask, level, token):
+    """Split ``verts`` into (left, right, separator) via BFS level sets.
+
+    A connected subgraph is cut at the BFS level whose removal best
+    balances the two sides.  A disconnected subgraph needs no separator:
+    whole components are binned greedily into the two sides (splitting a
+    component arithmetically would cut edges without a separator and break
+    the ancestor-closure property the 3D layout relies on).  Any part may
+    come back empty for tiny graphs.
+    """
+    empty = np.empty(0, dtype=verts.dtype)
+    nv = len(verts)
+    if nv <= 1:
+        return verts, empty, empty
+    _, order = _pseudo_peripheral(indptr, indices, verts, mask, level, token)
+    reached = np.asarray(order, dtype=verts.dtype)
+
+    if len(reached) < nv:
+        # Disconnected: gather every component, then balance whole
+        # components across the two sides with an empty separator.
+        comps = [reached]
+        remaining = verts[level[verts] < 0]
+        while len(remaining):
+            comp = _bfs_levels(indptr, indices, [remaining[0]], mask, level,
+                               token)
+            comps.append(np.asarray(comp, dtype=verts.dtype))
+            remaining = remaining[level[remaining] < 0]
+        comps.sort(key=len, reverse=True)
+        left_parts, right_parts = [], []
+        ls = rs = 0
+        for c in comps:
+            if ls <= rs:
+                left_parts.append(c)
+                ls += len(c)
+            else:
+                right_parts.append(c)
+                rs += len(c)
+        left = np.concatenate(left_parts) if left_parts else empty
+        right = np.concatenate(right_parts) if right_parts else empty
+        return left, right, empty
+
+    lv = level[reached]
+    nlev = int(lv.max()) + 1
+    if nlev <= 1:  # pragma: no cover - connected with >1 vertex has >1 level
+        half = nv // 2
+        return verts[:half], verts[half:], empty
+
+    counts = np.bincount(lv, minlength=nlev)
+    below = np.cumsum(counts) - counts  # strictly below each level
+    above = len(reached) - below - counts
+    # Cost: imbalance plus separator size, favoring small middle levels.
+    cost = np.maximum(below, above) + 2 * counts
+    cost[0] = cost[-1] = np.iinfo(np.int64).max  # keep both sides nonempty
+    cut = int(np.argmin(cost)) if nlev > 2 else 1
+
+    left = reached[lv < cut]
+    sep = reached[lv == cut]
+    right = reached[lv > cut]
+    unreached = verts[level[verts] < 0]
+    if len(unreached):
+        if len(left) < len(right):
+            left = np.concatenate([left, unreached])
+        else:
+            right = np.concatenate([right, unreached])
+    return left, right, sep
+
+
+def nested_dissection(A: sp.spmatrix, leaf_size: int = 64,
+                      min_depth: int = 0) -> SeparatorTree:
+    """Compute a nested-dissection ordering and its binary separator tree.
+
+    ``leaf_size`` stops the recursion once a subdomain is that small;
+    ``min_depth`` forces the tree to be binary-complete to at least that
+    depth regardless (needed so that ``Pz`` 2D grids can be mapped onto the
+    top ``log2(Pz)`` levels even for small matrices).
+    """
+    P = _symmetric_adjacency(A)
+    n = P.shape[0]
+    indptr, indices = P.indptr, P.indices
+    mask = np.zeros(n, dtype=np.int64)  # subgraph token per vertex
+    level = np.full(n, -1, dtype=np.int64)
+
+    nodes: list[SepTreeNode] = []
+    perm = np.empty(n, dtype=np.int64)
+    next_token = [1]
+    cursor = [0]
+
+    def rec(verts: np.ndarray, depth: int, parent: int) -> int:
+        node_id = len(nodes)
+        nodes.append(None)  # placeholder, filled below
+        subtree_first = cursor[0]
+        if depth >= min_depth and len(verts) <= leaf_size:
+            first = cursor[0]
+            perm[first:first + len(verts)] = verts
+            cursor[0] += len(verts)
+            nodes[node_id] = SepTreeNode(node_id, parent, depth, first,
+                                         cursor[0], subtree_first)
+            return node_id
+        token = next_token[0]
+        next_token[0] += 1
+        mask[verts] = token
+        left, right, sep = _split(indptr, indices, verts, mask, level, token)
+        lid = rec(left, depth + 1, node_id)
+        rid = rec(right, depth + 1, node_id)
+        first = cursor[0]
+        perm[first:first + len(sep)] = sep
+        cursor[0] += len(sep)
+        nodes[node_id] = SepTreeNode(node_id, parent, depth, first, cursor[0],
+                                     subtree_first, children=(lid, rid))
+        return node_id
+
+    root = rec(np.arange(n, dtype=np.int64), 0, -1)
+    assert cursor[0] == n
+    check_permutation(perm, n)
+    return SeparatorTree(nodes=nodes, root=root, perm=perm)

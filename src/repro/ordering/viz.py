@@ -1,0 +1,81 @@
+"""ASCII visualization of the 3D data layout (the paper's Fig. 1).
+
+Renders the separator tree, the layout tree with its grid assignments, and
+the block structure of a matrix under the 3D layout — which supernode block
+belongs to which elimination-tree node and which grids replicate it.  Used
+by the layout walkthrough example and handy when debugging orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ordering.layout import LayoutTree
+from repro.ordering.nested_dissection import SeparatorTree
+
+
+def render_septree(tree: SeparatorTree, max_depth: int | None = None) -> str:
+    """Indented rendering of the separator tree with column ranges."""
+    lines: list[str] = []
+
+    def rec(node_id: int, prefix: str, depth: int):
+        nd = tree.nodes[node_id]
+        if max_depth is not None and depth > max_depth:
+            return
+        kind = "leaf" if nd.is_leaf else "sep "
+        lines.append(f"{prefix}{kind} #{nd.id}: cols [{nd.first}, {nd.last})"
+                     f" ({nd.ncols})")
+        for c in nd.children:
+            rec(c, prefix + "  ", depth + 1)
+
+    rec(tree.root, "", 0)
+    return "\n".join(lines)
+
+
+def render_layout(layout: LayoutTree) -> str:
+    """Heap-ordered rendering of the layout tree, Fig. 1(a)-style.
+
+    Shows each node's column range, the grids replicating it, and the
+    owner grid that receives the RHS entries.
+    """
+    lines = [f"layout tree for Pz = {layout.pz} (heap-numbered nodes):"]
+    for nd in layout.nodes:
+        indent = "  " * nd.level
+        grids = (f"grid {nd.grid_lo}" if nd.is_leaf
+                 else f"grids {nd.grid_lo}..{nd.grid_hi - 1}")
+        lines.append(
+            f"{indent}node {nd.heap_id} (level {nd.level}): cols "
+            f"[{nd.first}, {nd.last}) ({nd.ncols}) on {grids}, "
+            f"owner grid {nd.owner_grid}")
+    return "\n".join(lines)
+
+
+def render_block_structure(layout: LayoutTree, lu, z: int,
+                           max_cells: int = 40) -> str:
+    """Character-matrix view of grid ``z``'s L^z, Fig. 1(c)-style.
+
+    Each cell is one supernode block; the character is the heap id (mod 10)
+    of the layout node owning the block's *column*, ``.`` for a structural
+    zero.  Large matrices are truncated to ``max_cells`` supernodes.
+    """
+    from repro.core.sptrsv3d_new import grid_supernodes
+
+    part = lu.partition
+    sns = grid_supernodes(layout, part, z)[:max_cells]
+    index = {K: i for i, K in enumerate(sns)}
+    node_of = np.full(part.nsup, -1, dtype=np.int64)
+    for nd in layout.nodes:
+        lo, hi = part.sn_range(nd.first, nd.last)
+        node_of[lo:hi] = nd.heap_id
+
+    m = len(sns)
+    cells = [["." for _ in range(m)] for _ in range(m)]
+    for j, K in enumerate(sns):
+        cells[j][j] = str(node_of[K] % 10)
+        for I in lu.l_blockrows[K]:
+            I = int(I)
+            if I in index:
+                cells[index[I]][j] = str(node_of[K] % 10)
+    header = (f"L^{z} block structure (first {m} supernodes; digit = "
+              f"owning layout node mod 10):")
+    return "\n".join([header] + ["".join(row) for row in cells])

@@ -1,0 +1,33 @@
+"""Performance analysis companions to the solvers.
+
+The paper's related work applies critical-path analysis [Ding et al.],
+roofline modeling [Wittmann et al.] and performance tuning [Ahmad et al.]
+to SpTRSV; this package provides all three against the simulated machines:
+
+- :mod:`repro.perf.critical_path` — DAG critical-path lower bounds,
+- :mod:`repro.perf.roofline` — flop/byte counts and roofline bounds,
+- :mod:`repro.perf.tuner` — exhaustive grid-shape autotuning,
+- :mod:`repro.perf.report` — human-readable report formatting.
+"""
+
+from repro.perf.critical_path import CriticalPath, critical_path
+from repro.perf.levels import LevelProfile, level_profile
+from repro.perf.report import compare_outcomes, format_report
+from repro.perf.roofline import RooflineEstimate, roofline
+from repro.perf.tuner import TuneResult, autotune_grid
+from repro.perf.validation import ValidationReport, validate_simulation
+
+__all__ = [
+    "critical_path",
+    "CriticalPath",
+    "level_profile",
+    "LevelProfile",
+    "roofline",
+    "RooflineEstimate",
+    "autotune_grid",
+    "TuneResult",
+    "format_report",
+    "compare_outcomes",
+    "validate_simulation",
+    "ValidationReport",
+]

@@ -1,0 +1,89 @@
+"""Dependency-free ASCII charts for the benchmark reports.
+
+The benchmark harness renders each paper figure's series as text charts in
+``benchmarks/results/`` so the scaling shapes are eyeballable without any
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ascii_line_chart(series: dict[str, list[tuple[float, float]]],
+                     width: int = 56, height: int = 14,
+                     title: str = "", logy: bool = True,
+                     xlabel: str = "", ylabel: str = "") -> str:
+    """Render (x, y) series as an ASCII chart.
+
+    Each series gets a marker character; x positions are mapped by rank
+    order of the union of x values (the sweeps are log-spaced), y is log-
+    scaled by default (runtimes).
+    """
+    if not series or all(not pts for pts in series.values()):
+        return f"{title}\n(no data)"
+    markers = "ox+*#@%&"
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    ys = [y for pts in series.values() for _, y in pts if y > 0]
+    if not ys:
+        return f"{title}\n(no positive data)"
+    y_lo, y_hi = min(ys), max(ys)
+    if logy:
+        f_lo, f_hi = math.log10(y_lo), math.log10(y_hi)
+    else:
+        f_lo, f_hi = y_lo, y_hi
+    if f_hi - f_lo < 1e-12:
+        f_hi = f_lo + 1.0
+
+    def col(x: float) -> int:
+        i = xs.index(x)
+        return 0 if len(xs) == 1 else round(i * (width - 1) / (len(xs) - 1))
+
+    def row(y: float) -> int:
+        f = math.log10(y) if logy else y
+        frac = (f - f_lo) / (f_hi - f_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (label, pts) in enumerate(sorted(series.items())):
+        m = markers[k % len(markers)]
+        for x, y in pts:
+            if y > 0:
+                canvas[row(y)][col(x)] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_hi:.3g}"
+    bot = f"{y_lo:.3g}"
+    pad = max(len(top), len(bot))
+    for i, r in enumerate(canvas):
+        label = top if i == 0 else (bot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}s} |{''.join(r)}|")
+    axis = " " * pad + " +" + "-" * width + "+"
+    lines.append(axis)
+    xticks = " " * (pad + 2)
+    tick_text = "  ".join(f"{x:g}" for x in xs)
+    lines.append(xticks + tick_text[:width])
+    if xlabel or ylabel:
+        lines.append(" " * (pad + 2) + f"x: {xlabel}   y: {ylabel}"
+                     + ("  (log)" if logy else ""))
+    legend = "   ".join(f"{markers[k % len(markers)]}={label}"
+                        for k, (label, _) in enumerate(sorted(series.items())))
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(values: dict[str, float], width: int = 40,
+                    title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart of labeled values."""
+    if not values:
+        return f"{title}\n(no data)"
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        n = 0 if vmax <= 0 else round(v / vmax * width)
+        lines.append(f"{label:<{label_w}s} |{'#' * n:<{width}s}| "
+                     f"{v:.3g}{unit}")
+    return "\n".join(lines)

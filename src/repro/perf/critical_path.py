@@ -1,0 +1,109 @@
+"""Critical-path analysis of the SpTRSV task DAG.
+
+The solve's dependency DAG (supernode ``I`` cannot be solved before every
+supernode ``K`` adjacent to it in L/U has been solved and its block applied)
+bounds any schedule from below: no machine, with any number of ranks, can
+finish faster than the longest weighted dependency chain.  This is the
+analysis Ding et al. use to predict SpTRSV scalability; here it doubles as
+a sanity bound for the simulator — every simulated solve must take at least
+the critical path of its own cost model, which the test suite asserts.
+
+Edge weights are the *minimum* work to propagate a dependency: the
+producer's diagonal solve plus the single consumer block's GEMV.  Real
+schedules (CPU ranks applying several blocks sequentially, GPU thread
+blocks processing whole columns) can only be slower, so the bound is strict
+for both devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.costmodel import Machine, gemm_bytes, gemm_flops
+from repro.core.plan2d import u_blockrows
+from repro.numfact.lu import BlockSparseLU
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Longest weighted dependency chain of an L+U solve.
+
+    ``time`` is the chain's summed task time (seconds); ``length`` the
+    number of supernode solves on it; ``l_time``/``u_time`` split the two
+    phases (the U chain can only start after the L phase delivers its
+    right-hand side).
+    """
+
+    time: float
+    length: int
+    l_time: float
+    u_time: float
+
+
+def _phase_cp(nsup: int, adj, diag_cost, apply_cost) -> tuple[float, int]:
+    """Longest chain via DP in topological (ascending-index) order.
+
+    ``adj[K]`` lists consumers of K with strictly larger index, so the
+    ascending loop is topological; the caller reverses indices for the U
+    phase.
+    """
+    dist = [0.0] * nsup
+    hops = [0] * nsup
+    best = (0.0, 0)
+    for K in range(nsup):
+        ready = dist[K] + diag_cost(K)
+        h = hops[K] + 1
+        if (ready, h) > best:
+            best = (ready, h)
+        for I in adj[K]:
+            I = int(I)
+            t = ready + apply_cost(I, K)
+            if t > dist[I]:
+                dist[I] = t
+                hops[I] = h
+    return best
+
+
+def critical_path(lu: BlockSparseLU, machine: Machine, nrhs: int = 1,
+                  device: str = "cpu") -> CriticalPath:
+    """Critical path of the L-solve followed by the U-solve."""
+    part = lu.partition
+    nsup = lu.nsup
+
+    if device == "cpu":
+        def op(fl, by, u=False):
+            return machine.cpu.op_time(fl, by)
+    elif device == "gpu":
+        if machine.gpu is None:
+            raise ValueError(f"machine {machine.name!r} has no GPU model")
+
+        def op(fl, by, u=False):
+            return machine.gpu.op_time(fl, by, u_solve=u)
+    else:
+        raise ValueError(f"unknown device {device!r}")
+
+    def diag_cost(K: int, u: bool = False) -> float:
+        w = part.size(K)
+        return op(gemm_flops(w, nrhs, w), gemm_bytes(w, nrhs, w), u)
+
+    def apply_cost(I: int, K: int, u: bool = False) -> float:
+        m, w = part.size(I), part.size(K)
+        return op(gemm_flops(m, nrhs, w), gemm_bytes(m, nrhs, w), u)
+
+    l_time, l_len = _phase_cp(
+        nsup, lu.l_blockrows,
+        lambda K: diag_cost(K),
+        lambda I, K: apply_cost(I, K))
+
+    # U phase: dependencies run from high to low indices; reverse the index
+    # space so the same ascending DP applies.
+    uadj = u_blockrows(lu)
+    uadj_rev = [[nsup - 1 - int(i) for i in uadj[nsup - 1 - k]]
+                for k in range(nsup)]
+    u_time, u_len = _phase_cp(
+        nsup, uadj_rev,
+        lambda K: diag_cost(nsup - 1 - K, u=True),
+        lambda I, K: apply_cost(nsup - 1 - I, nsup - 1 - K, u=True))
+
+    return CriticalPath(time=l_time + u_time, length=l_len + u_len,
+                        l_time=l_time, u_time=u_time)

@@ -1,0 +1,73 @@
+"""DAG level-set analysis: how much parallelism a solve exposes.
+
+Shared-memory and GPU SpTRSV implementations (the paper's §1 survey, and
+Algorithm 4's one-block-per-column schedule) live or die by the DAG's level
+structure: supernodes at the same level are independent, so the level
+*widths* bound concurrency and the level *count* bounds the schedule
+length.  This module computes the profile for the L phase (the U phase is
+its mirror under symmetric patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numfact.lu import BlockSparseLU
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Level-set structure of the supernode DAG."""
+
+    levels: np.ndarray     # level index per supernode
+    widths: np.ndarray     # supernodes per level
+
+    @property
+    def depth(self) -> int:
+        """Number of levels = length of the longest dependency chain."""
+        return len(self.widths)
+
+    @property
+    def max_width(self) -> int:
+        return int(self.widths.max()) if len(self.widths) else 0
+
+    @property
+    def avg_parallelism(self) -> float:
+        """Mean available concurrency: supernodes / depth."""
+        return float(self.widths.sum() / self.depth) if self.depth else 0.0
+
+
+def level_profile(lu: BlockSparseLU, phase: str = "L") -> LevelProfile:
+    """Level sets of the L (or U) solve DAG at supernode granularity.
+
+    ``level[K] = 1 + max(level[J])`` over the producers J that K consumes;
+    sources are level 0.
+    """
+    nsup = lu.nsup
+    levels = np.zeros(nsup, dtype=np.int64)
+    if phase == "L":
+        # Producers of K: columns J < K with L(K, J) != 0; iterate producers
+        # and push to their consumers (l_blockrows).
+        for J in range(nsup):
+            lj = levels[J] + 1
+            for I in lu.l_blockrows[J]:
+                I = int(I)
+                if lj > levels[I]:
+                    levels[I] = lj
+    elif phase == "U":
+        # Transpose adjacency: x(J) updates rows K < J with U(K, J) != 0.
+        from repro.core.plan2d import u_blockrows
+
+        uadj = u_blockrows(lu)
+        for J in range(nsup - 1, -1, -1):
+            lj = levels[J] + 1
+            for K in uadj[J]:
+                K = int(K)
+                if lj > levels[K]:
+                    levels[K] = lj
+    else:
+        raise ValueError(f"phase must be 'L' or 'U', got {phase!r}")
+    widths = np.bincount(levels) if nsup else np.zeros(0, dtype=np.int64)
+    return LevelProfile(levels=levels, widths=widths)

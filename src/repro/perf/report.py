@@ -1,0 +1,43 @@
+"""Human-readable formatting of solver performance reports."""
+
+from __future__ import annotations
+
+from repro.core.solver import PerfReport, SolveOutcome
+
+
+def format_report(report: PerfReport) -> str:
+    """Multi-line summary of one solve's timing, paper-style."""
+    bd = report.breakdown()
+    g = report.grid
+    lines = [
+        f"algorithm {report.algorithm} on {g.px}x{g.py}x{g.pz} "
+        f"({g.nranks} ranks), nrhs={report.nrhs}",
+        f"  total (makespan)   : {report.total_time * 1e3:10.3f} ms",
+        f"  mean FP            : {bd['fp'] * 1e6:10.1f} us/rank",
+        f"  mean XY-comm       : {bd['xy_comm'] * 1e6:10.1f} us/rank",
+        f"  mean Z-comm        : {bd['z_comm'] * 1e6:10.1f} us/rank",
+        f"  L-solve (max rank) : {report.per_rank(phase='l').max() * 1e3:10.3f} ms",
+        f"  U-solve (max rank) : {report.per_rank(phase='u').max() * 1e3:10.3f} ms",
+        f"  messages intra/inter: {report.message_count('xy')} / "
+        f"{report.message_count('z')}",
+        f"  bytes intra/inter  : {report.message_bytes('xy'):.0f} / "
+        f"{report.message_bytes('z'):.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def compare_outcomes(outcomes: dict[str, SolveOutcome]) -> str:
+    """One-line-per-variant comparison table (fastest marked)."""
+    if not outcomes:
+        return "(no outcomes)"
+    best = min(outcomes, key=lambda k: outcomes[k].report.total_time)
+    t_best = outcomes[best].report.total_time
+    width = max(len(k) for k in outcomes)
+    lines = [f"{'variant':<{width}s} {'time[ms]':>10s} {'vs best':>8s}"]
+    for label, out in sorted(outcomes.items(),
+                             key=lambda kv: kv[1].report.total_time):
+        t = out.report.total_time
+        mark = "  <- best" if label == best else ""
+        lines.append(f"{label:<{width}s} {t * 1e3:10.3f} "
+                     f"{t / t_best:7.2f}x{mark}")
+    return "\n".join(lines)

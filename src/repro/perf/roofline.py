@@ -1,0 +1,63 @@
+"""Roofline analysis of the SpTRSV workload.
+
+SpTRSV's low arithmetic intensity is the paper's motivating observation;
+this module quantifies it for a factorization: total FLOPs and bytes of one
+L+U solve, the resulting intensity, and the machine's compute-/memory-bound
+time floors for a single rank and for ``p`` perfectly parallel ranks
+(Wittmann et al. apply the same modified-roofline lens to SpTRSV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.costmodel import Machine, gemm_bytes, gemm_flops
+from repro.numfact.lu import BlockSparseLU
+
+
+@dataclass(frozen=True)
+class RooflineEstimate:
+    """Flop/byte totals and roofline time floors for one L+U solve."""
+
+    flops: float
+    bytes: float
+    nrhs: int
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity [flop/byte]; SpTRSV sits far below 1."""
+        return self.flops / self.bytes if self.bytes else 0.0
+
+    def time_floor(self, machine: Machine, ranks: int = 1) -> float:
+        """Roofline lower bound with ``ranks`` perfectly parallel ranks."""
+        cpu = machine.cpu
+        t_flops = self.flops / (cpu.flop_rate * ranks)
+        t_bytes = self.bytes / (cpu.mem_bw * ranks)
+        return max(t_flops, t_bytes)
+
+    def bound(self, machine: Machine) -> str:
+        """Which roof binds on this machine: 'memory' or 'compute'."""
+        cpu = machine.cpu
+        machine_balance = cpu.flop_rate / cpu.mem_bw
+        return "memory" if self.intensity < machine_balance else "compute"
+
+
+def roofline(lu: BlockSparseLU, nrhs: int = 1) -> RooflineEstimate:
+    """Count the FLOPs and bytes of one sequential L+U solve."""
+    part = lu.partition
+    flops = 0.0
+    nbytes = 0.0
+    for K in range(lu.nsup):
+        w = part.size(K)
+        # Diagonal applications in both phases.
+        flops += 2 * gemm_flops(w, nrhs, w)
+        nbytes += 2 * gemm_bytes(w, nrhs, w)
+    for (I, K), blk in lu.Lblocks.items():
+        m, w = blk.shape
+        flops += gemm_flops(m, nrhs, w)
+        nbytes += gemm_bytes(m, nrhs, w)
+    for (K, J), blk in lu.Ublocks.items():
+        m, w = blk.shape
+        flops += gemm_flops(m, nrhs, w)
+        nbytes += gemm_bytes(m, nrhs, w)
+    return RooflineEstimate(flops=flops, bytes=nbytes, nrhs=nrhs)

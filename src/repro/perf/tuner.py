@@ -1,0 +1,111 @@
+"""Grid-shape autotuner: pick (Px, Py, Pz) for a matrix and rank budget.
+
+The paper sweeps grid shapes by hand; related work (Ahmad et al.) learns
+the best configuration.  Since this reproduction's machines are simulated,
+the tuner can simply *measure* every admissible shape — an exhaustive,
+deterministic autotuner — and report the winner with the full table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm.costmodel import CORI_HASWELL, Machine
+from repro.core.solver import SpTRSVSolver
+from repro.matrices import make_rhs
+from repro.numfact import lu_factorize
+from repro.ordering import nested_dissection
+from repro.symbolic import symbolic_factor
+from repro.util import ilog2, is_power_of_two
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of an autotuning sweep."""
+
+    best: tuple[int, int, int]           # (px, py, pz)
+    best_time: float
+    table: tuple[tuple[tuple[int, int, int], float], ...]  # all configs
+
+    def format(self) -> str:
+        lines = [f"{'Px':>4s} {'Py':>4s} {'Pz':>4s} {'time[ms]':>10s}"]
+        for (px, py, pz), t in self.table:
+            star = "  <- best" if (px, py, pz) == self.best else ""
+            lines.append(f"{px:4d} {py:4d} {pz:4d} {t * 1e3:10.3f}{star}")
+        return "\n".join(lines)
+
+
+def _grid_candidates(P: int, device: str,
+                     multi_gpu_ok: bool) -> list[tuple[int, int, int]]:
+    """All (px, py, pz) with px*py*pz == P, pz a power of two.
+
+    GPU solves require Py == 1 (and Px == 1 without one-sided
+    sub-communicator support).
+    """
+    out = []
+    pz = 1
+    while pz <= P:
+        if P % pz == 0:
+            pxy = P // pz
+            for px in range(1, pxy + 1):
+                if pxy % px:
+                    continue
+                py = pxy // px
+                if device == "gpu":
+                    if py != 1:
+                        continue
+                    if px > 1 and not multi_gpu_ok:
+                        continue
+                out.append((px, py, pz))
+        pz *= 2
+    return out
+
+
+def autotune_grid(A: sp.spmatrix, P: int, machine: Machine = CORI_HASWELL,
+                  algorithm: str = "new3d", device: str = "cpu",
+                  nrhs: int = 1, max_supernode: int = 16,
+                  symbolic_mode: str = "detect",
+                  max_pz: int | None = None) -> TuneResult:
+    """Measure every admissible (Px, Py, Pz) with Px*Py*Pz = P and return
+    the fastest, factoring the matrix once and reusing the pipeline.
+    """
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    # Largest admissible pz: largest power of two dividing P (capped).
+    pz_max = 1
+    while P % (pz_max * 2) == 0:
+        pz_max *= 2
+    if max_pz is not None:
+        if not is_power_of_two(max_pz):
+            raise ValueError("max_pz must be a power of two")
+        pz_max = min(pz_max, max_pz)
+    depth = ilog2(pz_max)
+
+    n = A.shape[0]
+    tree = nested_dissection(A, leaf_size=max(8, n // max(4 * pz_max, 8)),
+                             min_depth=depth)
+    Ap = sp.csr_matrix(A)[tree.perm][:, tree.perm]
+    sym = symbolic_factor(Ap, max_supernode=max_supernode,
+                          boundaries=tree.boundaries(), mode=symbolic_mode)
+    lu = lu_factorize(Ap, sym.partition)
+    b = make_rhs(n, nrhs, kind="manufactured")
+
+    multi_gpu_ok = (machine.gpu is not None
+                    and getattr(machine.gpu, "one_sided_subcomms", True))
+    table = []
+    for px, py, pz in _grid_candidates(P, device, multi_gpu_ok):
+        if pz > pz_max:
+            continue
+        solver = SpTRSVSolver.from_pipeline(A, tree, sym, lu, px, py, pz,
+                                            machine=machine)
+        out = solver.solve(b, algorithm=algorithm, device=device)
+        table.append(((px, py, pz), out.report.total_time))
+    if not table:
+        raise ValueError(f"no admissible grid for P={P}, device={device!r}")
+    table.sort(key=lambda row: row[1])
+    best, best_time = table[0]
+    return TuneResult(best=best, best_time=best_time,
+                      table=tuple(sorted(table, key=lambda r: r[0])))

@@ -1,0 +1,66 @@
+"""Self-validation of the performance simulation.
+
+A simulated time is only trustworthy if it respects the hard bounds its
+own cost model implies.  :func:`validate_simulation` checks a solve
+against two independent lower bounds — the DAG critical path (latency
+side) and the roofline floor at the solve's rank count (throughput side) —
+and reports the slack.  The test suite runs this on every algorithm; users
+can run it on their own configurations to catch modeling mistakes after
+changing machine parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import SolveOutcome, SpTRSVSolver
+from repro.perf.critical_path import critical_path
+from repro.perf.roofline import roofline
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Bounds check of one simulated solve."""
+
+    simulated: float
+    critical_path_bound: float
+    roofline_bound: float
+
+    @property
+    def ok(self) -> bool:
+        """The simulated time respects both lower bounds."""
+        lo = max(self.critical_path_bound, self.roofline_bound)
+        return self.simulated >= lo * 0.999
+
+    @property
+    def slack(self) -> float:
+        """simulated / max(bounds): >= 1 when consistent; close to 1 means
+        the solve runs near its model's limit (little communication/idle
+        overhead left to optimize)."""
+        lo = max(self.critical_path_bound, self.roofline_bound)
+        return self.simulated / lo if lo > 0 else np.inf
+
+    def summary(self) -> str:
+        return (f"simulated={self.simulated * 1e3:.3f} ms, "
+                f"critical-path>={self.critical_path_bound * 1e3:.3f} ms, "
+                f"roofline>={self.roofline_bound * 1e3:.3f} ms, "
+                f"slack={self.slack:.2f}x "
+                f"({'consistent' if self.ok else 'VIOLATES BOUNDS'})")
+
+
+def validate_simulation(solver: SpTRSVSolver, outcome: SolveOutcome,
+                        device: str = "cpu") -> ValidationReport:
+    """Check ``outcome`` against the solver's model lower bounds."""
+    machine = solver.machine
+    nrhs = outcome.report.nrhs
+    cp = critical_path(solver.lu, machine, nrhs=nrhs, device=device)
+    rf = roofline(solver.lu, nrhs=nrhs)
+    ranks = solver.grid.nranks
+    return ValidationReport(
+        simulated=outcome.report.total_time,
+        critical_path_bound=cp.time,
+        roofline_bound=(rf.time_floor(machine, ranks=ranks)
+                        if device == "cpu" else 0.0),
+    )

@@ -1,0 +1,15 @@
+"""Iterative solvers preconditioned by the distributed SpTRSV.
+
+The paper motivates SpTRSV with "preconditioned iterative solvers requiring
+repeated application of SpTRSV"; this package provides those consumers as
+library code: each iteration applies ``M^-1 = U^-1 L^-1`` through any of
+the distributed solve algorithms and accumulates the simulated SpTRSV cost.
+"""
+
+from repro.solvers.iterative import (
+    IterativeResult,
+    pcg,
+    richardson,
+)
+
+__all__ = ["richardson", "pcg", "IterativeResult"]

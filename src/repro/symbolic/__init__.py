@@ -1,0 +1,17 @@
+"""Symbolic factorization substrate.
+
+Computes the fill pattern of L (symmetric-pattern symbolic factorization via
+column merging along the elimination tree), detects supernodes, and produces
+the :class:`SupernodePartition` every later stage (numeric LU, distribution,
+solves, cost models) is expressed in.
+"""
+
+from repro.symbolic.fill import SymbolicFactor, symbolic_factor
+from repro.symbolic.supernodes import SupernodePartition, fixed_partition
+
+__all__ = [
+    "symbolic_factor",
+    "SymbolicFactor",
+    "SupernodePartition",
+    "fixed_partition",
+]

@@ -1,0 +1,96 @@
+"""Supernode partitions of the column space.
+
+A supernode is a set of *contiguous* columns whose L patterns below the
+block diagonal coincide; the whole pipeline (factorization, distribution,
+communication trees, GPU kernels) works at supernode-block granularity, as
+in the paper.  Partitions always respect the separator-tree node boundaries
+so that any ``Pz`` layout can be carved out of one partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SupernodePartition:
+    """Partition of columns ``0..n-1`` into contiguous supernodes.
+
+    ``sn_start`` has length ``nsup + 1`` with ``sn_start[0] == 0`` and
+    ``sn_start[-1] == n``; supernode ``s`` owns columns
+    ``sn_start[s]:sn_start[s+1]``.
+    """
+
+    sn_start: np.ndarray
+
+    def __post_init__(self):
+        s = np.asarray(self.sn_start, dtype=np.int64)
+        if len(s) < 2 or s[0] != 0 or (np.diff(s) <= 0).any():
+            raise ValueError("sn_start must be increasing and start at 0")
+        object.__setattr__(self, "sn_start", s)
+
+    @property
+    def n(self) -> int:
+        return int(self.sn_start[-1])
+
+    @property
+    def nsup(self) -> int:
+        return len(self.sn_start) - 1
+
+    def size(self, s: int) -> int:
+        return int(self.sn_start[s + 1] - self.sn_start[s])
+
+    def cols(self, s: int) -> np.ndarray:
+        return np.arange(self.sn_start[s], self.sn_start[s + 1])
+
+    def first(self, s: int) -> int:
+        return int(self.sn_start[s])
+
+    def last(self, s: int) -> int:
+        return int(self.sn_start[s + 1])
+
+    def col2sn(self) -> np.ndarray:
+        """Array mapping column index -> supernode index."""
+        out = np.empty(self.n, dtype=np.int64)
+        for s in range(self.nsup):
+            out[self.sn_start[s]:self.sn_start[s + 1]] = s
+        return out
+
+    def sn_range(self, first_col: int, last_col: int) -> tuple[int, int]:
+        """Half-open supernode index range covering columns [first, last).
+
+        The column range must be supernode-aligned (it is for any
+        separator-tree node range by construction).
+        """
+        lo = int(np.searchsorted(self.sn_start, first_col))
+        hi = int(np.searchsorted(self.sn_start, last_col))
+        if self.sn_start[lo] != first_col or self.sn_start[hi] != last_col:
+            raise ValueError(
+                f"column range [{first_col}, {last_col}) is not aligned with "
+                f"supernode boundaries")
+        return lo, hi
+
+
+def fixed_partition(n: int, max_size: int,
+                    boundaries: np.ndarray | None = None) -> SupernodePartition:
+    """Chop columns into fixed-size chunks respecting ``boundaries``.
+
+    This is the "relaxed supernode" fallback used when full symbolic
+    detection is skipped for speed; every boundary in ``boundaries`` (sorted,
+    including 0 and n) starts a new supernode.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    if boundaries is None:
+        boundaries = np.array([0, n], dtype=np.int64)
+    starts = [0]
+    for k in range(len(boundaries) - 1):
+        lo, hi = int(boundaries[k]), int(boundaries[k + 1])
+        for c in range(lo, hi, max_size):
+            if c != starts[-1]:
+                starts.append(c)
+    if starts[-1] != n:
+        starts.append(n)
+    return SupernodePartition(np.asarray(starts, dtype=np.int64))

@@ -1,0 +1,52 @@
+"""Small shared helpers used across the repro packages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True if ``x`` is a positive power of two (1, 2, 4, ...)."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a positive power of two.
+
+    Raises ``ValueError`` if ``x`` is not a power of two.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def as_2d_rhs(b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Normalize a right-hand side to shape ``(n, nrhs)``.
+
+    Returns ``(b2d, was_1d)`` so callers can restore the original shape.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 1:
+        return b.reshape(-1, 1), True
+    if b.ndim == 2:
+        return b, False
+    raise ValueError(f"RHS must be 1-D or 2-D, got ndim={b.ndim}")
+
+
+def check_permutation(perm: np.ndarray, n: int) -> None:
+    """Validate that ``perm`` is a permutation of ``range(n)``."""
+    perm = np.asarray(perm)
+    if perm.shape != (n,):
+        raise ValueError(f"permutation has shape {perm.shape}, expected ({n},)")
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    if not seen.all():
+        raise ValueError("not a permutation: some indices missing")
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return the inverse of permutation ``perm`` (iperm[perm[i]] = i)."""
+    perm = np.asarray(perm)
+    iperm = np.empty_like(perm)
+    iperm[perm] = np.arange(len(perm))
+    return iperm

@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.perf.ascii_plot import ascii_bar_chart, ascii_line_chart
+
+
+def test_line_chart_renders_markers():
+    s = {"new": [(64, 1.0e-3), (256, 0.5e-3)],
+         "base": [(64, 1.2e-3), (256, 0.9e-3)]}
+    out = ascii_line_chart(s, title="Fig 4", xlabel="P", ylabel="time")
+    assert "Fig 4" in out
+    assert "o=base" in out and "x=new" in out
+    assert "64" in out and "256" in out
+    # The faster series' marker appears below/beyond the slower one.
+    assert out.count("x") >= 2
+
+
+def test_line_chart_empty():
+    assert "(no data)" in ascii_line_chart({})
+    assert "(no positive data)" in ascii_line_chart({"a": [(1, 0.0)]})
+
+
+def test_line_chart_single_point_and_linear():
+    out = ascii_line_chart({"a": [(1, 2.0)]}, logy=False)
+    assert "|" in out
+
+
+def test_line_chart_flat_series():
+    out = ascii_line_chart({"a": [(1, 1.0), (2, 1.0)]})
+    assert "o" in out
+
+
+def test_bar_chart():
+    out = ascii_bar_chart({"fp": 10.0, "xy": 40.0, "z": 5.0},
+                          title="breakdown", unit="us")
+    assert "breakdown" in out
+    assert out.count("#") > 0
+    # Largest bar is the widest.
+    lines = {l.split()[0]: l.count("#") for l in out.splitlines()[1:]}
+    assert lines["xy"] == max(lines.values())
+    assert ascii_bar_chart({}) == "\n(no data)"
+
+
+def test_bar_chart_zero_values():
+    out = ascii_bar_chart({"a": 0.0, "b": 0.0})
+    assert "0" in out

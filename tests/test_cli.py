@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_grid, build_parser, main
+from repro.matrices import random_spd_like, save_matrix_market
+
+
+def test_parse_grid():
+    assert _parse_grid("2x2x4") == (2, 2, 4)
+    assert _parse_grid("1X1X1") == (1, 1, 1)
+    with pytest.raises(SystemExit):
+        _parse_grid("2x2")
+    with pytest.raises(SystemExit):
+        _parse_grid("axbxc")
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_solve_suite_matrix(capsys):
+    rc = main(["solve", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--grid", "2x1x2", "--max-supernode", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "residual" in out and "total (makespan)" in out
+
+
+def test_solve_gpu(capsys):
+    rc = main(["solve", "--matrix", "ldoor", "--scale", "tiny",
+               "--grid", "2x1x2", "--machine", "perlmutter-gpu",
+               "--device", "gpu", "--max-supernode", "8"])
+    assert rc == 0
+    assert "new3d-gpu" in capsys.readouterr().out
+
+
+def test_solve_mtx_file(tmp_path, capsys):
+    A = random_spd_like(40, seed=3)
+    path = str(tmp_path / "A.mtx")
+    save_matrix_market(path, A)
+    rc = main(["solve", "--matrix", path, "--grid", "1x1x2",
+               "--max-supernode", "4"])
+    assert rc == 0
+
+
+def test_info(capsys):
+    rc = main(["info", "--matrix", "nlpkkt80", "--scale", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "memory-bound" in out
+
+
+def test_tune(capsys):
+    rc = main(["tune", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--ranks", "4", "--symbolic", "fixed",
+               "--max-supernode", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "best: --grid" in out
+
+
+def test_error_paths():
+    with pytest.raises(SystemExit, match="neither a suite matrix"):
+        main(["solve", "--matrix", "not-a-matrix", "--grid", "1x1x1"])
+    with pytest.raises(SystemExit, match="unknown machine"):
+        main(["solve", "--matrix", "ldoor", "--scale", "tiny",
+              "--grid", "1x1x1", "--machine", "summit"])

@@ -1,0 +1,96 @@
+"""Unit tests for the machine/cost models."""
+
+import pytest
+
+from repro.comm import (
+    CORI_HASWELL,
+    CRUSHER_CPU,
+    CRUSHER_GPU,
+    CRUSHER_GPU_FUTURE,
+    MACHINES,
+    PERLMUTTER_CPU,
+    PERLMUTTER_GPU,
+    gemm_bytes,
+    gemm_flops,
+)
+
+
+def test_machines_registry():
+    assert set(MACHINES) == {
+        "cori-haswell", "perlmutter-cpu", "perlmutter-gpu",
+        "crusher-cpu", "crusher-gpu", "crusher-gpu-future",
+    }
+    for name, m in MACHINES.items():
+        assert m.name == name
+        assert m.cpu.flop_rate > 0 and m.cpu.mem_bw > 0
+        assert m.net.alpha_inter >= m.net.alpha_intra
+        assert m.net.beta_inter >= m.net.beta_intra
+
+
+def test_gemm_counts():
+    assert gemm_flops(4, 3, 5) == 2 * 4 * 3 * 5
+    assert gemm_bytes(4, 3, 5) == 8 * (4 * 5 + 5 * 3 + 2 * 4 * 3)
+
+
+def test_cpu_op_time_roofline():
+    cpu = CORI_HASWELL.cpu
+    # Tiny op: overhead dominates.
+    assert cpu.op_time(1, 1) == pytest.approx(cpu.op_overhead, rel=1e-2)
+    # Memory-bound op: bytes term dominates flops term.
+    t = cpu.op_time(1e6, 1e9)
+    assert t == pytest.approx(1e9 / cpu.mem_bw + cpu.op_overhead)
+    # Compute-bound op.
+    t = cpu.op_time(1e12, 8.0)
+    assert t == pytest.approx(1e12 / cpu.flop_rate + cpu.op_overhead)
+
+
+def test_network_latency_tiers():
+    net = PERLMUTTER_GPU.net
+    small = 64
+    assert net.latency(small, True) < net.latency(small, False)
+    big = 10_000_000
+    assert net.latency(big, False) > net.latency(small, False)
+
+
+def test_same_node_boundaries():
+    m = CORI_HASWELL  # 32 ranks per node
+    assert m.same_node(0, 31)
+    assert not m.same_node(31, 32)
+    assert m.same_node(64, 95)
+
+
+def test_gpu_msg_latency_tiers():
+    """The paper's 300 vs 12.5 GB/s NVLink/Slingshot split (§4.2.2)."""
+    gpu = PERLMUTTER_GPU.gpu
+    big = 1_000_000
+    intra = gpu.msg_latency(big, True)
+    inter = gpu.msg_latency(big, False)
+    assert inter > 10 * intra  # ~24x bandwidth gap dominates at 1 MB
+
+
+def test_gpu_u_penalty():
+    gpu = CRUSHER_GPU.gpu
+    t_l = gpu.op_time(1e6, 1e6, u_solve=False)
+    t_u = gpu.op_time(1e6, 1e6, u_solve=True)
+    assert t_u == pytest.approx(t_l * gpu.u_penalty)
+
+
+def test_with_returns_modified_copy():
+    m2 = CORI_HASWELL.with_(ranks_per_node=1)
+    assert m2.ranks_per_node == 1
+    assert CORI_HASWELL.ranks_per_node == 32
+    assert m2.net is CORI_HASWELL.net
+
+
+def test_crusher_future_differs_only_in_subcomms():
+    assert not CRUSHER_GPU.gpu.one_sided_subcomms
+    assert CRUSHER_GPU_FUTURE.gpu.one_sided_subcomms
+    assert (CRUSHER_GPU_FUTURE.gpu.block_mem_bw
+            == CRUSHER_GPU.gpu.block_mem_bw)
+
+
+def test_cpu_reference_machines_share_network():
+    """The paper's CPU reference runs use the same interconnect as the GPU
+    runs on each system."""
+    assert PERLMUTTER_GPU.net == PERLMUTTER_CPU.net
+    assert CRUSHER_GPU.net == CRUSHER_CPU.net

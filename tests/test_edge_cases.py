@@ -1,0 +1,153 @@
+"""Edge-case integration tests: degenerate shapes the sweeps don't hit."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.comm import CORI_HASWELL, PERLMUTTER_GPU
+from repro.core import SpTRSVSolver
+from repro.matrices import kkt3d, make_rhs, poisson2d, random_spd_like
+from repro.numfact import solve_residual
+
+
+def test_deep_pz_with_empty_layout_nodes():
+    """Pz = 64 forces dissection deep enough to create empty separators;
+    all algorithms must stay exact (regression for the pz=64 bug)."""
+    A = kkt3d(7, seed=2)  # n = 686
+    solver = SpTRSVSolver(A, 1, 1, 64, max_supernode=8,
+                          symbolic_mode="fixed")
+    # The layout really does contain empty nodes at this depth.
+    assert any(nd.ncols == 0 for nd in solver.layout.nodes)
+    b = make_rhs(A.shape[0], 2)
+    for alg in ("new3d", "baseline3d"):
+        out = solver.solve(b, algorithm=alg)
+        assert solve_residual(A, out.x, b) < 1e-9
+    gpu = SpTRSVSolver(A, 1, 1, 64, max_supernode=8, symbolic_mode="fixed",
+                       machine=PERLMUTTER_GPU)
+    out = gpu.solve(b, device="gpu")
+    assert solve_residual(A, out.x, b) < 1e-9
+
+
+def test_single_supernode_matrix():
+    """A tiny dense matrix collapsing to very few supernodes."""
+    A = random_spd_like(6, avg_degree=6, seed=1)
+    solver = SpTRSVSolver(A, 1, 1, 1, max_supernode=16)
+    b = make_rhs(6, 1)
+    out = solver.solve(b)
+    assert solve_residual(A, out.x, b) < 1e-12
+
+
+def test_more_ranks_than_supernodes():
+    """Px*Py far exceeding the supernode count leaves ranks idle but must
+    stay correct."""
+    A = poisson2d(6, stencil=5, seed=2)  # n = 36
+    solver = SpTRSVSolver(A, 6, 6, 1, max_supernode=16)
+    assert solver.lu.nsup < 36
+    b = make_rhs(36, 1)
+    out = solver.solve(b)
+    assert solve_residual(A, out.x, b) < 1e-10
+
+
+def test_matrix_with_isolated_rows():
+    """Rows coupled to nothing (diagonal-only) flow through ND, symbolic,
+    LU and all solvers."""
+    A = poisson2d(6, stencil=5, seed=3).tolil()
+    # Detach two vertices completely.
+    for v in (7, 20):
+        A[v, :] = 0.0
+        A[:, v] = 0.0
+        A[v, v] = 5.0
+    A = sp.csr_matrix(A)
+    solver = SpTRSVSolver(A, 2, 1, 2, max_supernode=4)
+    b = make_rhs(36, 1)
+    out = solver.solve(b)
+    assert solve_residual(A, out.x, b) < 1e-10
+    assert out.x[7] == pytest.approx(b[7, 0] / 5.0)
+
+
+def test_many_rhs():
+    A = poisson2d(10, stencil=9, seed=4)
+    solver = SpTRSVSolver(A, 2, 2, 2, max_supernode=8)
+    b = make_rhs(100, 50, "random", seed=5)
+    out = solver.solve(b)
+    assert solve_residual(A, out.x, b) < 1e-10
+    assert out.x.shape == (100, 50)
+
+
+def test_baseline_without_level_sync_is_exact():
+    A = poisson2d(12, stencil=9, seed=5)
+    solver = SpTRSVSolver(A, 2, 2, 4, max_supernode=8)
+    b = make_rhs(A.shape[0], 1)
+    with_sync = solver.solve(b, algorithm="baseline3d",
+                             baseline_level_sync=True)
+    without = solver.solve(b, algorithm="baseline3d",
+                           baseline_level_sync=False)
+    assert np.allclose(with_sync.x, without.x, atol=1e-12)
+    # Removing synchronization can only reduce the makespan.
+    assert without.report.total_time <= with_sync.report.total_time + 1e-12
+
+
+def test_naive_allreduce_equivalent():
+    A = poisson2d(12, stencil=9, seed=6)
+    solver = SpTRSVSolver(A, 1, 2, 4, max_supernode=8)
+    b = make_rhs(A.shape[0], 2)
+    sparse = solver.solve(b, allreduce_impl="sparse")
+    naive = solver.solve(b, allreduce_impl="naive")
+    assert np.allclose(sparse.x, naive.x, atol=1e-11)
+    with pytest.raises(ValueError):
+        solver.solve(b, allreduce_impl="bogus")
+
+
+def test_symbolic_modes_agree():
+    A = random_spd_like(80, avg_degree=5, seed=7)
+    b = make_rhs(80, 1)
+    xs = []
+    for mode in ("detect", "fixed"):
+        solver = SpTRSVSolver(A, 2, 1, 2, max_supernode=6,
+                              symbolic_mode=mode)
+        out = solver.solve(b)
+        assert solve_residual(A, out.x, b) < 1e-9
+        xs.append(out.x)
+    assert np.allclose(xs[0], xs[1], atol=1e-9)
+
+
+def test_from_pipeline_matches_direct_construction():
+    from repro.core.solver import SpTRSVSolver as S
+
+    A = poisson2d(10, stencil=9, seed=8)
+    direct = S(A, 2, 1, 2, max_supernode=8)
+    via = S.from_pipeline(A, direct.tree, direct.sym, direct.lu, 2, 1, 2,
+                          machine=CORI_HASWELL)
+    b = make_rhs(100, 1)
+    x1 = direct.solve(b).x
+    x2 = via.solve(b).x
+    assert np.allclose(x1, x2, atol=1e-13)
+
+
+def test_from_pipeline_rejects_insufficient_depth():
+    A = poisson2d(10, stencil=9, seed=9)
+    shallow = SpTRSVSolver(A, 1, 1, 1, max_supernode=8, leaf_size=1000)
+    with pytest.raises(ValueError):
+        SpTRSVSolver.from_pipeline(A, shallow.tree, shallow.sym, shallow.lu,
+                                   1, 1, 8)
+
+
+def test_asymmetric_grids():
+    """Extreme aspect-ratio grids (tall/wide) on both algorithms."""
+    A = poisson2d(12, stencil=9, seed=10)
+    b = make_rhs(A.shape[0], 1)
+    for px, py in [(8, 1), (1, 8)]:
+        solver = SpTRSVSolver(A, px, py, 2, max_supernode=8)
+        for alg in ("new3d", "baseline3d"):
+            out = solver.solve(b, algorithm=alg)
+            assert solve_residual(A, out.x, b) < 1e-10
+
+
+def test_pz_exceeding_natural_tree_depth():
+    """A matrix so small that forced dissection produces many empty leaves."""
+    A = random_spd_like(20, avg_degree=3, seed=11)
+    solver = SpTRSVSolver(A, 1, 1, 16, max_supernode=4)
+    b = make_rhs(20, 1)
+    for alg in ("new3d", "baseline3d"):
+        out = solver.solve(b, algorithm=alg)
+        assert solve_residual(A, out.x, b) < 1e-10

@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import glob
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_examples_exist():
+    names = {os.path.basename(p) for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES,
+                         ids=[os.path.basename(p) for p in EXAMPLES])
+def test_example_runs(path, capsys):
+    """Each example executes its __main__ path without errors.
+
+    The examples carry their own internal assertions (residual checks,
+    amortization/scaling claims), so a clean run is a meaningful check.
+    """
+    argv = sys.argv
+    try:
+        sys.argv = [path]
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = argv
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"

@@ -1,0 +1,117 @@
+"""Failure-injection tests: broken protocols must fail loudly, not wrongly.
+
+A distributed runtime that silently produces wrong answers under protocol
+bugs is worse than one that crashes; these tests corrupt plans, drop
+messages and violate invariants, and assert the system surfaces each
+failure as a diagnosable error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, DeadlockError, Simulator
+from repro.core import SpTRSVSolver, sptrsv_2d
+from repro.core.plan2d import build_2d_plans
+from repro.grids import Grid3D
+from repro.matrices import make_rhs, poisson2d
+
+
+@pytest.fixture(scope="module")
+def small_lu():
+    A = poisson2d(8, stencil=9, seed=1)
+    solver = SpTRSVSolver(A, 1, 1, 1, max_supernode=8)
+    return solver.lu
+
+
+def _run_plan(lu, plan, nranks, mutate=None):
+    part = lu.partition
+    b = make_rhs(lu.n, 1)
+
+    def rank_fn(ctx):
+        p = plan.plan_of(ctx.rank)
+        if mutate:
+            mutate(ctx.rank, p)
+        rhs = {K: np.array(b[part.first(K):part.last(K)])
+               for K in p.solve_cols}
+        return (yield from sptrsv_2d(ctx, plan, rhs, 1, tag_salt="f"))
+
+    return Simulator(nranks, CORI_HASWELL).run(rank_fn)
+
+
+def test_dropped_message_deadlocks(small_lu):
+    """Removing a rank's broadcast trees (so it never forwards) deadlocks
+    the dependents instead of producing a wrong answer."""
+    plan = build_2d_plans(small_lu, Grid3D(4, 1, 1), 0, "L",
+                          list(range(small_lu.nsup)))
+
+    def mutate(rank, p):
+        if rank == 0:
+            p.bcast_trees = {}
+
+    with pytest.raises(DeadlockError):
+        _run_plan(small_lu, plan, 4, mutate)
+
+
+def test_inflated_recv_count_deadlocks(small_lu):
+    """A rank expecting one message too many blocks forever — and the
+    deadlock report names the waiting rank."""
+    plan = build_2d_plans(small_lu, Grid3D(2, 2, 1), 0, "L",
+                          list(range(small_lu.nsup)))
+
+    def mutate(rank, p):
+        if rank == 3:
+            p.nrecv += 1
+
+    with pytest.raises(DeadlockError, match="rank 3"):
+        _run_plan(small_lu, plan, 4, mutate)
+
+
+def test_missing_rhs_is_keyerror(small_lu):
+    """Forgetting a diagonal owner's RHS fails fast at the diagonal solve."""
+    plan = build_2d_plans(small_lu, Grid3D(1, 1, 1), 0, "L",
+                          list(range(small_lu.nsup)))
+
+    def rank_fn(ctx):
+        return (yield from sptrsv_2d(ctx, plan, {}, 1, tag_salt="m"))
+
+    with pytest.raises(KeyError):
+        Simulator(1, CORI_HASWELL).run(rank_fn)
+
+
+def test_corrupted_fmod_raises_incomplete(small_lu):
+    """An undercounted dependency makes a supernode solve too early or the
+    final completeness check fire — never a silent wrong answer."""
+    plan = build_2d_plans(small_lu, Grid3D(2, 1, 1), 0, "L",
+                          list(range(small_lu.nsup)))
+
+    def mutate(rank, p):
+        # Pretend a column has no consumers on this rank: its rows never
+        # complete, so the reduction/receive protocol hangs or the solve
+        # finishes incomplete.
+        if rank == 1 and p.consumer_blocks:
+            J = sorted(p.consumer_blocks)[0]
+            del p.consumer_blocks[J]
+
+    with pytest.raises((DeadlockError, RuntimeError)):
+        _run_plan(small_lu, plan, 2, mutate)
+
+
+def test_simulator_max_events_guard():
+    """A runaway program trips the event-budget guard."""
+    def fn(ctx):
+        while True:
+            yield ctx.compute(0.0)
+
+    sim = Simulator(1, CORI_HASWELL, max_events=1000)
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run(fn)
+
+
+def test_generator_exception_propagates():
+    """User-code exceptions inside a rank surface with their own type."""
+    def fn(ctx):
+        yield ctx.compute(1.0)
+        raise ZeroDivisionError("rank code bug")
+
+    with pytest.raises(ZeroDivisionError, match="rank code bug"):
+        Simulator(2, CORI_HASWELL).run(fn)

@@ -1,0 +1,77 @@
+"""Unit tests for the 3D process grid and block-cyclic map."""
+
+import pytest
+
+from repro.grids import BlockCyclicMap, Grid3D
+
+
+def test_rank_coord_roundtrip():
+    g = Grid3D(3, 2, 4)
+    assert g.nranks == 24
+    seen = set()
+    for z in range(4):
+        for i in range(3):
+            for j in range(2):
+                r = g.rank_of(i, j, z)
+                assert g.coords_of(r) == (i, j, z)
+                seen.add(r)
+    assert seen == set(range(24))
+
+
+def test_grids_are_contiguous_rank_ranges():
+    g = Grid3D(2, 2, 4)
+    for z in range(4):
+        ranks = g.grid_ranks(z)
+        assert ranks == list(range(z * 4, z * 4 + 4))
+
+
+def test_zpeer_preserves_2d_coords():
+    g = Grid3D(2, 3, 2)
+    r = g.rank_of(1, 2, 0)
+    p = g.zpeer(r, 1)
+    assert g.coords_of(p) == (1, 2, 1)
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        Grid3D(0, 1, 1)
+    with pytest.raises(ValueError):
+        Grid3D(1, 1, 3)  # pz not a power of two
+    g = Grid3D(2, 2, 2)
+    with pytest.raises(ValueError):
+        g.rank_of(2, 0, 0)
+    with pytest.raises(ValueError):
+        g.coords_of(99)
+
+
+def test_block_cyclic_owner():
+    g = Grid3D(2, 3, 2)
+    m = BlockCyclicMap(g)
+    assert m.owner_coords(5, 7) == (1, 1)
+    assert m.owner_rank(5, 7, 0) == g.rank_of(1, 1, 0)
+    assert m.diag_owner_rank(4, 1) == g.rank_of(0, 1, 1)
+
+
+def test_block_cyclic_owner_consistent_across_grids():
+    """Replicated ancestors must map to the same 2D coords on every grid —
+    the property the sparse allreduce relies on."""
+    g = Grid3D(3, 2, 4)
+    m = BlockCyclicMap(g)
+    for K in range(20):
+        coords = {g.coords_of(m.diag_owner_rank(K, z))[:2] for z in range(4)}
+        assert len(coords) == 1
+
+
+def test_block_cyclic_diag_owner_cycle():
+    """Diagonal blocks cycle over lcm(px, py) coordinate pairs, evenly."""
+    from collections import Counter
+    from math import lcm
+
+    for px, py in [(4, 4), (2, 3), (3, 1)]:
+        g = Grid3D(px, py, 1)
+        m = BlockCyclicMap(g)
+        period = lcm(px, py)
+        nsup = 4 * period
+        cnt = Counter(m.owner_coords(I, I) for I in range(nsup))
+        assert len(cnt) == period
+        assert set(cnt.values()) == {4}

@@ -1,0 +1,150 @@
+"""Coverage for internal helpers not exercised by the main suites."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, Simulator
+from repro.comm.simulator import _copy_payload, _payload_nbytes
+from repro.core import SpTRSVSolver
+from repro.core.sptrsv3d_baseline import _active_steps
+from repro.core.sparse_allreduce import ancestor_supernodes
+from repro.matrices import make_rhs, poisson2d
+from repro.util import as_2d_rhs, check_permutation, ilog2, is_power_of_two
+
+
+# ---- util --------------------------------------------------------------------
+
+def test_is_power_of_two():
+    assert all(is_power_of_two(x) for x in (1, 2, 4, 64, 1024))
+    assert not any(is_power_of_two(x) for x in (0, -2, 3, 6, 12))
+
+
+def test_ilog2():
+    assert ilog2(1) == 0 and ilog2(64) == 6
+    with pytest.raises(ValueError):
+        ilog2(6)
+
+
+def test_as_2d_rhs():
+    b, was1d = as_2d_rhs(np.ones(5))
+    assert b.shape == (5, 1) and was1d
+    b, was1d = as_2d_rhs(np.ones((5, 2)))
+    assert b.shape == (5, 2) and not was1d
+    with pytest.raises(ValueError):
+        as_2d_rhs(np.ones((2, 2, 2)))
+
+
+def test_check_permutation_rejects():
+    with pytest.raises(ValueError):
+        check_permutation(np.array([0, 0, 2]), 3)
+    with pytest.raises(ValueError):
+        check_permutation(np.array([0, 1]), 3)
+
+
+# ---- simulator payload helpers -------------------------------------------------
+
+def test_payload_nbytes():
+    assert _payload_nbytes(np.zeros(10)) == 80
+    assert _payload_nbytes((np.zeros(2), np.zeros(3))) == 40 + 16
+    assert _payload_nbytes("control") == 32
+
+
+def test_copy_payload_deep_for_arrays():
+    a = np.ones(3)
+    nested = [a, (a, "x")]
+    c = _copy_payload(nested)
+    a[:] = -1
+    assert (c[0] == 1).all() and (c[1][0] == 1).all() and c[1][1] == "x"
+
+
+def test_recv_callable_tag_filter():
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, "skip", tag=("other", 1))
+            yield ctx.send(1, "take", tag=("mine", 2))
+        else:
+            _, tag, v = yield ctx.recv(
+                src=0, tag=lambda t: t[0] == "mine")
+            assert v == "take"
+            _, _, v2 = yield ctx.recv(src=0)
+            assert v2 == "skip"
+
+    Simulator(2, CORI_HASWELL).run(fn)
+
+
+# ---- baseline helpers ----------------------------------------------------------
+
+def test_active_steps():
+    # trailing zeros, capped at depth.
+    assert _active_steps(0, 3) == 3   # grid 0 active at every level
+    assert _active_steps(1, 3) == 0
+    assert _active_steps(2, 3) == 1
+    assert _active_steps(4, 3) == 2
+    assert _active_steps(6, 3) == 1
+    assert _active_steps(0, 0) == 0
+
+
+def test_ancestor_supernodes_monotone():
+    """Later allreduce steps exchange (weakly) fewer supernodes."""
+    solver = SpTRSVSolver(poisson2d(12, stencil=9, seed=1), 1, 1, 8,
+                          max_supernode=8)
+    for z in range(8):
+        steps = ancestor_supernodes(solver.layout, solver.lu.partition, z)
+        sizes = [len(s) for s in steps]
+        assert sizes == sorted(sizes, reverse=True)
+        # Step l exchanges exactly the supernodes of path[l+1:].
+        for l, sns in enumerate(steps):
+            path = solver.layout.path(z)[l + 1:]
+            total = sum(
+                solver.lu.partition.sn_range(nd.first, nd.last)[1]
+                - solver.lu.partition.sn_range(nd.first, nd.last)[0]
+                for nd in path)
+            assert len(sns) == total
+
+
+# ---- report internals -----------------------------------------------------------
+
+def test_phase_time_and_categories():
+    solver = SpTRSVSolver(poisson2d(10, stencil=9, seed=2), 2, 1, 2,
+                          max_supernode=8)
+    out = solver.solve(make_rhs(100, 1))
+    rep = out.report
+    assert rep.phase_time("l") > 0
+    assert rep.phase_time("u") > 0
+    cats = rep.sim.categories()
+    assert ("l", "fp") in cats and ("u", "fp") in cats
+    # Phase times sum to the overall mean.
+    total = sum(rep.phase_time(p) for p in ("l", "z", "u"))
+    assert total == pytest.approx(float(rep.per_rank().mean()), rel=1e-9)
+
+
+def test_plan_total_messages_sent_consistency():
+    from repro.core.plan2d import build_2d_plans
+    from repro.grids import Grid3D
+
+    solver = SpTRSVSolver(poisson2d(10, stencil=9, seed=3), 1, 1, 1,
+                          max_supernode=8)
+    plan = build_2d_plans(solver.lu, Grid3D(3, 2, 1), 0, "L",
+                          list(range(solver.lu.nsup)))
+    sends = sum(p.total_messages_sent() for p in plan.ranks.values())
+    recvs = sum(p.nrecv for p in plan.ranks.values())
+    assert sends == recvs
+
+
+# ---- rhs kinds round trip --------------------------------------------------------
+
+def test_manufactured_rhs_deterministic():
+    a = make_rhs(20, 3)
+    b = make_rhs(20, 3)
+    assert np.array_equal(a, b)
+    assert (a > 0).all()  # sin(...) + 1 stays positive
+
+
+def test_solver_exposes_pipeline_attrs():
+    A = poisson2d(8, stencil=9, seed=4)
+    s = SpTRSVSolver(A, 1, 1, 2, max_supernode=8)
+    assert s.n == 64
+    assert s.sym.partition.n == 64
+    assert s.layout.pz == 2
+    assert len(s.perm) == 64
+    assert (s.perm[s.iperm] == np.arange(64)).all()

@@ -1,0 +1,74 @@
+"""Tests for the shared-memory level-set solver (and its scaling limits)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL
+from repro.core.levelset import solve_levelset
+from repro.matrices import make_rhs, poisson2d, random_spd_like
+from repro.numfact import lu_factorize, solve_residual
+from repro.symbolic import symbolic_factor
+
+
+@pytest.fixture(scope="module")
+def lu_and_A():
+    A = poisson2d(14, stencil=9, seed=1)
+    part = symbolic_factor(A, max_supernode=8).partition
+    return A, lu_factorize(A, part)
+
+
+def test_levelset_exact(lu_and_A):
+    A, lu = lu_and_A
+    b = make_rhs(A.shape[0], 2)
+    res = solve_levelset(lu, b, CORI_HASWELL, nthreads=4)
+    assert solve_residual(A, res.x, b) < 1e-10
+    assert res.time > 0
+    assert res.levels_l >= 1 and res.levels_u >= 1
+
+
+def test_levelset_1d_rhs(lu_and_A):
+    A, lu = lu_and_A
+    b = np.ones(A.shape[0])
+    res = solve_levelset(lu, b, CORI_HASWELL)
+    assert res.x.ndim == 1
+
+
+def test_levelset_more_threads_never_slower(lu_and_A):
+    A, lu = lu_and_A
+    b = make_rhs(A.shape[0], 1)
+    t = [solve_levelset(lu, b, CORI_HASWELL, nthreads=nt).time
+         for nt in (1, 2, 4, 16)]
+    assert all(t[i + 1] <= t[i] + 1e-15 for i in range(len(t) - 1))
+
+
+def test_levelset_saturates():
+    """Thread scaling saturates at the max level width — the shared-memory
+    limitation the paper's introduction motivates 3D distribution with."""
+    A = poisson2d(16, stencil=9, seed=2)
+    part = symbolic_factor(A, max_supernode=8).partition
+    lu = lu_factorize(A, part)
+    b = make_rhs(A.shape[0], 1)
+    t64 = solve_levelset(lu, b, CORI_HASWELL, nthreads=64).time
+    t4096 = solve_levelset(lu, b, CORI_HASWELL, nthreads=4096).time
+    barrier_floor = solve_levelset(lu, b, CORI_HASWELL, nthreads=4096)
+    # Beyond the DAG width extra threads change nothing.
+    assert t4096 == pytest.approx(t64, rel=0.2)
+    # The per-level barrier is a hard floor.
+    assert t4096 >= barrier_floor.barrier_time
+
+
+def test_levelset_barrier_cost_scales_with_depth(lu_and_A):
+    A, lu = lu_and_A
+    b = make_rhs(A.shape[0], 1)
+    r = solve_levelset(lu, b, CORI_HASWELL, nthreads=8, barrier_cost=1e-6)
+    assert r.barrier_time == pytest.approx(
+        1e-6 * (r.levels_l + r.levels_u))
+
+
+def test_levelset_unstructured():
+    A = random_spd_like(100, avg_degree=5, seed=3)
+    part = symbolic_factor(A, max_supernode=6).partition
+    lu = lu_factorize(A, part)
+    b = make_rhs(100, 3, "random", seed=4)
+    res = solve_levelset(lu, b, CORI_HASWELL)
+    assert solve_residual(A, res.x, b) < 1e-9

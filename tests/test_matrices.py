@@ -1,0 +1,190 @@
+"""Unit tests for the matrix generator substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import (
+    PAPER_MATRICES,
+    chemistry_like,
+    elasticity3d,
+    fusion_block,
+    get_matrix,
+    kkt3d,
+    load_matrix_market,
+    make_rhs,
+    maxwell_like,
+    poisson2d,
+    poisson3d,
+    random_spd_like,
+    save_matrix_market,
+)
+
+ALL_GENERATORS = [
+    lambda: poisson2d(8, stencil=5),
+    lambda: poisson2d(8, stencil=9, seed=3),
+    lambda: poisson3d(4, stencil=7),
+    lambda: poisson3d(3, stencil=27, seed=1),
+    lambda: kkt3d(3),
+    lambda: elasticity3d(3),
+    lambda: maxwell_like(3),
+    lambda: chemistry_like(60),
+    lambda: fusion_block(10, block=4),
+    lambda: random_spd_like(50),
+]
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+def test_generator_shape_and_pattern(gen):
+    A = gen()
+    assert A.shape[0] == A.shape[1]
+    # Structurally symmetric pattern.
+    P = (A != 0).astype(int)
+    assert (P != P.T).nnz == 0
+    # Strictly diagonally dominant rows.
+    d = A.diagonal()
+    off = np.abs(A).sum(axis=1).A1 - np.abs(d)
+    assert (d > off).all()
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+def test_generator_factorizable_without_pivoting(gen):
+    """Diagonal dominance must survive scipy's LU with no pivot threshold."""
+    A = gen()
+    lu = sp.linalg.splu(sp.csc_matrix(A), permc_spec="NATURAL",
+                        diag_pivot_thresh=0.0)
+    x = lu.solve(np.ones(A.shape[0]))
+    assert np.allclose(A @ x, 1.0, atol=1e-8)
+
+
+def test_poisson2d_size():
+    assert poisson2d(7, 5).shape == (35, 35)
+    assert poisson2d(6).shape == (36, 36)
+
+
+def test_poisson2d_stencil_width():
+    A5 = poisson2d(10, stencil=5)
+    A9 = poisson2d(10, stencil=9)
+    assert A9.nnz > A5.nnz
+    # Interior rows: 5 and 9 entries respectively.
+    deg5 = np.diff(A5.indptr)
+    deg9 = np.diff(A9.indptr)
+    assert deg5.max() == 5
+    assert deg9.max() == 9
+
+
+def test_poisson3d_stencils():
+    assert poisson3d(4, stencil=7).nnz < poisson3d(4, stencil=27).nnz
+    assert np.diff(poisson3d(5, stencil=27).indptr).max() == 27
+
+
+def test_invalid_stencils_raise():
+    with pytest.raises(ValueError):
+        poisson2d(4, stencil=7)
+    with pytest.raises(ValueError):
+        poisson3d(4, stencil=9)
+
+
+def test_kkt3d_is_saddle_point_shaped():
+    A = kkt3d(3)
+    assert A.shape[0] == 2 * 27
+
+
+def test_elasticity_block_multiplicity():
+    A = elasticity3d(3, dof=3)
+    assert A.shape[0] == 27 * 3
+
+
+def test_maxwell_two_components():
+    A = maxwell_like(3)
+    assert A.shape[0] == 27 * 2
+
+
+def test_chemistry_density_grows_with_extra():
+    lo = chemistry_like(100, extra_density=0.0)
+    hi = chemistry_like(100, extra_density=0.05)
+    assert hi.nnz > lo.nnz
+
+
+def test_fusion_block_structure():
+    A = fusion_block(6, block=5)
+    assert A.shape == (30, 30)
+    # Diagonal blocks are dense.
+    assert np.count_nonzero(A[:5, :5].toarray()) == 25
+
+
+def test_generators_deterministic_by_seed():
+    A1 = random_spd_like(40, seed=9)
+    A2 = random_spd_like(40, seed=9)
+    assert (A1 != A2).nnz == 0
+    A3 = random_spd_like(40, seed=10)
+    assert (A1 != A3).nnz != 0
+
+
+def test_suite_catalogue_complete():
+    # Exactly the six Table 1 matrices.
+    assert set(PAPER_MATRICES) == {
+        "nlpkkt80", "Ga19As19H42", "s1_mat_0_253872",
+        "s2D9pt2048", "ldoor", "dielFilterV3real",
+    }
+    for spec in PAPER_MATRICES.values():
+        assert spec.paper_n > 0 and spec.paper_nnz_lu > 0
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_MATRICES))
+def test_suite_builds_tiny(name):
+    A = get_matrix(name, scale="tiny")
+    assert A.shape[0] >= 16
+    P = (A != 0).astype(int)
+    assert (P != P.T).nnz == 0
+
+
+def test_suite_scales_increase():
+    for name in PAPER_MATRICES:
+        tiny = get_matrix(name, "tiny").shape[0]
+        small = get_matrix(name, "small").shape[0]
+        assert small > tiny
+
+
+def test_suite_unknown_raises():
+    with pytest.raises(KeyError):
+        get_matrix("nonexistent")
+    with pytest.raises(ValueError):
+        get_matrix("ldoor", scale="galactic")
+
+
+def test_rhs_kinds():
+    for kind in ("ones", "random", "manufactured", "e1"):
+        b = make_rhs(10, 3, kind=kind)
+        assert b.shape == (10, 3)
+    assert (make_rhs(5, 2, "ones") == 1).all()
+    assert make_rhs(5, 2, "e1")[0, 0] == 1.0
+    with pytest.raises(ValueError):
+        make_rhs(5, 0)
+    with pytest.raises(ValueError):
+        make_rhs(5, 1, kind="nope")
+
+
+def test_matrix_market_roundtrip(tmp_path):
+    A = random_spd_like(30, seed=3)
+    path = str(tmp_path / "m.mtx")
+    save_matrix_market(path, A, comment="test matrix")
+    B = load_matrix_market(path)
+    assert (abs(A - B) > 1e-14).nnz == 0
+
+
+def test_matrix_market_symmetric(tmp_path):
+    path = str(tmp_path / "s.mtx")
+    with open(path, "w") as f:
+        f.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        f.write("3 3 4\n1 1 2.0\n2 2 2.0\n3 3 2.0\n2 1 -1.0\n")
+    A = load_matrix_market(path).toarray()
+    assert A[0, 1] == A[1, 0] == -1.0
+
+
+def test_matrix_market_rejects_garbage(tmp_path):
+    path = str(tmp_path / "bad.mtx")
+    with open(path, "w") as f:
+        f.write("not a matrix\n")
+    with pytest.raises(ValueError):
+        load_matrix_market(path)

@@ -1,0 +1,67 @@
+"""Unit tests for the matrix structural-analysis helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import (
+    PAPER_MATRICES,
+    check_solver_requirements,
+    get_matrix,
+    matrix_stats,
+    poisson2d,
+)
+
+
+def test_stats_on_known_matrix():
+    A = poisson2d(4, stencil=5)
+    st = matrix_stats(A)
+    assert st.n == 16
+    assert st.nnz == A.nnz
+    assert st.bandwidth == 4  # +/- nx coupling
+    assert st.max_degree == 4
+    assert st.pattern_symmetric
+    assert st.diag_dominance > 0
+    assert "n=16" in st.summary()
+
+
+def test_stats_density_bounds():
+    A = sp.identity(10, format="csr")
+    st = matrix_stats(A)
+    assert st.density == pytest.approx(0.1)
+    assert st.avg_degree == 0.0
+    assert st.bandwidth == 0
+
+
+def test_stats_rejects_rectangular():
+    with pytest.raises(ValueError):
+        matrix_stats(sp.csr_matrix((3, 4)))
+
+
+def test_requirements_pass_for_generators():
+    for name in PAPER_MATRICES:
+        A = get_matrix(name, "tiny")
+        assert check_solver_requirements(A) == [], name
+
+
+def test_requirements_flag_asymmetric_pattern():
+    A = sp.csr_matrix(np.array([[4.0, 1.0], [0.0, 4.0]]))
+    problems = check_solver_requirements(A)
+    assert any("not symmetric" in p for p in problems)
+
+
+def test_requirements_flag_weak_diagonal():
+    A = sp.csr_matrix(np.array([[1.0, -2.0], [-2.0, 1.0]]))
+    problems = check_solver_requirements(A)
+    assert any("dominant" in p for p in problems)
+
+
+def test_requirements_flag_zero_diagonal():
+    A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    problems = check_solver_requirements(A)
+    assert any("zero diagonal" in p for p in problems)
+
+
+def test_requirements_flag_rectangular():
+    assert check_solver_requirements(sp.csr_matrix((2, 3))) == \
+        ["matrix is not square"]

@@ -1,0 +1,107 @@
+"""Tests for the extended generator set and trace export."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, Simulator
+from repro.comm.trace_export import to_chrome_trace, to_csv
+from repro.core import SpTRSVSolver
+from repro.matrices import (
+    block_tridiagonal,
+    check_solver_requirements,
+    helmholtz_like,
+    make_rhs,
+    poisson2d_anisotropic,
+)
+from repro.numfact import solve_residual
+from repro.perf import level_profile
+
+
+@pytest.mark.parametrize("gen", [
+    lambda: poisson2d_anisotropic(8, epsilon=0.01),
+    lambda: helmholtz_like(8, shift=0.4, seed=1),
+    lambda: block_tridiagonal(10, block=4, seed=2),
+])
+def test_new_generators_meet_requirements(gen):
+    A = gen()
+    assert check_solver_requirements(A) == []
+
+
+@pytest.mark.parametrize("gen", [
+    lambda: poisson2d_anisotropic(8),
+    lambda: helmholtz_like(7, seed=3),
+    lambda: block_tridiagonal(8, block=4, seed=4),
+])
+def test_new_generators_solve(gen):
+    A = gen()
+    solver = SpTRSVSolver(A, 2, 1, 2, max_supernode=8)
+    b = make_rhs(A.shape[0], 1)
+    out = solver.solve(b)
+    assert solve_residual(A, out.x, b) < 1e-10
+
+
+def test_anisotropy_changes_coupling():
+    A = poisson2d_anisotropic(6, epsilon=0.01)
+    M = abs(A).toarray()
+    # Strong x-coupling (stride ny) vs weak y-coupling (stride 1).
+    assert M[0, 6] > 10 * M[0, 1]
+
+
+def test_helmholtz_shift_validation():
+    with pytest.raises(ValueError):
+        helmholtz_like(5, shift=1.5)
+
+
+def test_block_tridiagonal_is_a_chain():
+    """The block-tridiagonal DAG has depth ~ nsup (no level parallelism)."""
+    from repro.numfact import lu_factorize
+    from repro.symbolic import fixed_partition
+
+    A = block_tridiagonal(12, block=4, seed=5)
+    part = fixed_partition(48, 4)
+    lu = lu_factorize(A, part)
+    prof = level_profile(lu, "L")
+    assert prof.depth == lu.nsup          # pure chain
+    assert prof.max_width == 1
+
+
+# ---- trace export ------------------------------------------------------------
+
+def _traced_result():
+    def fn(ctx):
+        ctx.set_phase("l")
+        if ctx.rank == 0:
+            yield ctx.compute(1.0, category="fp")
+            yield ctx.send(1, np.zeros(4), tag=0, category="xy")
+        else:
+            yield ctx.recv(src=0, tag=0, category="xy")
+
+    return Simulator(2, CORI_HASWELL, trace=True).run(fn)
+
+
+def test_chrome_trace_export(tmp_path):
+    res = _traced_result()
+    path = str(tmp_path / "trace.json")
+    n = to_chrome_trace(res, path)
+    assert n == len(res.trace)
+    with open(path) as f:
+        doc = json.load(f)
+    evs = doc["traceEvents"]
+    assert all(e["ph"] == "X" for e in evs)
+    assert {e["tid"] for e in evs} == {0, 1}
+    send = [e for e in evs if e["cat"] == "send"][0]
+    assert send["args"]["peer"] == 1
+    assert send["name"] == "l:xy"
+
+
+def test_csv_trace_export(tmp_path):
+    res = _traced_result()
+    path = str(tmp_path / "trace.csv")
+    n = to_csv(res, path)
+    with open(path) as f:
+        lines = f.read().strip().splitlines()
+    assert lines[0].startswith("rank,")
+    assert len(lines) == n + 1

@@ -1,0 +1,200 @@
+"""Unit tests for the performance-analysis package (repro.perf)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, PERLMUTTER_CPU, PERLMUTTER_GPU
+from repro.core import SpTRSVSolver
+from repro.matrices import make_rhs, poisson2d
+from repro.perf import (
+    autotune_grid,
+    compare_outcomes,
+    critical_path,
+    format_report,
+    roofline,
+)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    A = poisson2d(16, stencil=9, seed=3)
+    return SpTRSVSolver(A, 2, 2, 2, max_supernode=8, machine=CORI_HASWELL)
+
+
+# ---- critical path ----------------------------------------------------------
+
+def test_critical_path_positive_and_split(solver):
+    cp = critical_path(solver.lu, CORI_HASWELL)
+    assert cp.time > 0
+    assert cp.length >= 2  # at least one L and one U solve step
+    assert cp.time == pytest.approx(cp.l_time + cp.u_time)
+
+
+def test_critical_path_is_lower_bound_cpu(solver):
+    """No simulated CPU schedule may beat the dependency chain."""
+    b = make_rhs(solver.n, 1)
+    cp = critical_path(solver.lu, CORI_HASWELL, nrhs=1)
+    for alg in ("new3d", "baseline3d"):
+        t = solver.solve(b, algorithm=alg).report.total_time
+        assert t >= cp.time * 0.999, alg
+
+
+def test_critical_path_is_lower_bound_gpu():
+    A = poisson2d(14, stencil=9, seed=4)
+    s = SpTRSVSolver(A, 2, 1, 2, max_supernode=8, machine=PERLMUTTER_GPU)
+    b = make_rhs(A.shape[0], 2)
+    cp = critical_path(s.lu, PERLMUTTER_GPU, nrhs=2, device="gpu")
+    t = s.solve(b, device="gpu").report.total_time
+    assert t >= cp.time * 0.999
+
+
+def test_critical_path_scales_with_nrhs(solver):
+    cp1 = critical_path(solver.lu, CORI_HASWELL, nrhs=1)
+    cp8 = critical_path(solver.lu, CORI_HASWELL, nrhs=8)
+    assert cp8.time > cp1.time
+
+
+def test_critical_path_device_validation(solver):
+    with pytest.raises(ValueError):
+        critical_path(solver.lu, CORI_HASWELL, device="tpu")
+    with pytest.raises(ValueError):
+        critical_path(solver.lu, PERLMUTTER_CPU, device="gpu")
+
+
+# ---- roofline ---------------------------------------------------------------
+
+def test_roofline_counts(solver):
+    rf = roofline(solver.lu, nrhs=1)
+    assert rf.flops == pytest.approx(solver.lu.solve_flops(1))
+    assert rf.bytes > 0
+    # SpTRSV is memory bound: intensity far below typical machine balance.
+    assert rf.intensity < 1.0
+    assert rf.bound(CORI_HASWELL) == "memory"
+
+
+def test_roofline_floor_is_lower_bound(solver):
+    """A single-rank solve cannot beat the single-rank roofline floor."""
+    rf = roofline(solver.lu, nrhs=1)
+    A = solver.A
+    s1 = SpTRSVSolver(A, 1, 1, 1, max_supernode=8, machine=CORI_HASWELL)
+    t = s1.solve(make_rhs(A.shape[0], 1)).report.total_time
+    assert t >= rf.time_floor(CORI_HASWELL, ranks=1)
+
+
+def test_roofline_parallel_floor_scales():
+    A = poisson2d(12, seed=1)
+    s = SpTRSVSolver(A, 1, 1, 1, max_supernode=8)
+    rf = roofline(s.lu)
+    assert rf.time_floor(CORI_HASWELL, ranks=4) == pytest.approx(
+        rf.time_floor(CORI_HASWELL, ranks=1) / 4)
+
+
+def test_roofline_nrhs_scaling(solver):
+    r1 = roofline(solver.lu, nrhs=1)
+    r8 = roofline(solver.lu, nrhs=8)
+    assert r8.flops == pytest.approx(8 * r1.flops)
+    assert r8.intensity > r1.intensity  # GEMM amortizes matrix traffic
+
+
+# ---- tuner ------------------------------------------------------------------
+
+def test_autotune_cpu_explores_all_shapes():
+    A = poisson2d(16, stencil=9, seed=5)
+    res = autotune_grid(A, P=8, machine=CORI_HASWELL, max_supernode=8,
+                        symbolic_mode="fixed")
+    shapes = {cfg for cfg, _ in res.table}
+    # All (px, py, pz) with px*py*pz = 8 and pz in {1,2,4,8}.
+    assert (8, 1, 1) in shapes and (1, 8, 1) in shapes
+    assert (2, 2, 2) in shapes and (1, 1, 8) in shapes
+    assert res.best in shapes
+    assert res.best_time == min(t for _, t in res.table)
+    assert "best" in res.format()
+
+
+def test_autotune_gpu_respects_constraints():
+    A = poisson2d(14, stencil=9, seed=6)
+    res = autotune_grid(A, P=8, machine=PERLMUTTER_GPU, device="gpu",
+                        max_supernode=8, symbolic_mode="fixed")
+    for (px, py, pz), _ in res.table:
+        assert py == 1
+    from repro.comm import CRUSHER_GPU
+
+    res_amd = autotune_grid(A, P=8, machine=CRUSHER_GPU, device="gpu",
+                            max_supernode=8, symbolic_mode="fixed")
+    for (px, py, pz), _ in res_amd.table:
+        assert px == 1 and py == 1  # no one-sided sub-communicators
+
+
+def test_autotune_max_pz_cap():
+    A = poisson2d(12, seed=7)
+    res = autotune_grid(A, P=8, max_pz=2, max_supernode=8,
+                        symbolic_mode="fixed")
+    assert all(pz <= 2 for (_, _, pz), _ in res.table)
+    with pytest.raises(ValueError):
+        autotune_grid(A, P=8, max_pz=3)
+    with pytest.raises(ValueError):
+        autotune_grid(A, P=0)
+
+
+def test_autotune_prefers_3d_at_scale():
+    """At P=16 on the latency-bound Poisson problem, some pz > 1 wins."""
+    A = poisson2d(24, stencil=9, seed=8)
+    res = autotune_grid(A, P=16, machine=CORI_HASWELL, max_supernode=8,
+                        symbolic_mode="fixed")
+    assert res.best[2] > 1
+
+
+# ---- report formatting --------------------------------------------------------
+
+def test_format_report(solver):
+    out = solver.solve(make_rhs(solver.n, 1))
+    text = format_report(out.report)
+    assert "total (makespan)" in text
+    assert "Z-comm" in text
+    assert "2x2x2" in text
+
+
+def test_compare_outcomes(solver):
+    b = make_rhs(solver.n, 1)
+    outcomes = {
+        "new3d": solver.solve(b),
+        "baseline3d": solver.solve(b, algorithm="baseline3d"),
+    }
+    text = compare_outcomes(outcomes)
+    assert "<- best" in text
+    assert "new3d" in text and "baseline3d" in text
+    assert compare_outcomes({}) == "(no outcomes)"
+
+
+# ---- model self-validation -----------------------------------------------------
+
+def test_validate_simulation_all_algorithms(solver):
+    from repro.perf import validate_simulation
+
+    b = make_rhs(solver.n, 2)
+    for alg in ("new3d", "baseline3d"):
+        out = solver.solve(b, algorithm=alg)
+        rep = validate_simulation(solver, out)
+        assert rep.ok, rep.summary()
+        assert rep.slack >= 1.0
+        assert "consistent" in rep.summary()
+
+
+def test_validate_simulation_gpu():
+    from repro.perf import validate_simulation
+
+    A = poisson2d(12, stencil=9, seed=9)
+    s = SpTRSVSolver(A, 2, 1, 2, max_supernode=8, machine=PERLMUTTER_GPU)
+    out = s.solve(make_rhs(A.shape[0], 1), device="gpu")
+    rep = validate_simulation(s, out, device="gpu")
+    assert rep.ok, rep.summary()
+
+
+def test_validation_report_flags_violations():
+    from repro.perf.validation import ValidationReport
+
+    bad = ValidationReport(simulated=1.0, critical_path_bound=2.0,
+                           roofline_bound=0.5)
+    assert not bad.ok
+    assert "VIOLATES" in bad.summary()
+    assert bad.slack == pytest.approx(0.5)

@@ -1,0 +1,215 @@
+"""Unit tests for the 2D solve plan builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan2d import build_2d_plans, u_blockrows
+from repro.core.sptrsv3d_new import grid_supernodes
+from repro.grids import BlockCyclicMap, Grid3D
+
+
+def full_sets(problem):
+    lu = problem["lu"]
+    return list(range(lu.nsup))
+
+
+def test_u_blockrows_is_transpose(poisson_problem):
+    lu = poisson_problem["lu"]
+    rows = u_blockrows(lu)
+    pairs_from_rows = {(int(K), int(J))
+                       for J in range(lu.nsup) for K in rows[J]}
+    pairs_from_cols = {(K, int(J))
+                       for K in range(lu.nsup) for J in lu.u_blockcols[K]}
+    assert pairs_from_rows == pairs_from_cols
+
+
+@pytest.mark.parametrize("px,py", [(1, 1), (2, 2), (3, 2), (1, 4)])
+def test_plan_covers_all_blocks_once(poisson_problem, px, py):
+    lu = poisson_problem["lu"]
+    grid = Grid3D(px, py, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem))
+    seen = {}
+    for r, p in plan.ranks.items():
+        for J, blks in p.consumer_blocks.items():
+            for I, blk in blks:
+                assert (I, J) not in seen
+                seen[(I, J)] = r
+    assert set(seen) == set(lu.Lblocks)
+    # Each block is planned at its block-cyclic owner.
+    cmap = BlockCyclicMap(grid)
+    for (I, J), r in seen.items():
+        assert r == cmap.owner_rank(I, J, 0)
+
+
+def test_plan_solve_cols_partition_solve_set(poisson_problem):
+    lu = poisson_problem["lu"]
+    grid = Grid3D(2, 3, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem))
+    all_cols = []
+    for p in plan.ranks.values():
+        all_cols.extend(p.solve_cols)
+    assert sorted(all_cols) == list(range(lu.nsup))
+
+
+def test_plan_message_counts_balance(poisson_problem):
+    """Total receives expected == total sends planned (tree edge count)."""
+    lu = poisson_problem["lu"]
+    for px, py in [(2, 2), (4, 1), (1, 4)]:
+        grid = Grid3D(px, py, 1)
+        plan = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem))
+        nrecv = sum(p.nrecv for p in plan.ranks.values())
+        nsend = sum(p.total_messages_sent() for p in plan.ranks.values())
+        assert nrecv == nsend
+
+
+def test_plan_fmod_counts_blocks(poisson_problem):
+    lu = poisson_problem["lu"]
+    grid = Grid3D(2, 2, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem))
+    for p in plan.ranks.values():
+        counted = {}
+        for J, blks in p.consumer_blocks.items():
+            for I, _ in blks:
+                counted[I] = counted.get(I, 0) + 1
+        assert counted == p.fmod0
+
+
+def test_plan_single_rank_has_no_messages(poisson_problem):
+    lu = poisson_problem["lu"]
+    grid = Grid3D(1, 1, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem))
+    p = plan.plan_of(0)
+    assert p.nrecv == 0
+    assert not p.bcast_trees and not p.red_trees
+    assert p.solve_cols == list(range(lu.nsup))
+
+
+def test_plan_binary_vs_flat_tree_shapes(poisson_problem):
+    lu = poisson_problem["lu"]
+    grid = Grid3D(6, 1, 1)
+    pb = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem),
+                        tree_kind="binary")
+    pf = build_2d_plans(lu, grid, 0, "L", full_sets(poisson_problem),
+                        tree_kind="flat")
+    max_fan_b = max((t.max_fanout() for p in pb.ranks.values()
+                     for t in p.bcast_trees.values()), default=0)
+    max_fan_f = max((t.max_fanout() for p in pf.ranks.values()
+                     for t in p.bcast_trees.values()), default=0)
+    assert max_fan_b <= 2
+    assert max_fan_f >= max_fan_b
+
+
+def test_plan_restricted_solve_with_update_region(poisson_problem):
+    """Baseline-style plan: solve a leaf node, update ancestor rows."""
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    part = lu.partition
+    grid = Grid3D(2, 2, 1)
+    leaf = layout.leaf(0)
+    lo, hi = part.sn_range(leaf.first, leaf.last)
+    S = list(range(lo, hi))
+    anc = []
+    for a in layout.ancestors(leaf):
+        alo, ahi = part.sn_range(a.first, a.last)
+        anc.extend(range(alo, ahi))
+    plan = build_2d_plans(lu, grid, 0, "L", S, update_set=S + anc)
+    out_rows = [I for p in plan.ranks.values() for I in p.out_rows]
+    assert set(out_rows) <= set(anc)
+    assert len(out_rows) > 0  # a leaf touching separators must export rows
+    # No plan may reference blocks outside the allowed column set.
+    for p in plan.ranks.values():
+        assert set(p.consumer_blocks) <= set(S)
+
+
+def test_plan_ext_set(poisson_problem):
+    """U-phase baseline plan: external ancestor producers."""
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    part = lu.partition
+    grid = Grid3D(2, 2, 1)
+    leaf = layout.leaf(0)
+    lo, hi = part.sn_range(leaf.first, leaf.last)
+    S = list(range(lo, hi))
+    anc = []
+    for a in layout.ancestors(leaf):
+        alo, ahi = part.sn_range(a.first, a.last)
+        anc.extend(range(alo, ahi))
+    plan = build_2d_plans(lu, grid, 0, "U", S, ext_set=anc)
+    ext_cols = [J for p in plan.ranks.values() for J in p.ext_cols]
+    assert sorted(ext_cols) == sorted(anc)
+    for p in plan.ranks.values():
+        for J, blks in p.consumer_blocks.items():
+            for I, _ in blks:
+                assert I in set(S)  # update region defaults to solve set
+
+
+def test_plan_validation(poisson_problem):
+    lu = poisson_problem["lu"]
+    grid = Grid3D(2, 2, 1)
+    with pytest.raises(ValueError):
+        build_2d_plans(lu, grid, 0, "X", [0])
+    with pytest.raises(ValueError):
+        build_2d_plans(lu, grid, 0, "L", [0], tree_kind="ternary")
+    with pytest.raises(ValueError):
+        build_2d_plans(lu, grid, 0, "L", [0, 1], update_set=[0])
+    with pytest.raises(ValueError):
+        build_2d_plans(lu, grid, 0, "L", [0, 1], ext_set=[1])
+
+
+def test_grid_supernodes_cover_matrix(poisson_problem):
+    """Union over grids of leaf supernodes + shared ancestors covers all."""
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    all_sns = set()
+    for z in range(layout.pz):
+        all_sns.update(grid_supernodes(layout, lu.partition, z))
+    assert all_sns == set(range(lu.nsup))
+
+
+def test_grid_supernodes_block_closure(poisson_problem):
+    """Every block row of a grid's column set lies inside the grid's set —
+    the ancestor-closure invariant of the ND ordering (DESIGN.md)."""
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    for z in range(layout.pz):
+        sns = set(grid_supernodes(layout, lu.partition, z))
+        for K in sns:
+            for I in lu.l_blockrows[K]:
+                assert int(I) in sns
+            for J in lu.u_blockcols[K]:
+                assert int(J) in sns
+
+
+def test_remark_baseline_reduces_rows_repeatedly(poisson_problem):
+    """§3.3 Remark: with the proposed layout, each row's partial sums are
+    reduced once; the baseline reduces an ancestor row at *every* level that
+    contributes to it (one reduce round per colored block of Fig. 1(b)),
+    which inflates message rounds."""
+    from repro.core.sptrsv3d_baseline import build_baseline3d_setup
+    from repro.core.sptrsv3d_new import build_new3d_setup
+
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    grid = Grid3D(2, 2, 8)
+
+    def rows_reduced(plans):
+        """Rows whose partial sums this solve accumulates (fmod counters)."""
+        rows = set()
+        for p in plans.ranks.values():
+            rows.update(p.fmod0)
+        return rows
+
+    new_setup = build_new3d_setup(lu, layout, grid, "auto")
+    base_setup = build_baseline3d_setup(lu, layout, grid, "flat")
+    # Grid 0 is active at every baseline level (the Fig. 1(b) situation).
+    new_rounds = len(rows_reduced(new_setup.plans_L[0]))
+    base_rounds = 0
+    multiplicity = {}
+    for _, _, plan_l, _ in base_setup.steps[0]:
+        rows = rows_reduced(plan_l)
+        base_rounds += len(rows)
+        for I in rows:
+            multiplicity[I] = multiplicity.get(I, 0) + 1
+    assert base_rounds > new_rounds
+    # Ancestor rows really are reduced at multiple levels.
+    assert max(multiplicity.values()) > 1

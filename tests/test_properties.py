@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise the pipeline and data structures on adversarial random
+inputs: arbitrary structurally symmetric diagonally dominant matrices,
+arbitrary grid shapes, arbitrary tree member sets.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.comm import CORI_HASWELL, Simulator, allreduce, binary_tree, flat_tree
+from repro.core import SpTRSVSolver
+from repro.matrices import make_rhs
+from repro.numfact import dense_lu_nopivot, lu_factorize, solve_residual
+from repro.ordering import etree, nested_dissection, postorder
+from repro.symbolic import fixed_partition, symbolic_factor
+from repro.util import check_permutation, inverse_permutation
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+FAST = settings(max_examples=60, deadline=None)
+
+
+# ---- random matrix strategy --------------------------------------------------
+
+@st.composite
+def dd_matrices(draw, max_n=60):
+    """Random structurally symmetric, strictly diagonally dominant CSR."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    density = draw(st.floats(min_value=0.02, max_value=0.25))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(density * n * n / 2))
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    keep = rows != cols
+    A = sp.csr_matrix((-rng.uniform(0.1, 1.0, size=int(keep.sum())),
+                       (rows[keep], cols[keep])), shape=(n, n))
+    A = A + A.T
+    A.setdiag(0)
+    A.eliminate_zeros()
+    rowsum = np.abs(A).sum(axis=1).A1
+    A = sp.csr_matrix(A + sp.diags(rowsum + 1.0))
+    A.sort_indices()
+    return A
+
+
+# ---- end-to-end pipeline ------------------------------------------------------
+
+@SLOW
+@given(A=dd_matrices(), pz_log=st.integers(0, 2),
+       px=st.integers(1, 3), py=st.integers(1, 3),
+       nrhs=st.integers(1, 3),
+       alg=st.sampled_from(["new3d", "baseline3d"]))
+def test_pipeline_solves_random_matrices(A, pz_log, px, py, nrhs, alg):
+    pz = 1 << pz_log
+    solver = SpTRSVSolver(A, px, py, pz, max_supernode=5)
+    b = make_rhs(A.shape[0], nrhs, kind="random", seed=0)
+    out = solver.solve(b, algorithm=alg)
+    assert solve_residual(A, out.x, b) < 1e-8
+
+
+@SLOW
+@given(A=dd_matrices(max_n=40), pz_log=st.integers(0, 2),
+       px=st.integers(1, 2))
+def test_gpu_pipeline_random_matrices(A, pz_log, px):
+    from repro.comm import PERLMUTTER_GPU
+
+    pz = 1 << pz_log
+    solver = SpTRSVSolver(A, px, 1, pz, max_supernode=5,
+                          machine=PERLMUTTER_GPU)
+    b = make_rhs(A.shape[0], 2, kind="random", seed=1)
+    out = solver.solve(b, device="gpu")
+    assert solve_residual(A, out.x, b) < 1e-8
+    # GPU and CPU paths agree on the same factors.
+    cpu = solver.solve(b, device="cpu")
+    assert np.allclose(out.x, cpu.x, atol=1e-9)
+
+
+# ---- ordering ------------------------------------------------------------------
+
+@FAST
+@given(A=dd_matrices(), min_depth=st.integers(0, 4))
+def test_nd_permutation_and_separation(A, min_depth):
+    n = A.shape[0]
+    tree = nested_dissection(A, leaf_size=4, min_depth=min_depth)
+    check_permutation(tree.perm, n)
+    assert tree.min_leaf_depth() >= min_depth
+    # Separator property on every internal node.
+    perm = tree.perm
+    Ap = sp.csr_matrix(A)[perm][:, perm].tocoo()
+    for nd in tree.nodes:
+        if not nd.children:
+            continue
+        l, r = (tree.nodes[c] for c in nd.children)
+        in_left = (Ap.row >= l.subtree_first) & (Ap.row < l.last)
+        in_right = (Ap.col >= r.subtree_first) & (Ap.col < r.last)
+        assert not (in_left & in_right).any()
+
+
+@FAST
+@given(A=dd_matrices())
+def test_etree_parents_above(A):
+    parent = etree(A)
+    n = A.shape[0]
+    for j in range(n):
+        assert parent[j] == -1 or parent[j] > j
+    post = postorder(parent)
+    check_permutation(post, n)
+
+
+# ---- symbolic -------------------------------------------------------------------
+
+@FAST
+@given(A=dd_matrices(max_n=40), mx=st.integers(1, 8))
+def test_symbolic_pattern_superset_of_A(A, mx):
+    """The fill pattern always contains A's below-diagonal pattern."""
+    sym = symbolic_factor(A, max_supernode=mx)
+    part = sym.partition
+    assert part.n == A.shape[0]
+    assert max(np.diff(part.sn_start)) <= mx
+    coo = sp.tril(A, k=-1).tocoo()
+    col2sn = part.col2sn()
+    below = {s: set(r.tolist()) for s, r in enumerate(sym.below_rows)}
+    for i, j in zip(coo.row, coo.col):
+        s = col2sn[j]
+        if i >= part.last(s):
+            assert int(i) in below[s]
+
+
+@FAST
+@given(n=st.integers(1, 200), mx=st.integers(1, 20),
+       nb=st.integers(0, 5), seed=st.integers(0, 1000))
+def test_fixed_partition_properties(n, mx, nb, seed):
+    rng = np.random.default_rng(seed)
+    cuts = np.unique(np.concatenate(
+        [[0, n], rng.integers(0, n + 1, size=nb)]))
+    part = fixed_partition(n, mx, cuts)
+    assert part.n == n
+    assert max(np.diff(part.sn_start)) <= mx
+    starts = set(part.sn_start.tolist())
+    assert set(cuts.tolist()) <= starts
+
+
+# ---- numeric factorization -------------------------------------------------------
+
+@FAST
+@given(m=st.integers(1, 20), seed=st.integers(0, 1000))
+def test_dense_lu_random_dd(m, seed):
+    rng = np.random.default_rng(seed)
+    D = rng.standard_normal((m, m))
+    D += np.diag(np.abs(D).sum(axis=1) + 1.0)
+    L, U = dense_lu_nopivot(D)
+    assert np.allclose(L @ U, D, atol=1e-9 * max(1.0, abs(D).max()))
+
+
+@SLOW
+@given(A=dd_matrices(max_n=50), mx=st.integers(1, 8))
+def test_lu_factorization_residual(A, mx):
+    sym = symbolic_factor(A, max_supernode=mx)
+    lu = lu_factorize(A, sym.partition)
+    b = make_rhs(A.shape[0], 1, "random", seed=0)
+    x = lu.solve(b)
+    assert solve_residual(A, x, b) < 1e-9
+
+
+# ---- trees and collectives ---------------------------------------------------------
+
+@FAST
+@given(members=st.lists(st.integers(0, 100), min_size=1, max_size=30,
+                        unique=True),
+       root_idx=st.integers(0, 29),
+       builder=st.sampled_from([binary_tree, flat_tree]))
+def test_tree_spanning_property(members, root_idx, builder):
+    root = members[root_idx % len(members)]
+    tree = builder(members, root)
+    assert tree.root == root
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        r = frontier.pop()
+        for c in tree.children(r):
+            assert c not in seen
+            assert tree.parent(c) == r
+            seen.add(c)
+            frontier.append(c)
+    assert seen == set(members)
+
+
+@FAST
+@given(n=st.integers(1, 10), sub=st.data())
+def test_allreduce_equals_numpy_sum(n, sub):
+    members = sub.draw(st.lists(st.integers(0, n - 1), min_size=1,
+                                max_size=n, unique=True))
+    values = {m: np.array([float(m + 1), float(m) ** 2]) for m in members}
+
+    def fn(ctx):
+        if ctx.rank in members:
+            out = yield from allreduce(ctx, members, values[ctx.rank])
+            return out
+        return None
+        yield  # pragma: no cover - make non-members generators too
+
+    res = Simulator(n, CORI_HASWELL).run(fn)
+    expected = sum(values.values())
+    for m in members:
+        assert np.allclose(res.results[m], expected)
+
+
+# ---- util ---------------------------------------------------------------------------
+
+@FAST
+@given(perm=st.permutations(list(range(12))))
+def test_inverse_permutation_roundtrip(perm):
+    p = np.array(perm)
+    ip = inverse_permutation(p)
+    assert (p[ip] == np.arange(12)).all()
+    assert (ip[p] == np.arange(12)).all()
+
+
+# ---- cross-implementation equivalences under random inputs --------------------
+
+@SLOW
+@given(A=dd_matrices(max_n=45), mx=st.integers(1, 6))
+def test_left_and_right_looking_agree(A, mx):
+    from repro.numfact import lu_factorize, lu_factorize_leftlooking
+
+    part = symbolic_factor(A, max_supernode=mx).partition
+    rl = lu_factorize(A, part)
+    ll = lu_factorize_leftlooking(A, part)
+    b = make_rhs(A.shape[0], 1, "random", seed=0)
+    assert np.allclose(rl.solve(b), ll.solve(b), atol=1e-9)
+
+
+@SLOW
+@given(A=dd_matrices(max_n=40), pz_log=st.integers(1, 2))
+def test_sparse_and_naive_allreduce_agree(A, pz_log):
+    pz = 1 << pz_log
+    solver = SpTRSVSolver(A, 1, 1, pz, max_supernode=5)
+    b = make_rhs(A.shape[0], 1, "random", seed=1)
+    xs = solver.solve(b, allreduce_impl="sparse").x
+    xn = solver.solve(b, allreduce_impl="naive").x
+    assert np.allclose(xs, xn, atol=1e-10)
+
+
+@FAST
+@given(m=st.integers(1, 12), n=st.integers(1, 12),
+       seed=st.integers(0, 500), tol=st.sampled_from([0.0, 1e-12]))
+def test_skyline_roundtrip_property(m, n, seed, tol):
+    from repro.numfact import SkylineBlock
+
+    rng = np.random.default_rng(seed)
+    block = rng.standard_normal((m, n))
+    block[rng.random((m, n)) < 0.4] = 0.0
+    sk = SkylineBlock.from_dense(block, tol=tol)
+    assert np.allclose(sk.to_dense(), block)
+    x = rng.standard_normal((n, 2))
+    assert np.allclose(sk.matvec(x), block @ x, atol=1e-12)
+    assert sk.stored_entries <= sk.full_entries
+
+
+@SLOW
+@given(A=dd_matrices(max_n=40), mx=st.integers(1, 6))
+def test_level_profile_invariants(A, mx):
+    from repro.numfact import lu_factorize
+    from repro.perf import level_profile
+
+    part = symbolic_factor(A, max_supernode=mx).partition
+    lu = lu_factorize(A, part)
+    prof = level_profile(lu, "L")
+    assert prof.widths.sum() == lu.nsup
+    for J in range(lu.nsup):
+        for I in lu.l_blockrows[J]:
+            assert prof.levels[int(I)] > prof.levels[J]

@@ -1,0 +1,232 @@
+"""Unit tests for the discrete-event message-passing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ANY, CORI_HASWELL, DeadlockError, Simulator
+
+
+MACHINE = CORI_HASWELL
+
+
+def run(nranks, fn):
+    return Simulator(nranks, MACHINE).run(fn)
+
+
+def test_single_rank_compute():
+    def fn(ctx):
+        yield ctx.compute(1.5, category="fp")
+        return ctx.rank
+
+    res = run(1, fn)
+    assert res.clocks[0] == pytest.approx(1.5)
+    assert res.results == [0]
+    assert res.time_by(category="fp")[0] == pytest.approx(1.5)
+
+
+def test_ping_pong_payload_and_clock():
+    data = np.arange(8, dtype=float)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, data, tag="ping")
+            src, tag, back = yield ctx.recv(src=1, tag="pong")
+            return back
+        else:
+            src, tag, got = yield ctx.recv(src=0, tag="ping")
+            yield ctx.send(0, got * 2, tag="pong")
+            return None
+
+    res = run(2, fn)
+    assert np.array_equal(res.results[0], data * 2)
+    # One network round trip: both clocks at least 2 * alpha_intra.
+    assert res.clocks[0] >= 2 * MACHINE.net.alpha_intra
+
+
+def test_send_copies_payload():
+    """Sender-side mutation after an eager send must not reach the receiver."""
+    def fn(ctx):
+        if ctx.rank == 0:
+            buf = np.ones(4)
+            yield ctx.send(1, buf, tag=0)
+            buf[:] = -1
+            yield ctx.compute(1.0)
+        else:
+            yield ctx.compute(0.5)  # receive strictly after the mutation
+            _, _, got = yield ctx.recv(src=0, tag=0)
+            assert (got == 1).all()
+
+    run(2, fn)
+
+
+def test_any_source_picks_earliest_arrival():
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(1.0)
+            yield ctx.send(2, np.array([0.0]), tag="t")
+        elif ctx.rank == 1:
+            yield ctx.send(2, np.array([1.0]), tag="t")
+        else:
+            a = yield ctx.recv(src=ANY, tag="t")
+            b = yield ctx.recv(src=ANY, tag="t")
+            return (a[0], b[0])
+
+    res = run(3, fn)
+    # Rank 1's message was sent at t=0, rank 0's at t=1.0.
+    assert res.results[2] == (1, 0)
+
+
+def test_tag_filtering():
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, "late", tag="b")
+            yield ctx.send(1, "first", tag="a")
+        else:
+            _, _, v1 = yield ctx.recv(src=0, tag="a")
+            _, _, v2 = yield ctx.recv(src=0, tag="b")
+            return (v1, v2)
+
+    res = run(2, fn)
+    assert res.results[1] == ("first", "late")
+
+
+def test_recv_wait_time_attributed():
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(2.0)
+            yield ctx.send(1, np.zeros(1), tag=0)
+        else:
+            yield ctx.recv(src=0, tag=0, category="xy")
+
+    res = run(2, fn)
+    assert res.time_by(category="xy")[1] >= 2.0
+
+
+def test_deadlock_detection():
+    def fn(ctx):
+        yield ctx.recv(src=ANY, tag="never")
+
+    with pytest.raises(DeadlockError, match="blocked"):
+        run(2, fn)
+
+
+def test_deadlock_message_names_phase():
+    def fn(ctx):
+        ctx.set_phase("lsolve")
+        yield ctx.recv(src=0, tag="x")
+
+    with pytest.raises(DeadlockError, match="lsolve"):
+        run(1, fn)
+
+
+def test_phase_and_category_accounting():
+    def fn(ctx):
+        ctx.set_phase("l")
+        yield ctx.compute(1.0, category="fp")
+        ctx.set_phase("u")
+        yield ctx.compute(2.0, category="fp")
+        yield ctx.compute(0.5, category="xy")
+
+    res = run(1, fn)
+    assert res.time_by(phase="l", category="fp")[0] == pytest.approx(1.0)
+    assert res.time_by(phase="u", category="fp")[0] == pytest.approx(2.0)
+    assert res.time_by(phase="u")[0] == pytest.approx(2.5)
+    assert res.time_by()[0] == pytest.approx(3.5)
+    assert ("l", "fp") in res.categories()
+
+
+def test_message_stats():
+    def fn(ctx):
+        if ctx.rank == 0:
+            for k in range(5):
+                yield ctx.send(1, np.zeros(10), tag=k, category="xy")
+        else:
+            for _ in range(5):
+                yield ctx.recv(src=0, category="xy")
+
+    res = run(2, fn)
+    assert res.msgs_by(category="xy") == 5
+    assert res.bytes_by(category="xy") == pytest.approx(5 * 80)
+
+
+def test_inter_node_slower_than_intra():
+    big = np.zeros(1_000_000)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, big, tag=0)       # same node (ranks/node = 32)
+            yield ctx.send(32, big, tag=0)      # different node
+        elif ctx.rank in (1, 32):
+            yield ctx.recv(src=0, tag=0)
+
+    res = Simulator(33, MACHINE).run(fn)
+    assert res.clocks[32] > res.clocks[1]
+
+
+def test_marks_record_clock():
+    def fn(ctx):
+        ctx.mark("start")
+        yield ctx.compute(3.0)
+        ctx.mark("end")
+
+    res = run(1, fn)
+    assert res.marks[0]["start"] == 0.0
+    assert res.marks[0]["end"] == pytest.approx(3.0)
+
+
+def test_nonblocking_sends_allow_exchange():
+    """Both ranks send first then receive: must not deadlock (eager sends)."""
+    def fn(ctx):
+        other = 1 - ctx.rank
+        yield ctx.send(other, np.full(3, ctx.rank), tag=0)
+        _, _, got = yield ctx.recv(src=other, tag=0)
+        return float(got[0])
+
+    res = run(2, fn)
+    assert res.results == [1.0, 0.0]
+
+
+def test_invalid_ops_rejected():
+    def bad_dst(ctx):
+        yield ctx.send(99, np.zeros(1))
+
+    with pytest.raises(ValueError):
+        run(2, bad_dst)
+
+    def bad_compute(ctx):
+        yield ctx.compute(-1.0)
+
+    with pytest.raises(ValueError):
+        run(1, bad_compute)
+
+    def bad_yield(ctx):
+        yield "not an op"
+
+    with pytest.raises(TypeError):
+        run(1, bad_yield)
+
+
+def test_determinism():
+    def fn(ctx):
+        if ctx.rank == 0:
+            out = []
+            for _ in range(6):
+                src, tag, v = yield ctx.recv(src=ANY, tag=ANY)
+                out.append((src, tag))
+            return tuple(out)
+        for k in range(2):
+            yield ctx.compute(0.1 * ctx.rank)
+            yield ctx.send(0, np.zeros(2), tag=k)
+
+    r1 = Simulator(4, MACHINE).run(fn)
+    r2 = Simulator(4, MACHINE).run(fn)
+    assert r1.results[0] == r2.results[0]
+    assert np.array_equal(r1.clocks, r2.clocks)
+
+
+def test_gemm_op_positive_time():
+    def fn(ctx):
+        yield ctx.gemm(32, 1, 32, category="fp")
+
+    res = run(1, fn)
+    assert res.time_by(category="fp")[0] > 0

@@ -1,0 +1,85 @@
+"""Unit tests for the skyline U storage (the paper's §2.1 simplification)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import make_rhs, poisson2d, random_spd_like
+from repro.numfact import (
+    SkylineBlock,
+    lu_factorize,
+    skyline_compress,
+    skyline_stats,
+)
+from repro.symbolic import symbolic_factor
+
+
+def test_skyline_block_roundtrip():
+    rng = np.random.default_rng(0)
+    block = np.triu(rng.standard_normal((6, 6)))  # natural skyline shape
+    sk = SkylineBlock.from_dense(block)
+    assert np.allclose(sk.to_dense(), block)
+    assert sk.stored_entries < sk.full_entries
+
+
+def test_skyline_block_matvec_matches_dense():
+    rng = np.random.default_rng(1)
+    block = rng.standard_normal((8, 5))
+    block[5:, 2] = 0.0  # one short column
+    block[:, 4] = 0.0   # one empty column
+    sk = SkylineBlock.from_dense(block)
+    for nrhs in (1, 3):
+        x = rng.standard_normal((5, nrhs))
+        assert np.allclose(sk.matvec(x), block @ x, atol=1e-13)
+
+
+def test_skyline_block_empty_and_dense():
+    sk = SkylineBlock.from_dense(np.zeros((4, 3)))
+    assert sk.stored_entries == 0
+    assert np.allclose(sk.to_dense(), 0.0)
+    full = np.ones((4, 3))
+    sk2 = SkylineBlock.from_dense(full)
+    assert sk2.stored_entries == 12
+
+
+def test_skyline_tolerance():
+    block = np.array([[1.0, 1e-12], [0.0, 1e-12]])
+    assert SkylineBlock.from_dense(block, tol=0.0).stored_entries == 3
+    assert SkylineBlock.from_dense(block, tol=1e-9).stored_entries == 1
+
+
+@pytest.mark.parametrize("gen", [
+    lambda: poisson2d(10, stencil=9, seed=2),
+    lambda: random_spd_like(80, avg_degree=4, seed=3),
+])
+def test_skyline_compress_lossless_on_factors(gen):
+    A = gen()
+    sym = symbolic_factor(A, max_supernode=8)
+    lu = lu_factorize(A, sym.partition)
+    blocks = skyline_compress(lu)
+    assert set(blocks) == set(lu.Ublocks)
+    for key, sk in blocks.items():
+        assert np.allclose(sk.to_dense(), lu.Ublocks[key], atol=1e-15)
+
+
+def test_skyline_stats_quantify_simplification():
+    """The full-column assumption over-stores; skyline recovers it."""
+    A = poisson2d(12, stencil=9, seed=4)
+    sym = symbolic_factor(A, max_supernode=8)
+    lu = lu_factorize(A, sym.partition)
+    st = skyline_stats(lu)
+    assert st.nblocks == len(lu.Ublocks)
+    assert 0 < st.compression <= 1.0
+    assert st.wasted_bytes == 8.0 * (st.full_entries - st.skyline_entries)
+    # Solve through skyline matvecs matches the reference U-solve.
+    blocks = skyline_compress(lu)
+    y = make_rhs(lu.n, 1, "random", seed=5)
+    part = lu.partition
+    x = np.array(y)
+    for K in range(lu.nsup - 1, -1, -1):
+        c0, c1 = part.first(K), part.last(K)
+        acc = np.array(x[c0:c1])
+        for J in lu.u_blockcols[K]:
+            j0, j1 = part.first(J), part.last(J)
+            acc -= blocks[(K, int(J))].matvec(x[j0:j1])
+        x[c0:c1] = lu.diagUinv[K] @ acc
+    assert np.allclose(x, lu.solve_U(y), atol=1e-11)

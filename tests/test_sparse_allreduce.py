@@ -1,0 +1,121 @@
+"""Unit tests for the sparse inter-grid allreduce (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, Simulator
+from repro.core.sparse_allreduce import ancestor_supernodes, sparse_allreduce
+from repro.core.sptrsv3d_new import grid_supernodes
+from repro.grids import BlockCyclicMap, Grid3D
+from repro.ordering import build_layout_tree, nested_dissection
+from repro.matrices import poisson2d
+from repro.symbolic import symbolic_factor
+from repro.util import ilog2
+
+
+def make_layout(pz, n_grid=16):
+    A = poisson2d(n_grid, stencil=9, seed=2)
+    tree = nested_dissection(A, leaf_size=8, min_depth=ilog2(pz))
+    Ap = A[tree.perm][:, tree.perm]
+    sym = symbolic_factor(Ap, max_supernode=4, boundaries=tree.boundaries())
+    return build_layout_tree(tree, pz), sym.partition
+
+
+@pytest.mark.parametrize("pz", [2, 4, 8])
+def test_ancestor_supernodes_shared_between_partners(pz):
+    layout, part = make_layout(pz)
+    for l in range(layout.depth):
+        stride = 1 << l
+        for z in range(0, pz, 2 * stride):
+            a = ancestor_supernodes(layout, part, z)[l]
+            b = ancestor_supernodes(layout, part, z + stride)[l]
+            assert a == b
+
+
+@pytest.mark.parametrize("pz", [2, 4, 8])
+@pytest.mark.parametrize("px,py", [(1, 1), (2, 2)])
+def test_allreduce_sums_replicated_supernodes(pz, px, py):
+    """Every grid ends with the sum over all grids sharing each supernode."""
+    layout, part = make_layout(pz)
+    grid = Grid3D(px, py, pz)
+    cmap = BlockCyclicMap(grid)
+    nrhs = 2
+    rng = np.random.default_rng(3)
+    # Independent per-grid partial values for every supernode of the grid.
+    partials = {}
+    for z in range(pz):
+        for K in grid_supernodes(layout, part, z):
+            partials[(z, K)] = rng.standard_normal((part.size(K), nrhs))
+
+    def rank_fn(ctx):
+        i, j, z = grid.coords_of(ctx.rank)
+        vals = {K: np.array(partials[(z, K)])
+                for K in grid_supernodes(layout, part, z)
+                if K % px == i and K % py == j}
+        yield from sparse_allreduce(ctx, grid, layout, part, vals)
+        return vals
+
+    res = Simulator(grid.nranks, CORI_HASWELL).run(rank_fn)
+
+    # Reference sums per supernode.
+    sharing = {}
+    for z in range(pz):
+        for K in grid_supernodes(layout, part, z):
+            sharing.setdefault(K, []).append(z)
+    for K, zs in sharing.items():
+        expected = sum(partials[(z, K)] for z in zs)
+        for z in zs:
+            r = cmap.diag_owner_rank(K, z)
+            got = res.results[r][K]
+            assert np.allclose(got, expected, atol=1e-12), (K, z)
+
+
+def test_allreduce_noop_for_pz1():
+    layout, part = make_layout(1)
+    grid = Grid3D(2, 2, 1)
+
+    def rank_fn(ctx):
+        vals = {0: np.ones((part.size(0), 1))} if ctx.rank == 0 else {}
+        yield from sparse_allreduce(ctx, grid, layout, part, vals)
+        return vals
+
+    res = Simulator(4, CORI_HASWELL).run(rank_fn)
+    assert res.msgs_by() == 0
+    assert np.all(res.results[0][0] == 1.0)
+
+
+@pytest.mark.parametrize("pz", [2, 4, 8])
+def test_allreduce_message_count_is_logarithmic(pz):
+    """Each rank sends/receives at most log2(Pz) messages each way."""
+    layout, part = make_layout(pz)
+    grid = Grid3D(1, 1, pz)
+
+    def rank_fn(ctx):
+        _, _, z = grid.coords_of(ctx.rank)
+        vals = {K: np.zeros((part.size(K), 1))
+                for K in grid_supernodes(layout, part, z)}
+        yield from sparse_allreduce(ctx, grid, layout, part, vals)
+
+    res = Simulator(pz, CORI_HASWELL).run(rank_fn)
+    total = res.msgs_by(category="z")
+    # Reduce + broadcast: 2 * (pz - 1) pairwise messages in total.
+    assert total == 2 * (pz - 1)
+
+
+def test_allreduce_leaf_values_untouched():
+    layout, part = make_layout(4)
+    grid = Grid3D(1, 1, 4)
+
+    def rank_fn(ctx):
+        _, _, z = grid.coords_of(ctx.rank)
+        leaf = layout.leaf(z)
+        lo, hi = part.sn_range(leaf.first, leaf.last)
+        vals = {K: np.full((part.size(K), 1), float(z + 1))
+                for K in grid_supernodes(layout, part, z)}
+        yield from sparse_allreduce(ctx, grid, layout, part, vals)
+        return {K: vals[K] for K in range(lo, hi)}
+
+    res = Simulator(4, CORI_HASWELL).run(rank_fn)
+    for z in range(4):
+        for K, v in res.results[z].items():
+            assert np.all(v == z + 1)

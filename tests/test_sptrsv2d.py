@@ -1,0 +1,208 @@
+"""Unit tests for the message-driven 2D SpTRSV kernel."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, Simulator
+from repro.core.plan2d import build_2d_plans, u_blockrows
+from repro.core.sptrsv2d import sptrsv_2d
+from repro.grids import BlockCyclicMap, Grid3D
+from repro.matrices import make_rhs
+
+
+def run_2d_solve(lu, grid, phase, b_perm, nrhs, tree_kind="binary",
+                 machine=CORI_HASWELL):
+    """Drive a full-matrix 2D solve and assemble the result."""
+    part = lu.partition
+    uadj = u_blockrows(lu) if phase == "U" else None
+    plan = build_2d_plans(lu, grid, 0, phase, list(range(lu.nsup)),
+                          tree_kind=tree_kind, u_adj=uadj)
+
+    def rank_fn(ctx):
+        rhs = {}
+        for K in plan.plan_of(ctx.rank).solve_cols:
+            rhs[K] = np.array(b_perm[part.first(K):part.last(K)])
+        vals, _ = yield from sptrsv_2d(ctx, plan, rhs, nrhs, tag_salt="t")
+        return vals
+
+    res = Simulator(grid.nranks, machine).run(rank_fn)
+    cmap = BlockCyclicMap(grid)
+    x = np.empty((part.n, nrhs))
+    for K in range(lu.nsup):
+        r = cmap.diag_owner_rank(K, 0)
+        x[part.first(K):part.last(K)] = res.results[r][K]
+    return x, res
+
+
+GRIDS = [(1, 1), (2, 1), (1, 3), (2, 2), (3, 2), (4, 4)]
+
+
+@pytest.mark.parametrize("px,py", GRIDS)
+def test_lsolve_matches_reference(poisson_problem, px, py):
+    lu = poisson_problem["lu"]
+    b = make_rhs(lu.n, 2, "manufactured")
+    x, _ = run_2d_solve(lu, Grid3D(px, py, 1), "L", b, 2)
+    assert np.allclose(x, lu.solve_L(b), atol=1e-10)
+
+
+@pytest.mark.parametrize("px,py", GRIDS)
+def test_usolve_matches_reference(poisson_problem, px, py):
+    lu = poisson_problem["lu"]
+    y = make_rhs(lu.n, 2, "random", seed=5)
+    x, _ = run_2d_solve(lu, Grid3D(px, py, 1), "U", y, 2)
+    assert np.allclose(x, lu.solve_U(y), atol=1e-10)
+
+
+def test_lsolve_unstructured(random_problem):
+    lu = random_problem["lu"]
+    b = make_rhs(lu.n, 1, "random", seed=1)
+    x, _ = run_2d_solve(lu, Grid3D(3, 2, 1), "L", b, 1)
+    assert np.allclose(x, lu.solve_L(b), atol=1e-10)
+
+
+def test_flat_and_binary_trees_agree(poisson_problem):
+    lu = poisson_problem["lu"]
+    b = make_rhs(lu.n, 1)
+    xb, rb = run_2d_solve(lu, Grid3D(3, 2, 1), "L", b, 1, tree_kind="binary")
+    xf, rf = run_2d_solve(lu, Grid3D(3, 2, 1), "L", b, 1, tree_kind="flat")
+    assert np.allclose(xb, xf, atol=1e-12)
+
+
+def test_message_counts_match_plan(poisson_problem):
+    """Messages actually sent equal the plan's predicted tree edges."""
+    lu = poisson_problem["lu"]
+    grid = Grid3D(2, 3, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", list(range(lu.nsup)))
+    predicted = sum(p.nrecv for p in plan.ranks.values())
+    b = make_rhs(lu.n, 1)
+    _, res = run_2d_solve(lu, grid, "L", b, 1)
+    assert res.msgs_by(category="xy") == predicted
+
+
+def test_multirhs_consistent_with_single(poisson_problem):
+    lu = poisson_problem["lu"]
+    b = make_rhs(lu.n, 4, "random", seed=2)
+    x4, _ = run_2d_solve(lu, Grid3D(2, 2, 1), "L", b, 4)
+    for k in range(4):
+        x1, _ = run_2d_solve(lu, Grid3D(2, 2, 1), "L", b[:, k:k + 1], 1)
+        assert np.allclose(x4[:, k:k + 1], x1, atol=1e-12)
+
+
+def test_restricted_solve_exports_partial_sums(poisson_problem):
+    """Leaf-node-only solve must export exactly L(anc, leaf) @ y(leaf)."""
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    part = lu.partition
+    grid = Grid3D(2, 2, 1)
+    leaf = layout.leaf(0)
+    lo, hi = part.sn_range(leaf.first, leaf.last)
+    S = list(range(lo, hi))
+    anc = []
+    for a in layout.ancestors(leaf):
+        alo, ahi = part.sn_range(a.first, a.last)
+        anc.extend(range(alo, ahi))
+    plan = build_2d_plans(lu, grid, 0, "L", S, update_set=S + anc)
+    b = make_rhs(lu.n, 1)
+
+    def rank_fn(ctx):
+        rhs = {K: np.array(b[part.first(K):part.last(K)])
+               for K in plan.plan_of(ctx.rank).solve_cols}
+        return (yield from sptrsv_2d(ctx, plan, rhs, 1, tag_salt="r"))
+
+    res = Simulator(grid.nranks, CORI_HASWELL).run(rank_fn)
+    # Reference: solve the leaf columns sequentially, accumulate into anc.
+    y_ref = lu.solve_L(b)  # full solve; leaf part is unaffected by others
+    lsum_ref = {}
+    for K in S:
+        yK = y_ref[part.first(K):part.last(K)]
+        for I in lu.l_blockrows[K]:
+            I = int(I)
+            if I in set(anc):
+                lsum_ref.setdefault(I, np.zeros((part.size(I), 1)))
+                lsum_ref[I] += lu.Lblocks[(I, K)] @ yK
+    got = {}
+    for r in range(grid.nranks):
+        _, out = res.results[r]
+        for I, v in out.items():
+            got[I] = v
+    assert set(got) == set(lsum_ref)
+    for I in got:
+        assert np.allclose(got[I], lsum_ref[I], atol=1e-10)
+
+
+def test_initial_lsum_carry(poisson_problem):
+    """Initial partial sums shift the solution exactly like extra RHS."""
+    lu = poisson_problem["lu"]
+    part = lu.partition
+    grid = Grid3D(1, 1, 1)
+    plan = build_2d_plans(lu, grid, 0, "L", list(range(lu.nsup)))
+    b = make_rhs(lu.n, 1)
+    carry_vec = make_rhs(lu.n, 1, "random", seed=9)
+    carry = {K: carry_vec[part.first(K):part.last(K)]
+             for K in range(lu.nsup)}
+
+    def rank_fn(ctx):
+        rhs = {K: np.array(b[part.first(K):part.last(K)])
+               for K in range(lu.nsup)}
+        vals, _ = yield from sptrsv_2d(ctx, plan, rhs, 1,
+                                       initial_lsum=carry, tag_salt="c")
+        return vals
+
+    res = Simulator(1, CORI_HASWELL).run(rank_fn)
+    x = np.concatenate([res.results[0][K] for K in range(lu.nsup)])
+    # L y = b - carry_effect: carry enters as pre-accumulated lsum, so the
+    # result equals solve_L(b) minus the carry propagated through L^-1.
+    ref = lu.solve_L(b)
+    # Build reference by running the sequential solve with modified rhs:
+    # y(K) = Linv (b(K) - carry(K) - sum L(K,I) y(I)) — i.e. solve_L(b - c')
+    # where c' applies carry at each supernode before its diagonal solve.
+    # Equivalent: solve_L(b) with b replaced by b - carry_vec only if carry
+    # is applied at the diagonal step, which it is.
+    ref = lu.solve_L(b - carry_vec)
+    assert np.allclose(x.ravel(), ref.ravel(), atol=1e-10)
+
+
+def test_ext_values_drive_usolve(poisson_problem):
+    """Solving only the leaf in the U phase with known ancestor x values."""
+    lu = poisson_problem["lu"]
+    layout = poisson_problem["layout"]
+    part = lu.partition
+    grid = Grid3D(2, 2, 1)
+    leaf = layout.leaf(0)
+    lo, hi = part.sn_range(leaf.first, leaf.last)
+    S = list(range(lo, hi))
+    anc = []
+    for a in layout.ancestors(leaf):
+        alo, ahi = part.sn_range(a.first, a.last)
+        anc.extend(range(alo, ahi))
+    uadj = u_blockrows(lu)
+    plan = build_2d_plans(lu, grid, 0, "U", S, ext_set=anc, u_adj=uadj)
+    y = make_rhs(lu.n, 1, "random", seed=3)
+    x_full = lu.solve_U(y)
+
+    def rank_fn(ctx):
+        p = plan.plan_of(ctx.rank)
+        rhs = {K: np.array(y[part.first(K):part.last(K)])
+               for K in p.solve_cols}
+        ext = {J: np.array(x_full[part.first(J):part.last(J)])
+               for J in p.ext_cols}
+        vals, _ = yield from sptrsv_2d(ctx, plan, rhs, 1, ext_values=ext,
+                                       tag_salt="e")
+        return vals
+
+    res = Simulator(grid.nranks, CORI_HASWELL).run(rank_fn)
+    cmap = BlockCyclicMap(grid)
+    for K in S:
+        got = res.results[cmap.diag_owner_rank(K, 0)][K]
+        assert np.allclose(got, x_full[part.first(K):part.last(K)],
+                           atol=1e-10)
+
+
+def test_more_ranks_changes_comm_not_solution(poisson_problem):
+    lu = poisson_problem["lu"]
+    b = make_rhs(lu.n, 1)
+    x1, r1 = run_2d_solve(lu, Grid3D(1, 1, 1), "L", b, 1)
+    x2, r2 = run_2d_solve(lu, Grid3D(4, 4, 1), "L", b, 1)
+    assert np.allclose(x1, x2, atol=1e-12)
+    assert r1.msgs_by() == 0
+    assert r2.msgs_by() > 0

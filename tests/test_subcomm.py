@@ -1,0 +1,95 @@
+"""Tests for the MPI-like sub-communicator abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, Simulator
+from repro.comm.subcomm import Subcomm, grid_subcomms
+from repro.grids import Grid3D
+
+
+def test_rank_translation():
+    c = Subcomm((3, 1, 7), name="g")
+    assert c.members == (1, 3, 7)
+    assert c.size == 3
+    assert c.rank_of(3) == 1
+    assert c.global_of(0) == 1
+    assert c.contains(7) and not c.contains(2)
+    with pytest.raises(KeyError):
+        c.rank_of(5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Subcomm(())
+    with pytest.raises(ValueError):
+        Subcomm((1, 1))
+
+
+def test_split():
+    c = Subcomm(tuple(range(8)))
+    parts = c.split(lambda r: r % 2)
+    assert set(parts) == {0, 1}
+    assert parts[0].members == (0, 2, 4, 6)
+    assert parts[1].members == (1, 3, 5, 7)
+
+
+def test_collectives_through_subcomm():
+    even = Subcomm((0, 2, 4), name="even")
+
+    def fn(ctx):
+        if even.contains(ctx.rank):
+            total = yield from even.allreduce(ctx, np.array([1.0]))
+            got = yield from even.bcast(ctx, float(total[0]) * ctx.rank
+                                        if ctx.rank == 0 else None, root=0)
+            yield from even.barrier(ctx)
+            return got
+        yield ctx.compute(0.1)
+        return None
+
+    res = Simulator(5, CORI_HASWELL).run(fn)
+    assert res.results[0] == res.results[2] == res.results[4] == 0.0
+    assert res.results[1] is None
+
+
+def test_reduce_to_group_root():
+    c = Subcomm((1, 2, 3))
+
+    def fn(ctx):
+        if not c.contains(ctx.rank):
+            return None
+        acc = yield from c.reduce(ctx, np.array([float(ctx.rank)]), root=2)
+        return float(acc[0]) if c.rank_of(ctx.rank) == 2 else None
+
+    res = Simulator(4, CORI_HASWELL).run(fn)
+    assert res.results[3] == 6.0  # group rank 2 == global rank 3
+
+
+def test_two_subcomms_do_not_cross_talk():
+    """Identical payload/tag collectives on disjoint groups stay separate."""
+    a = Subcomm((0, 1), name="a")
+    b = Subcomm((2, 3), name="b")
+
+    def fn(ctx):
+        grp = a if ctx.rank < 2 else b
+        out = yield from grp.allreduce(ctx, np.array([float(ctx.rank)]))
+        return float(out[0])
+
+    res = Simulator(4, CORI_HASWELL).run(fn)
+    assert res.results == [1.0, 1.0, 5.0, 5.0]
+
+
+def test_grid_subcomms_families():
+    g = Grid3D(2, 3, 4)
+    xy, zs = grid_subcomms(g)
+    assert len(xy) == 4 and len(zs) == 6
+    for z, c in enumerate(xy):
+        assert c.members == tuple(g.grid_ranks(z))
+    # Every rank appears in exactly one xy comm and one z comm.
+    from collections import Counter
+
+    cnt_xy = Counter(r for c in xy for r in c.members)
+    cnt_z = Counter(r for c in zs for r in c.members)
+    assert set(cnt_xy.values()) == {1}
+    assert set(cnt_z.values()) == {1}
+    assert sum(c.size for c in xy) == g.nranks

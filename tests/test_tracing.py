@@ -1,0 +1,78 @@
+"""Unit tests for the simulator's optional event tracing."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, Simulator, TraceEvent
+
+
+def fn(ctx):
+    ctx.set_phase("l")
+    if ctx.rank == 0:
+        yield ctx.compute(1.0, category="fp")
+        yield ctx.send(1, np.zeros(8), tag="t", category="xy")
+    else:
+        yield ctx.recv(src=0, tag="t", category="xy")
+        yield ctx.compute(0.5, category="fp")
+
+
+def test_trace_disabled_by_default():
+    res = Simulator(2, CORI_HASWELL).run(fn)
+    assert res.trace is None
+    with pytest.raises(ValueError):
+        res.trace_timeline()
+
+
+def test_trace_records_all_kinds():
+    res = Simulator(2, CORI_HASWELL, trace=True).run(fn)
+    kinds = {e.kind for e in res.trace}
+    assert kinds == {"compute", "send", "wait"}
+    sends = [e for e in res.trace if e.kind == "send"]
+    assert sends[0].rank == 0 and sends[0].detail == 1
+    waits = [e for e in res.trace if e.kind == "wait"]
+    assert waits[0].rank == 1 and waits[0].detail == 0
+
+
+def test_trace_timeline_sorted_and_filtered():
+    res = Simulator(2, CORI_HASWELL, trace=True).run(fn)
+    tl = res.trace_timeline()
+    assert all(tl[i].t0 <= tl[i + 1].t0 for i in range(len(tl) - 1))
+    tl0 = res.trace_timeline(rank=0)
+    assert {e.rank for e in tl0} == {0}
+
+
+def test_trace_intervals_consistent_with_times():
+    """Per-rank summed trace durations equal the accounted times."""
+    res = Simulator(2, CORI_HASWELL, trace=True).run(fn)
+    for r in range(2):
+        total_trace = sum(e.t1 - e.t0 for e in res.trace_timeline(rank=r))
+        total_times = res.time_by()[r]
+        assert total_trace == pytest.approx(total_times, rel=1e-12)
+        # Intervals are non-overlapping and end at the final clock.
+        tl = res.trace_timeline(rank=r)
+        for a, b in zip(tl, tl[1:]):
+            assert a.t1 <= b.t0 + 1e-15
+        assert tl[-1].t1 == pytest.approx(res.clocks[r])
+
+
+def test_trace_phase_labels():
+    res = Simulator(2, CORI_HASWELL, trace=True).run(fn)
+    assert all(e.phase == "l" for e in res.trace)
+
+
+def test_solver_trace_integration():
+    """A full solve can be traced end to end."""
+    from repro.core.sptrsv3d_new import build_new3d_setup, new3d_rank_fn
+    from repro.core import SpTRSVSolver
+    from repro.matrices import make_rhs, poisson2d
+
+    A = poisson2d(10, stencil=9, seed=2)
+    s = SpTRSVSolver(A, 2, 1, 2, max_supernode=8)
+    setup = s._new3d_setup("auto")
+    b = make_rhs(A.shape[0], 1)[s.perm]
+    res = Simulator(s.grid.nranks, CORI_HASWELL, trace=True).run(
+        new3d_rank_fn(setup, b, 1))
+    tl = res.trace_timeline()
+    assert len(tl) > 10
+    phases = {e.phase for e in tl}
+    assert {"l", "u"} <= phases

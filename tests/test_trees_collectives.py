@@ -1,0 +1,178 @@
+"""Unit tests for communication trees and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CORI_HASWELL,
+    Simulator,
+    allreduce,
+    barrier,
+    bcast,
+    binary_tree,
+    flat_tree,
+    reduce,
+)
+
+
+# ---- trees ------------------------------------------------------------------
+
+def _check_tree(tree, members, root):
+    assert tree.root == root
+    assert sorted(tree.members) == sorted(members)
+    # Every non-root has a parent; edges are consistent both ways.
+    seen = {root}
+    for r in tree.members:
+        for c in tree.children(r):
+            assert tree.parent(c) == r
+            assert c not in seen
+            seen.add(c)
+    assert seen == set(members)
+
+
+@pytest.mark.parametrize("builder", [binary_tree, flat_tree])
+@pytest.mark.parametrize("n", [1, 2, 3, 7, 16])
+def test_tree_is_spanning(builder, n):
+    members = [3 * i + 1 for i in range(n)]
+    root = members[n // 2]
+    _check_tree(builder(members, root), members, root)
+
+
+def test_binary_tree_fanout_and_depth():
+    members = list(range(33))
+    t = binary_tree(members, 0)
+    assert t.max_fanout() <= 2
+    assert t.depth() <= 6  # ceil(log2(33)) + 1
+
+
+def test_flat_tree_shape():
+    members = list(range(9))
+    t = flat_tree(members, 4)
+    assert t.max_fanout() == 8
+    assert t.depth() == 1
+    assert t.nchildren(4) == 8
+    for r in members:
+        if r != 4:
+            assert t.children(r) == ()
+
+
+def test_tree_rejects_bad_input():
+    with pytest.raises(ValueError):
+        binary_tree([1, 1, 2], 1)
+    with pytest.raises(ValueError):
+        binary_tree([1, 2], 3)
+    with pytest.raises(KeyError):
+        binary_tree([1, 2], 1).parent(9)
+
+
+def test_tree_deterministic_across_computation():
+    a = binary_tree([5, 2, 9, 7], 9)
+    b = binary_tree([7, 9, 2, 5], 9)
+    assert a == b
+
+
+# ---- collectives -----------------------------------------------------------
+
+def run(nranks, fn):
+    return Simulator(nranks, CORI_HASWELL).run(fn)
+
+
+@pytest.mark.parametrize("nmembers", [1, 2, 3, 5, 8])
+def test_bcast_delivers_to_all(nmembers):
+    members = list(range(nmembers))
+    root = nmembers - 1
+
+    def fn(ctx):
+        value = np.arange(4.0) if ctx.rank == root else None
+        got = yield from bcast(ctx, members, root, value)
+        return got.sum()
+
+    res = run(nmembers, fn)
+    assert all(v == pytest.approx(6.0) for v in res.results)
+
+
+@pytest.mark.parametrize("nmembers", [1, 2, 4, 7])
+def test_reduce_sums_on_root(nmembers):
+    members = list(range(nmembers))
+
+    def fn(ctx):
+        acc = yield from reduce(ctx, members, 0, np.full(3, float(ctx.rank)))
+        return acc if ctx.rank == 0 else None
+
+    res = run(nmembers, fn)
+    expected = sum(range(nmembers))
+    assert np.allclose(res.results[0], expected)
+
+
+@pytest.mark.parametrize("nmembers", [1, 2, 3, 6, 8])
+def test_allreduce_everyone_gets_sum(nmembers):
+    members = list(range(nmembers))
+
+    def fn(ctx):
+        out = yield from allreduce(ctx, members, np.array([float(ctx.rank)]))
+        return float(out[0])
+
+    res = run(nmembers, fn)
+    expected = float(sum(range(nmembers)))
+    assert all(v == pytest.approx(expected) for v in res.results)
+
+
+def test_allreduce_subset_of_ranks():
+    """Non-members keep working while a subset allreduces."""
+    members = [0, 2, 4]
+
+    def fn(ctx):
+        if ctx.rank in members:
+            out = yield from allreduce(ctx, members,
+                                       np.array([1.0]), tag="sub")
+            return float(out[0])
+        yield ctx.compute(0.1)
+        return -1.0
+
+    res = run(5, fn)
+    assert res.results == [3.0, -1.0, 3.0, -1.0, 3.0]
+
+
+def test_reduce_custom_op():
+    members = [0, 1, 2]
+
+    def fn(ctx):
+        acc = yield from reduce(ctx, members, 0,
+                                np.array([float(ctx.rank)]), op=np.maximum)
+        return float(acc[0]) if ctx.rank == 0 else None
+
+    res = run(3, fn)
+    assert res.results[0] == 2.0
+
+
+def test_barrier_synchronizes_clocks():
+    def fn(ctx):
+        yield ctx.compute(float(ctx.rank))  # staggered arrivals
+        yield from barrier(ctx, [0, 1, 2, 3])
+        ctx.mark("after")
+
+    res = run(4, fn)
+    after = [m["after"] for m in res.marks]
+    assert max(after) - min(after) < 3 * 4 * CORI_HASWELL.net.alpha_inter + 1e-6
+    assert min(after) >= 3.0  # nobody passes before the slowest arrives
+
+
+def test_bcast_binary_beats_flat_latency():
+    """Latency comparison backing the paper's tree optimization: a binomial
+    bcast over many ranks beats a flat root fan-out."""
+    members = list(range(32))
+    payload = np.zeros(1)
+
+    def flat_fn(ctx):
+        if ctx.rank == 0:
+            for dst in members[1:]:
+                yield ctx.send(dst, payload, tag="f")
+        else:
+            yield ctx.recv(src=0, tag="f")
+
+    def tree_fn(ctx):
+        yield from bcast(ctx, members, 0, payload if ctx.rank == 0 else None)
+
+    flat = Simulator(32, CORI_HASWELL).run(flat_fn).makespan
+    tree = Simulator(32, CORI_HASWELL).run(tree_fn).makespan
+    assert tree < flat

@@ -1,0 +1,54 @@
+"""Tests for the layout visualization helpers."""
+
+import pytest
+
+from repro.core import SpTRSVSolver
+from repro.matrices import poisson2d
+from repro.ordering.viz import (
+    render_block_structure,
+    render_layout,
+    render_septree,
+)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    A = poisson2d(12, stencil=9, seed=1)
+    return SpTRSVSolver(A, 2, 2, 4, max_supernode=8)
+
+
+def test_render_septree(solver):
+    text = render_septree(solver.tree, max_depth=2)
+    assert text.startswith("sep ") or text.startswith("leaf")
+    assert "#0" in text
+    # Depth-limited: no more than 7 nodes at depth <= 2.
+    assert len(text.splitlines()) <= 7
+    full = render_septree(solver.tree)
+    assert len(full.splitlines()) == len(solver.tree.nodes)
+
+
+def test_render_layout(solver):
+    text = render_layout(solver.layout)
+    assert "Pz = 4" in text
+    assert "node 0 (level 0)" in text
+    assert "grids 0..3" in text
+    for z in range(4):
+        assert f"on grid {z}," in text
+    assert len(text.splitlines()) == 1 + 7  # header + 2*4-1 nodes
+
+
+def test_render_block_structure(solver):
+    text = render_block_structure(solver.layout, solver.lu, z=3,
+                                  max_cells=20)
+    lines = text.splitlines()
+    assert "L^3" in lines[0]
+    body = lines[1:]
+    assert len(body) <= 20
+    # Lower-triangular at block level: no digit above the diagonal.
+    for i, row in enumerate(body):
+        for j, ch in enumerate(row):
+            if j > i:
+                assert ch == "."
+    # The diagonal is fully populated.
+    for i, row in enumerate(body):
+        assert row[i] != "."
