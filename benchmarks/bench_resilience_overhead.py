@@ -1,0 +1,98 @@
+"""Resilience tax: ack/retransmit envelope overhead on the Fig. 4 sweep.
+
+The paper's experiments assume a lossless fabric; ``docs/FAULTS.md``
+describes the opt-in reliable transport that survives a lossy one.  This
+bench quantifies what that envelope costs on the Fig. 4 sweep shape
+(s2D9pt2048, P in {64, 256}, Pz in {1, 16}), comparing:
+
+- ``lossless``   — the paper's configuration (no faults, no envelope);
+- ``ack-only``   — reliable transport on a clean network: pure protocol
+  overhead (per-delivery acks, no retransmits);
+- ``drop-2%``    — reliable transport with 2% seeded message drops: acks
+  plus retransmission and backoff.
+
+Claims checked: the envelope never changes the answer; ack-only overhead
+is bounded (< 50% here — per-message constant, worst at the
+latency-dominated small-message end); drops only add to it; every drop is
+matched by a retransmission.
+"""
+
+import pytest
+
+from common import (
+    CORI_HASWELL,
+    check_solution,
+    fmt_ms,
+    get_solver,
+    grid_for,
+    rhs_for,
+    write_report,
+)
+from repro.comm import FaultPlan
+from repro.core import Resilience
+
+MATRIX = "s2D9pt2048"
+P_VALUES = [64, 256]
+PZ_VALUES = [1, 16]
+DROP = 0.02
+
+
+def run_cell(P, pz):
+    """One (P, pz) cell: {config: (seconds, retransmits, acks)}."""
+    px, py = grid_for(P, pz)
+    solver = get_solver(MATRIX, px, py, pz, machine=CORI_HASWELL)
+    alg = "2d" if pz == 1 else "new3d"
+    b = rhs_for(solver)
+    res = Resilience(reliable=True, checksums=False, residual_tol=1e-9,
+                     retries_per_tier=0)
+    out = {}
+    for config, faults, resilience in (
+            ("lossless", None, None),
+            ("ack-only", None, res),
+            ("drop-2%", FaultPlan.uniform(seed=1, drop=DROP), res)):
+        o = solver.solve(b, algorithm=alg, faults=faults,
+                         resilience=resilience)
+        check_solution(solver, o, b)
+        if resilience is not None:
+            # The envelope must carry the run in-tier, not via fallback.
+            assert o.resilience.tier == alg
+            assert len(o.resilience.attempts) == 1
+        counts = o.report.sim.fault_counts()
+        out[config] = (o.report.total_time,
+                       counts.get("retransmit", 0),
+                       o.report.sim.msgs_by(category="ack"))
+    return out, alg
+
+
+def test_resilience_overhead(benchmark):
+    rows = [f"Resilience overhead ({MATRIX}): Fig. 4 sweep, "
+            f"Cori Haswell model, drop rate {DROP:.0%}",
+            f"{'P':>5s} {'Pz':>4s} {'alg':>6s} {'lossless':>10s} "
+            f"{'ack-only':>10s} {'ovh':>6s} {'drop-2%':>10s} {'ovh':>6s} "
+            f"{'rexmit':>7s} {'acks':>8s}"]
+    cells = {}
+    for P in P_VALUES:
+        for pz in PZ_VALUES:
+            cell, alg = run_cell(P, pz)
+            cells[(P, pz)] = cell
+            t0, _, _ = cell["lossless"]
+            t1, _, acks1 = cell["ack-only"]
+            t2, rex2, acks2 = cell["drop-2%"]
+            rows.append(
+                f"{P:5d} {pz:4d} {alg:>6s} {fmt_ms(t0)} {fmt_ms(t1)} "
+                f"{(t1 / t0 - 1) * 100:5.1f}% {fmt_ms(t2)} "
+                f"{(t2 / t0 - 1) * 100:5.1f}% {rex2:7d} {acks2:8d}")
+    write_report("resilience_overhead.txt", rows)
+
+    for (P, pz), cell in cells.items():
+        t0, rex0, acks0 = cell["lossless"]
+        t1, rex1, acks1 = cell["ack-only"]
+        t2, rex2, acks2 = cell["drop-2%"]
+        # Lossless runs carry no envelope traffic at all.
+        assert rex0 == 0 and acks0 == 0
+        # Acks cost time but never retransmit on a clean network.
+        assert rex1 == 0 and acks1 > 0
+        assert t0 < t1 < 1.5 * t0
+        # Drops add retransmissions (and their backoff) on top.
+        assert rex2 > 0 and acks2 > 0
+        assert t2 > t1

@@ -25,6 +25,16 @@ from repro.comm.costmodel import (
     gemm_bytes,
     gemm_flops,
 )
+from repro.comm.faults import (
+    ChecksumError,
+    CommFaultError,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    RecvTimeout,
+    ReliableTransport,
+    StallError,
+)
 from repro.comm.simulator import (ANY, DeadlockError, RankCtx, SimResult,
                                   Simulator, TraceEvent)
 from repro.comm.trees import CommTree, binary_tree, flat_tree
@@ -36,6 +46,14 @@ __all__ = [
     "TraceEvent",
     "ANY",
     "DeadlockError",
+    "CommFaultError",
+    "RecvTimeout",
+    "ChecksumError",
+    "StallError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultEvent",
+    "ReliableTransport",
     "bcast",
     "reduce",
     "allreduce",

@@ -1,0 +1,212 @@
+"""Chaos harness: sweep seeded fault rates across the paper's solvers.
+
+The harness drives :class:`~repro.core.solver.SpTRSVSolver` solves under a
+grid of deterministic fault plans (drop / duplicate / delay / reorder /
+corrupt / crash at several rates and seeds) and classifies every run.  It
+exists to check — and keep checking, in CI — the resilience invariant:
+
+    every run either returns a correct solution (residual below the
+    tolerance) or raises a diagnosable *typed* error — never a silent
+    wrong answer.
+
+Because fault plans and the simulator are deterministic, a failing sweep
+cell is exactly reproducible from its ``(algorithm, kind, rate, seed)``
+coordinates.
+
+Typical use::
+
+    from repro.comm.chaos import chaos_sweep
+    report = chaos_sweep({"new3d": solver3d, "2d": solver2d})
+    report.verify()          # raises AssertionError on any breach
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.faults import ChecksumError, CommFaultError, FaultPlan
+from repro.comm.simulator import DeadlockError
+from repro.core.solver import Resilience, ResilienceExhausted, SpTRSVSolver
+from repro.matrices import make_rhs
+from repro.numfact import solve_residual
+
+# Errors considered "diagnosable": raising one of these under faults is a
+# legitimate outcome (the run failed loudly).  Anything else escaping a
+# resilient solve is an invariant breach.
+TYPED_ERRORS = (CommFaultError, DeadlockError, ResilienceExhausted)
+
+DEFAULT_KINDS = ("drop", "duplicate", "delay", "reorder", "corrupt", "crash")
+DEFAULT_RATES = (0.0, 0.02, 0.05, 0.10)
+
+
+@dataclass
+class ChaosRun:
+    """Outcome of one sweep cell."""
+
+    algorithm: str
+    kind: str
+    rate: float
+    seed: int
+    status: str             # "exact" | "recovered" | "degraded" |
+                            # "typed-error" | "silent-wrong" | "unexpected"
+    tier: str | None = None
+    error: str | None = None
+    residual: float | None = None
+    virtual_time: float = 0.0
+    fault_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("exact", "recovered", "degraded",
+                               "typed-error")
+
+
+@dataclass
+class ChaosReport:
+    """All sweep cells plus the invariant checker."""
+
+    runs: list[ChaosRun]
+    residual_tol: float
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.runs:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    def breaches(self) -> list[ChaosRun]:
+        return [r for r in self.runs if not r.ok]
+
+    def verify(self) -> "ChaosReport":
+        """Assert the chaos invariant; returns self for chaining."""
+        bad = self.breaches()
+        assert not bad, (
+            "chaos invariant violated (silent wrong answer or untyped "
+            "error) in {} run(s): {}".format(
+                len(bad),
+                "; ".join(f"{r.algorithm}/{r.kind}@{r.rate}/seed{r.seed}"
+                          f" -> {r.status} ({r.error or r.residual})"
+                          for r in bad[:5])))
+        return self
+
+    def summary(self) -> str:
+        lines = [f"chaos sweep: {len(self.runs)} runs, "
+                 f"tol {self.residual_tol:.0e}",
+                 f"{'alg':>10s} {'kind':>10s} {'rate':>6s} {'seed':>4s} "
+                 f"{'status':>12s} {'tier':>10s} {'faults':>6s}"]
+        for r in self.runs:
+            lines.append(
+                f"{r.algorithm:>10s} {r.kind:>10s} {r.rate:6.2f} "
+                f"{r.seed:4d} {r.status:>12s} {r.tier or '-':>10s} "
+                f"{r.fault_events:6d}")
+        lines.append("totals: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(self.counts().items())))
+        return "\n".join(lines)
+
+
+def _plan_for(kind: str, rate: float, seed: int, nranks: int,
+              makespan: float) -> FaultPlan | None:
+    """Fault plan for one sweep cell (None for a lossless cell)."""
+    if rate <= 0.0:
+        return None
+    if kind == "crash":
+        # Interpret the rate as the fraction of ranks to crash, at
+        # staggered points inside the expected run.
+        ncrash = max(1, int(round(rate * nranks)))
+        ranks = [1 + (seed + i * 7) % max(1, nranks - 1)
+                 for i in range(ncrash)]
+        crash = {r: makespan * (0.2 + 0.5 * i / max(1, ncrash))
+                 for i, r in enumerate(dict.fromkeys(ranks))}
+        return FaultPlan(seed=seed, crash=crash)
+    if kind == "delay":
+        # Delay spikes of ~10x the run's own scale stress reordering and
+        # timeout logic without changing correctness by themselves.
+        return FaultPlan.uniform(seed=seed, delay=rate,
+                                 delay_seconds=makespan * 0.1)
+    if kind in ("drop", "duplicate", "corrupt", "reorder"):
+        return FaultPlan.uniform(seed=seed, **{kind: rate})
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def _classify(out, requested: str, residual: float, tol: float) -> ChaosRun:
+    rr = out.resilience
+    if residual > tol:
+        status = "silent-wrong"
+    elif rr is None or (rr.tier == requested and len(rr.attempts) == 1):
+        status = "exact"
+    elif rr.tier == requested:
+        status = "recovered"
+    else:
+        status = "degraded"
+    # Sum fault events over every attempt: the winning tier is often the
+    # fault-free reference solve, which alone would report zero.
+    nfaults = (sum(a.fault_events for a in rr.attempts) if rr is not None
+               else len(out.report.sim.fault_events or []))
+    return ChaosRun(algorithm=requested, kind="", rate=0.0, seed=0,
+                    status=status, tier=None if rr is None else rr.tier,
+                    residual=residual,
+                    virtual_time=(rr.total_time if rr is not None
+                                  else out.report.total_time),
+                    fault_events=nfaults)
+
+
+def chaos_sweep(solvers: dict[str, SpTRSVSolver],
+                b: np.ndarray | None = None,
+                kinds: tuple[str, ...] = DEFAULT_KINDS,
+                rates: tuple[float, ...] = DEFAULT_RATES,
+                seeds: tuple[int, ...] = (0,),
+                resilience: Resilience | None = None,
+                nrhs: int = 1) -> ChaosReport:
+    """Run the full fault sweep and classify every cell.
+
+    ``solvers`` maps algorithm name (``"new3d"``, ``"baseline3d"``,
+    ``"2d"``) to the solver instance to run it on — ``"2d"`` needs a
+    ``pz == 1`` solver, the 3D algorithms a ``pz > 1`` one; solvers may be
+    shared between entries.  ``resilience`` defaults to checksums on,
+    reliable transport off, residual tolerance ``1e-10``.
+    """
+    if resilience is None:
+        resilience = Resilience(residual_tol=1e-10)
+    tol = resilience.residual_tol
+    runs: list[ChaosRun] = []
+
+    for alg, solver in solvers.items():
+        rhs = make_rhs(solver.n, nrhs) if b is None else b
+        # Lossless reference run: calibrates crash/delay times and proves
+        # the fault-free path before chaos starts.
+        base = solver.solve(rhs, algorithm=alg)
+        base_res = solve_residual(solver.A, base.x, rhs)
+        assert base_res <= tol, (
+            f"lossless {alg} solve already fails: residual {base_res:.2e}")
+        makespan = base.report.total_time
+
+        for kind in kinds:
+            for rate in rates:
+                for seed in seeds:
+                    # crc32, not hash(): immune to PYTHONHASHSEED, so the
+                    # same cell gets the same plan in every process.
+                    cell_seed = (seed * 7919
+                                 + zlib.crc32(f"{alg}/{kind}".encode()) % 1000)
+                    plan = _plan_for(kind, rate, cell_seed,
+                                     solver.grid.nranks, makespan)
+                    try:
+                        out = solver.solve(rhs, algorithm=alg, faults=plan,
+                                           resilience=resilience)
+                        residual = solve_residual(solver.A, out.x, rhs)
+                        run = _classify(out, alg, residual, tol)
+                    except TYPED_ERRORS as e:
+                        run = ChaosRun(alg, kind, rate, seed, "typed-error",
+                                       error=type(e).__name__,
+                                       virtual_time=float(
+                                           getattr(e, "sim_time", 0.0)))
+                    except Exception as e:  # pragma: no cover - breach path
+                        run = ChaosRun(alg, kind, rate, seed, "unexpected",
+                                       error=f"{type(e).__name__}: {e}")
+                    run.kind, run.rate, run.seed = kind, rate, seed
+                    run.algorithm = alg
+                    runs.append(run)
+    return ChaosReport(runs=runs, residual_tol=tol)

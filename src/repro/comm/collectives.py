@@ -40,8 +40,15 @@ def _binomial_peers(idx: int, size: int) -> tuple[int, list[int]]:
 
 
 def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
-          tag: Any = "bcast", category: str = "comm"):
-    """Broadcast ``value`` from ``root`` to all ``members``; returns it."""
+          tag: Any = "bcast", category: str = "comm",
+          timeout: float | None = None):
+    """Broadcast ``value`` from ``root`` to all ``members``; returns it.
+
+    ``timeout`` bounds each internal receive (virtual seconds); on expiry
+    :class:`~repro.comm.faults.RecvTimeout` surfaces at the caller's
+    ``yield from``, so lossy-fabric runs fail diagnosably instead of
+    hanging the whole collective.
+    """
     members = sorted(members)
     size = len(members)
     ridx = members.index(root)
@@ -50,7 +57,8 @@ def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
     parent, children = _binomial_peers(idx, size)
     if parent >= 0:
         _, _, value = yield ctx.recv(src=members[(parent + ridx) % size],
-                                     tag=tag, category=category)
+                                     tag=tag, category=category,
+                                     timeout=timeout)
     for c in children:
         yield ctx.send(members[(c + ridx) % size], value, tag=tag,
                        category=category)
@@ -59,11 +67,12 @@ def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
 
 def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
            op: Callable = np.add, tag: Any = "reduce",
-           category: str = "comm"):
+           category: str = "comm", timeout: float | None = None):
     """Reduce ``value`` over ``members`` onto ``root``.
 
     Returns the reduced array on the root, the (partially reduced) local
-    value elsewhere.
+    value elsewhere.  ``timeout`` bounds each internal receive (see
+    :func:`bcast`).
     """
     members = sorted(members)
     size = len(members)
@@ -74,7 +83,7 @@ def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
     # Receive from children in ascending order: smaller subtrees finish first.
     for c in children:
         _, _, v = yield ctx.recv(src=members[(c + ridx) % size], tag=tag,
-                                 category=category)
+                                 category=category, timeout=timeout)
         acc = op(acc, v)
     if parent >= 0:
         yield ctx.send(members[(parent + ridx) % size], acc, tag=tag,
@@ -84,20 +93,27 @@ def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
 
 def allreduce(ctx: RankCtx, members: list[int], value: np.ndarray,
               op: Callable = np.add, tag: Any = "allreduce",
-              category: str = "comm"):
-    """Reduce-then-broadcast allreduce over ``members``; returns the sum."""
+              category: str = "comm", timeout: float | None = None):
+    """Reduce-then-broadcast allreduce over ``members``; returns the sum.
+
+    ``timeout`` bounds each internal receive (see :func:`bcast`).
+    """
     members = sorted(members)
     root = members[0]
     acc = yield from reduce(ctx, members, root, value, op=op,
-                            tag=(tag, "r"), category=category)
+                            tag=(tag, "r"), category=category,
+                            timeout=timeout)
     out = yield from bcast(ctx, members, root, acc, tag=(tag, "b"),
-                           category=category)
+                           category=category, timeout=timeout)
     return out
 
 
 def barrier(ctx: RankCtx, members: list[int], tag: Any = "barrier",
-            category: str = "comm"):
-    """Synchronize ``members``: nobody returns before everyone arrived."""
+            category: str = "comm", timeout: float | None = None):
+    """Synchronize ``members``: nobody returns before everyone arrived.
+
+    ``timeout`` bounds each internal receive (see :func:`bcast`).
+    """
     token = np.zeros(1)
     yield from allreduce(ctx, members, token, tag=(tag, "bar"),
-                         category=category)
+                         category=category, timeout=timeout)

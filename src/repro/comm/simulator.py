@@ -16,15 +16,36 @@ Every operation carries a ``(phase, category)`` label; per-rank time is
 accumulated per label, which is how the paper's Z-Comm / XY-Comm /
 FP-Operation breakdowns (Figs. 5-6) and per-rank load-balance plots
 (Figs. 7-8) are produced.
+
+Fault tolerance (see :mod:`repro.comm.faults` and ``docs/FAULTS.md``): a
+seeded :class:`~repro.comm.faults.FaultPlan` passed as ``faults=`` injects
+drops, duplicates, delay spikes, reorderings, bit corruption, rank crashes
+and slowdowns; ``checksums=True`` verifies payload integrity on delivery;
+``reliable=True`` runs every message under an ack/retransmit envelope; and
+``ctx.recv(timeout=...)`` plus the ``watchdog_events`` stall detector turn
+would-be hangs into typed, catchable errors.  All of these default off, in
+which case the simulation is bit-identical to the lossless runtime.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable
 
 import numpy as np
+
+from repro.comm.faults import (
+    ChecksumError,
+    CommFaultError,
+    FaultEvent,
+    FaultPlan,
+    RecvTimeout,
+    ReliableTransport,
+    StallError,
+    corrupt_payload,
+    payload_checksum,
+)
 
 
 class _AnyType:
@@ -56,6 +77,7 @@ class _Message:
     tag: Hashable
     payload: Any
     nbytes: int
+    checksum: int | None = None
 
     def __lt__(self, other: "_Message") -> bool:
         return (self.arrival, self.seq) < (other.arrival, other.seq)
@@ -75,6 +97,7 @@ class _RecvOp:
     src: Any
     tag: Any
     category: str
+    timeout: float | None = None
 
 
 @dataclass
@@ -86,8 +109,13 @@ class _ComputeOp:
 def _payload_nbytes(payload: Any) -> int:
     if isinstance(payload, np.ndarray):
         return payload.nbytes
+    if isinstance(payload, np.generic):
+        return payload.nbytes  # scalar numpy value: its itemsize
     if isinstance(payload, (list, tuple)):
         return sum(_payload_nbytes(p) for p in payload) + 16
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(k) + _payload_nbytes(v)
+                   for k, v in payload.items()) + 16
     return 32  # control message
 
 
@@ -98,6 +126,8 @@ def _copy_payload(payload: Any) -> Any:
         return tuple(_copy_payload(p) for p in payload)
     if isinstance(payload, list):
         return [_copy_payload(p) for p in payload]
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
     return payload
 
 
@@ -127,13 +157,28 @@ class RankCtx:
         return _SendOp(dst, payload, tag, nbytes, category)
 
     def recv(self, src: Any = ANY, tag: Any = ANY,
-             category: str = "comm") -> _RecvOp:
+             category: str = "comm", timeout: float | None = None) -> _RecvOp:
         """Blocking receive; yields ``(src, tag, payload)``.
 
         ``tag`` may be ``ANY``, an exact value, or a predicate
         ``callable(tag) -> bool`` (used to scope phases of a protocol).
+
+        ``timeout`` (virtual seconds) bounds the wait: if no matching
+        message can arrive by then, :class:`~repro.comm.faults.RecvTimeout`
+        is raised at the yield point (catchable; uncaught it propagates out
+        of the simulation).
         """
-        return _RecvOp(src, tag, category)
+        if src is not ANY:
+            if not isinstance(src, (int, np.integer)):
+                raise ValueError(
+                    f"recv src must be a rank index or ANY, got {src!r}")
+            if not (0 <= src < self.nranks):
+                raise ValueError(
+                    f"recv from invalid rank {src} (nranks={self.nranks}); "
+                    f"this wait could never be satisfied")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("recv timeout must be > 0")
+        return _RecvOp(src, tag, category, timeout)
 
     def compute(self, seconds: float, category: str = "fp") -> _ComputeOp:
         """Advance the local clock by ``seconds`` of work."""
@@ -174,10 +219,10 @@ class TraceEvent:
     rank: int
     t0: float
     t1: float
-    kind: str        # "compute" | "send" | "wait"
+    kind: str        # "compute" | "send" | "wait" | "fault"
     phase: str
     category: str
-    detail: Any = None  # dst rank for sends, src for waits
+    detail: Any = None  # dst rank for sends, src for waits, note for faults
 
 
 @dataclass
@@ -191,6 +236,8 @@ class SimResult:
     marks: list[dict[str, float]]
     results: list[Any]
     trace: list[TraceEvent] | None = None
+    fault_events: list[FaultEvent] | None = None
+    crashed: list[int] = field(default_factory=list)
 
     def trace_timeline(self, rank: int | None = None) -> list[TraceEvent]:
         """Chronological trace events (optionally for one rank)."""
@@ -248,21 +295,59 @@ class SimResult:
             out.update(t)
         return out
 
+    def fault_counts(self) -> dict[str, int]:
+        """Injected/handled fault events by kind (empty without a plan)."""
+        out: dict[str, int] = {}
+        for ev in self.fault_events or ():
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
 
 _READY, _RECV, _DONE = 0, 1, 2
 
+# Sort marker so an expiring timeout loses ties against a real message with
+# the same virtual timestamp.
+_TIMEOUT = -1
+
 
 class Simulator:
-    """Run a message-passing program over ``nranks`` simulated ranks."""
+    """Run a message-passing program over ``nranks`` simulated ranks.
+
+    Resilience knobs (all default off; see ``docs/FAULTS.md``):
+
+    - ``faults``: a :class:`~repro.comm.faults.FaultPlan` injecting seeded,
+      deterministic message/rank faults.
+    - ``reliable``: ``True`` or a :class:`~repro.comm.faults.ReliableTransport`
+      — ack/retransmit envelope around every message.
+    - ``checksums``: stamp payload checksums at send, verify on delivery;
+      mismatches raise :class:`~repro.comm.faults.ChecksumError` in the
+      receiver.
+    - ``watchdog_events``: raise :class:`~repro.comm.faults.StallError`
+      after this many scheduler events without virtual-clock progress
+      (livelock detector; a true deadlock still raises
+      :class:`DeadlockError`).
+    """
 
     def __init__(self, nranks: int, machine, max_events: int = 50_000_000,
-                 trace: bool = False):
+                 trace: bool = False, faults: FaultPlan | None = None,
+                 reliable: bool | ReliableTransport = False,
+                 checksums: bool = False,
+                 watchdog_events: int | None = None):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
         self.machine = machine
         self.max_events = max_events
         self.trace = trace
+        self.faults = faults
+        if reliable is True:
+            self.transport: ReliableTransport | None = ReliableTransport()
+        elif reliable:
+            self.transport = reliable
+        else:
+            self.transport = None
+        self.checksums = checksums
+        self.watchdog_events = watchdog_events
 
     def run(self, rank_fn: Callable[[RankCtx], Iterable]) -> SimResult:
         """Execute ``rank_fn(ctx)`` as a generator on every rank.
@@ -279,13 +364,28 @@ class Simulator:
             gens.append(g if hasattr(g, "send") else iter(()))
         state = [_READY] * n
         pending_recv: list[_RecvOp | None] = [None] * n
-        resume_val: list[Any] = [None] * n
+        deadline: list[float | None] = [None] * n
         results: list[Any] = [None] * n
         mailbox: list[list[_Message]] = [[] for _ in range(n)]
         seq = 0
         events = 0
         started = [False] * n
         trace: list[TraceEvent] | None = [] if self.trace else None
+        fstate = self.faults.start_run() if self.faults is not None else None
+        transport = self.transport
+        net = self.machine.net
+        rto = transport.base_rto(net) if transport is not None else 0.0
+        crashed: list[int] = []
+        # Watchdog bookkeeping: the event count at the last clock advance.
+        wd = self.watchdog_events
+        wd_progress = 0
+
+        def fault_trace(ev: FaultEvent, rank: int) -> None:
+            if trace is not None:
+                trace.append(TraceEvent(rank, ev.time, ev.time, "fault",
+                                        ctxs[rank].phase, ev.kind,
+                                        {"src": ev.src, "dst": ev.dst,
+                                         "tag": ev.tag, "note": ev.note}))
 
         def match(r: int) -> int | None:
             """Index of the earliest-arriving matching message for rank r."""
@@ -306,59 +406,222 @@ class Simulator:
                     best, best_key = i, key
             return best
 
-        def advance(r: int, value: Any) -> None:
-            """Run rank r's generator until it blocks on a recv or finishes."""
-            nonlocal seq, events
+        def mailbox_summary(r: int) -> str:
+            """One rank's wait + pending-mailbox state, for error reports."""
+            box = mailbox[r]
+            spec = pending_recv[r]
+            if spec is not None:
+                head = (f"rank {r} (phase={ctxs[r].phase!r}, "
+                        f"waiting src={spec.src} tag={spec.tag})")
+            else:
+                head = f"rank {r} (phase={ctxs[r].phase!r}, runnable)"
+            if not box:
+                return head + " [mailbox empty]"
+            tags = []
+            for m in sorted(box):
+                t = repr(m.tag)
+                if t not in tags:
+                    tags.append(t)
+                if len(tags) == 3:
+                    break
+            earliest = min(m.arrival for m in box)
+            return (head + f" [mailbox: {len(box)} pending, earliest arrival "
+                    f"{earliest:.3e}s, tags {', '.join(tags)}]")
+
+        def transmit(r: int, op: _SendOp, payload: Any, lat: float,
+                     ctx: RankCtx):
+            """Apply fault/transport policy to one send.
+
+            Returns ``(deliver, arrival, decision)``; ``payload`` may be
+            corrupted in place.  Only called when a fault plan or reliable
+            transport is active.
+            """
+            if fstate is None:
+                # Reliable transport without faults: nothing to retransmit.
+                return True, ctx.clock + lat, None
+            delay = 0.0
+            attempt = 0
+            while True:
+                d = fstate.decide(r, op.dst, op.tag, ctx.clock)
+                if d.extra_delay > 0.0:
+                    delay += d.extra_delay
+                    fault_trace(fstate.record(
+                        "delay", ctx.clock, r, op.dst, op.tag,
+                        f"+{d.extra_delay:.3e}s"), r)
+                # Under the reliable envelope a corrupted copy is detected
+                # by its checksum and retransmitted like a drop; without
+                # checksums corruption is undetectable even when "reliable".
+                failed = d.drop or (d.corrupt and transport is not None
+                                    and self.checksums)
+                if d.drop:
+                    fault_trace(fstate.record(
+                        "drop", ctx.clock, r, op.dst, op.tag,
+                        f"attempt {attempt}"), r)
+                if not failed:
+                    if d.corrupt:
+                        if corrupt_payload(payload, fstate.rng):
+                            fault_trace(fstate.record(
+                                "corrupt", ctx.clock, r, op.dst, op.tag,
+                                "bit flip"), r)
+                    if d.duplicate:
+                        kind = ("dup-suppressed" if transport is not None
+                                else "duplicate")
+                        fault_trace(fstate.record(
+                            kind, ctx.clock, r, op.dst, op.tag), r)
+                        d.duplicate = transport is None
+                    if d.reorder:
+                        kind = ("reorder-suppressed" if transport is not None
+                                else "reorder")
+                        fault_trace(fstate.record(
+                            kind, ctx.clock, r, op.dst, op.tag), r)
+                        d.reorder = transport is None
+                    return True, ctx.clock + delay + lat, d
+                if transport is None:
+                    return False, 0.0, None
+                if attempt >= transport.max_retries:
+                    fault_trace(fstate.record(
+                        "lost", ctx.clock, r, op.dst, op.tag,
+                        f"gave up after {attempt} retries"), r)
+                    return False, 0.0, None
+                delay += rto * (transport.backoff ** attempt)
+                attempt += 1
+                # The retransmitted copy is real traffic: count it.
+                ctx._charge_msg(op.category, op.nbytes)
+                fault_trace(fstate.record(
+                    "retransmit", ctx.clock, r, op.dst, op.tag,
+                    f"attempt {attempt}, backoff {delay:.3e}s"), r)
+
+        def advance(r: int, value: Any, exc: BaseException | None = None) -> None:
+            """Run rank r's generator until it blocks on a recv or finishes.
+
+            ``exc`` (RecvTimeout/ChecksumError) is thrown into the
+            generator at the yield point instead of sending a value.
+            """
+            nonlocal seq, events, wd_progress
             ctx = ctxs[r]
             gen = gens[r]
             while True:
                 events += 1
                 if events > self.max_events:
                     raise RuntimeError("simulation exceeded max_events")
+                if wd is not None and events - wd_progress > wd:
+                    raise stall_error()
+                if fstate is not None and fstate.crash_due(r, ctx.clock):
+                    state[r] = _DONE
+                    results[r] = None
+                    crashed.append(r)
+                    fault_trace(fstate.record("crash", ctx.clock, r, r, None,
+                                              f"rank {r} crashed"), r)
+                    gen.close()
+                    return
                 try:
                     if not started[r]:
                         started[r] = True
                         op = next(gen)
+                    elif exc is not None:
+                        op = gen.throw(exc)
+                        exc = None
                     else:
                         op = gen.send(value)
                 except StopIteration as stop:
                     state[r] = _DONE
                     results[r] = stop.value
                     return
+                except Exception as e:
+                    # Anything escaping a rank — uncaught RecvTimeout or
+                    # ChecksumError, but also kernel sanity errors provoked
+                    # by injected faults: attach scheduler diagnostics
+                    # (sim_time, fault_events) on the way out.
+                    raise finalize_error(e)
                 value = None
                 if isinstance(op, _SendOp):
-                    net = self.machine.net
                     t0 = ctx.clock
                     ctx.clock += net.send_overhead
                     ctx._charge(op.category, net.send_overhead)
                     ctx._charge_msg(op.category, op.nbytes)
+                    if wd is not None:
+                        wd_progress = events
                     same = self.machine.same_node(r, op.dst)
-                    arrival = ctx.clock + net.latency(op.nbytes, same)
-                    heapq.heappush(
-                        mailbox[op.dst],
-                        _Message(arrival, seq, r, op.tag,
-                                 _copy_payload(op.payload), op.nbytes))
-                    seq += 1
+                    lat = net.latency(op.nbytes, same)
+                    if fstate is None and transport is None:
+                        heapq.heappush(
+                            mailbox[op.dst],
+                            _Message(ctx.clock + lat, seq, r, op.tag,
+                                     _copy_payload(op.payload), op.nbytes))
+                        seq += 1
+                    else:
+                        payload = _copy_payload(op.payload)
+                        # Checksum is stamped over the *sent* data, before
+                        # any in-flight corruption, so mismatches surface.
+                        csum = (payload_checksum(payload)
+                                if self.checksums else None)
+                        deliver, arrival, d = transmit(r, op, payload, lat,
+                                                       ctx)
+                        if deliver:
+                            heapq.heappush(
+                                mailbox[op.dst],
+                                _Message(arrival, seq, r, op.tag, payload,
+                                         op.nbytes, csum))
+                            seq += 1
+                            if d is not None and d.duplicate:
+                                heapq.heappush(
+                                    mailbox[op.dst],
+                                    _Message(arrival + lat, seq, r, op.tag,
+                                             _copy_payload(payload),
+                                             op.nbytes, csum))
+                                seq += 1
+                            if d is not None and d.reorder:
+                                self._apply_reorder(mailbox[op.dst], r)
                     if trace is not None:
                         trace.append(TraceEvent(r, t0, ctx.clock, "send",
                                                 ctx.phase, op.category,
                                                 op.dst))
                 elif isinstance(op, _ComputeOp):
                     t0 = ctx.clock
-                    ctx.clock += op.seconds
-                    ctx._charge(op.category, op.seconds)
-                    if trace is not None and op.seconds > 0:
+                    seconds = op.seconds
+                    if fstate is not None:
+                        scale = fstate.compute_scale(r, ctx.clock)
+                        if scale != 1.0:
+                            fault_trace(fstate.record(
+                                "slowdown", ctx.clock, r, r, None,
+                                f"x{scale:g}"), r)
+                            seconds *= scale
+                    ctx.clock += seconds
+                    ctx._charge(op.category, seconds)
+                    if wd is not None and seconds > 0:
+                        wd_progress = events
+                    if trace is not None and seconds > 0:
                         trace.append(TraceEvent(r, t0, ctx.clock, "compute",
                                                 ctx.phase, op.category))
                 elif isinstance(op, _RecvOp):
                     state[r] = _RECV
                     pending_recv[r] = op
+                    deadline[r] = (ctx.clock + op.timeout
+                                   if op.timeout is not None else None)
                     return
                 else:
                     raise TypeError(
                         f"rank {r} yielded {op!r}; yield ctx.send/recv/compute")
 
+        def finalize_error(err: Exception) -> Exception:
+            """Attach diagnostics to a typed scheduler error before raising."""
+            err.sim_time = float(max(c.clock for c in ctxs))
+            err.fault_events = list(fstate.events) if fstate is not None else []
+            return err
+
+        def stall_error() -> Exception:
+            running = [r for r in range(n) if state[r] != _DONE]
+            detail = "\n  ".join(mailbox_summary(r) for r in running[:8])
+            more = ("" if len(running) <= 8
+                    else f"\n  ... and {len(running) - 8} more")
+            return finalize_error(StallError(
+                f"no virtual-clock progress across {wd} scheduler events "
+                f"(livelock, not deadlock: {len(running)} rank(s) still "
+                f"live); per-rank state:\n  {detail}{more}"))
+
         while True:
+            if wd is not None and events - wd_progress > wd:
+                raise stall_error()
             best_rank = -1
             best_key = None
             best_msg_idx = None
@@ -371,41 +634,84 @@ class Simulator:
                 else:  # _RECV
                     midx = match(r)
                     if midx is None:
-                        continue
-                    m = mailbox[r][midx]
-                    key = (max(ctxs[r].clock, m.arrival), m.arrival, r)
+                        if deadline[r] is None:
+                            continue
+                        # No message can beat the deadline: any rank able to
+                        # send earlier has a smaller key and runs first.
+                        key = (deadline[r], float("inf"), r)
+                        midx = _TIMEOUT
+                    else:
+                        m = mailbox[r][midx]
+                        key = (max(ctxs[r].clock, m.arrival), m.arrival, r)
                 if best_key is None or key < best_key:
                     best_rank, best_key, best_msg_idx = r, key, midx
             if best_rank < 0:
                 blocked = [r for r in range(n) if state[r] != _DONE]
                 if not blocked:
                     break
-                detail = ", ".join(
-                    f"rank {r} (phase={ctxs[r].phase!r}, "
-                    f"waiting src={pending_recv[r].src} tag={pending_recv[r].tag})"
-                    for r in blocked[:8])
-                raise DeadlockError(
+                detail = "\n  ".join(mailbox_summary(r) for r in blocked[:8])
+                more = ("" if len(blocked) <= 8
+                        else f"\n  ... and {len(blocked) - 8} more")
+                crash_note = (f" ({len(crashed)} rank(s) crashed: "
+                              f"{crashed})" if crashed else "")
+                raise finalize_error(DeadlockError(
                     f"{len(blocked)} rank(s) blocked with no matching "
-                    f"messages: {detail}")
+                    f"messages{crash_note}:\n  {detail}{more}"))
 
             r = best_rank
             if state[r] == _READY:
                 advance(r, None)
+            elif best_msg_idx == _TIMEOUT:
+                spec = pending_recv[r]
+                ctx = ctxs[r]
+                t0 = ctx.clock
+                wait = max(0.0, deadline[r] - ctx.clock)
+                ctx.clock = max(ctx.clock, deadline[r])
+                ctx._charge(spec.category, wait)
+                if wd is not None and wait > 0:
+                    wd_progress = events
+                if trace is not None:
+                    trace.append(TraceEvent(r, t0, ctx.clock, "wait",
+                                            ctx.phase, spec.category,
+                                            "timeout"))
+                state[r] = _READY
+                pending_recv[r] = None
+                deadline[r] = None
+                advance(r, None,
+                        exc=RecvTimeout(r, spec.src, spec.tag, spec.timeout))
             else:
                 m = mailbox[r].pop(best_msg_idx)
                 heapq.heapify(mailbox[r])
                 spec = pending_recv[r]
                 ctx = ctxs[r]
-                ro = self.machine.net.recv_overhead
+                ro = net.recv_overhead
                 t0 = ctx.clock
                 wait = max(0.0, m.arrival - ctx.clock)
                 ctx.clock = max(ctx.clock, m.arrival) + ro
                 ctx._charge(spec.category, wait + ro)
+                if wd is not None:
+                    wd_progress = events
+                if transport is not None:
+                    # The envelope acks every delivery: one control send.
+                    ctx.clock += net.send_overhead
+                    ctx._charge(spec.category, net.send_overhead)
+                    ctx._charge_msg("ack", transport.ack_nbytes)
                 if trace is not None:
                     trace.append(TraceEvent(r, t0, ctx.clock, "wait",
                                             ctx.phase, spec.category, m.src))
                 state[r] = _READY
                 pending_recv[r] = None
+                deadline[r] = None
+                if m.checksum is not None and self.checksums:
+                    actual = payload_checksum(m.payload)
+                    if actual != m.checksum:
+                        if fstate is not None:
+                            fault_trace(fstate.record(
+                                "checksum-fail", ctx.clock, m.src, r, m.tag),
+                                r)
+                        advance(r, None, exc=ChecksumError(
+                            r, m.src, m.tag, m.checksum, actual))
+                        continue
                 advance(r, (m.src, m.tag, m.payload))
 
         return SimResult(
@@ -416,4 +722,23 @@ class Simulator:
             marks=[c.marks for c in ctxs],
             results=results,
             trace=trace,
+            fault_events=list(fstate.events) if fstate is not None else None,
+            crashed=crashed,
         )
+
+    @staticmethod
+    def _apply_reorder(box: list[_Message], src: int) -> None:
+        """Swap arrival times of the two newest pending messages from
+        ``src`` in ``box`` (models out-of-order delivery on one link)."""
+        newest = second = None
+        for i, m in enumerate(box):
+            if m.src != src:
+                continue
+            if newest is None or m.seq > box[newest].seq:
+                newest, second = i, newest
+            elif second is None or m.seq > box[second].seq:
+                second = i
+        if newest is not None and second is not None:
+            box[newest].arrival, box[second].arrival = \
+                box[second].arrival, box[newest].arrival
+            heapq.heapify(box)

@@ -4,6 +4,12 @@
 module writes them as Chrome trace-event JSON (loadable in
 ``chrome://tracing`` / Perfetto, one track per rank) or as CSV for ad-hoc
 analysis.
+
+Fault-injection runs (``Simulator(faults=...)``) additionally record every
+injected or transport-handled fault — drops, retransmits, corruption,
+crashes — as zero-duration ``"fault"`` trace events; these are exported as
+Chrome *instant* events (``"ph": "i"``) so they show up as markers on the
+affected rank's track.
 """
 
 from __future__ import annotations
@@ -11,7 +17,14 @@ from __future__ import annotations
 import csv
 import json
 
-from repro.comm.simulator import SimResult
+from repro.comm.simulator import SimResult, TraceEvent
+
+
+def _fault_args(e: TraceEvent) -> dict:
+    if isinstance(e.detail, dict):
+        return {k: repr(v) if not isinstance(v, (int, float, str, type(None)))
+                else v for k, v in e.detail.items()}
+    return {} if e.detail is None else {"note": repr(e.detail)}
 
 
 def to_chrome_trace(result: SimResult, path: str,
@@ -23,6 +36,18 @@ def to_chrome_trace(result: SimResult, path: str,
     """
     events = []
     for e in result.trace_timeline():
+        if e.kind == "fault":
+            events.append({
+                "name": f"fault:{e.category}",
+                "cat": "fault",
+                "ph": "i",
+                "s": "t",
+                "ts": e.t0 * time_unit,
+                "pid": 0,
+                "tid": e.rank,
+                "args": _fault_args(e),
+            })
+            continue
         events.append({
             "name": f"{e.phase}:{e.category}" if e.phase else e.category,
             "cat": e.kind,
@@ -46,8 +71,11 @@ def to_csv(result: SimResult, path: str) -> int:
         w = csv.writer(f)
         w.writerow(["rank", "t0", "t1", "kind", "phase", "category", "peer"])
         for e in result.trace_timeline():
+            detail = e.detail
+            if isinstance(detail, dict):
+                detail = ";".join(f"{k}={v}" for k, v in detail.items())
             w.writerow([e.rank, f"{e.t0:.9e}", f"{e.t1:.9e}", e.kind,
                         e.phase, e.category,
-                        "" if e.detail is None else e.detail])
+                        "" if detail is None else detail])
             rows += 1
     return rows

@@ -16,7 +16,15 @@ GPU execution (Algorithms 4-5) lives in :mod:`repro.gpu`.
 
 from repro.core.levelset import LevelSetResult, solve_levelset
 from repro.core.plan2d import RankPlan, build_2d_plans, u_blockrows
-from repro.core.solver import PerfReport, SolveOutcome, SpTRSVSolver
+from repro.core.solver import (
+    AttemptRecord,
+    PerfReport,
+    Resilience,
+    ResilienceExhausted,
+    ResilienceReport,
+    SolveOutcome,
+    SpTRSVSolver,
+)
 from repro.core.sparse_allreduce import sparse_allreduce
 from repro.core.sptrsv2d import sptrsv_2d
 
@@ -24,6 +32,10 @@ __all__ = [
     "SpTRSVSolver",
     "SolveOutcome",
     "PerfReport",
+    "Resilience",
+    "ResilienceReport",
+    "ResilienceExhausted",
+    "AttemptRecord",
     "build_2d_plans",
     "RankPlan",
     "u_blockrows",

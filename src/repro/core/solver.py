@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.comm.costmodel import CORI_HASWELL, Machine
+from repro.comm.faults import FaultPlan, ReliableTransport
 from repro.comm.simulator import Simulator, SimResult
 from repro.core.sptrsv3d_baseline import (
     Baseline3DSetup,
@@ -80,12 +81,97 @@ class PerfReport:
         return self.sim.bytes_by(category=category)
 
 
+@dataclass(frozen=True)
+class Resilience:
+    """Knobs for fault-tolerant solving (``SpTRSVSolver.solve(resilience=...)``).
+
+    The resilient solve verifies the residual of every returned solution
+    and, on any failure (typed communication error, kernel exception, or a
+    residual above ``residual_tol``), retries the same algorithm up to
+    ``retries_per_tier`` more times, then degrades through the fallback
+    tiers — ``new3d`` → ``baseline3d`` → sequential ``reference`` — until a
+    verified answer is produced.  The returned outcome's ``.resilience``
+    report names the tier that answered and the virtual-time cost of
+    recovery.
+
+    - ``reliable``: run every message under the ack/retransmit envelope
+      (``True`` or a :class:`~repro.comm.faults.ReliableTransport`).
+    - ``checksums``: verify payload checksums on delivery.
+    - ``watchdog_events``: scheduler stall detector threshold (``None``
+      disables it).
+    - ``retries_per_tier``: extra attempts per algorithm tier.
+    - ``residual_tol``: acceptance bound on the relative solve residual.
+    """
+
+    reliable: bool | ReliableTransport = False
+    checksums: bool = True
+    watchdog_events: int | None = 5_000_000
+    retries_per_tier: int = 1
+    residual_tol: float = 1e-10
+
+    def sim_kwargs(self) -> dict:
+        return {"reliable": self.reliable, "checksums": self.checksums,
+                "watchdog_events": self.watchdog_events}
+
+
+@dataclass
+class AttemptRecord:
+    """One solve attempt inside a resilient solve."""
+
+    algorithm: str
+    status: str                 # "ok" | "error" | "bad-residual"
+    virtual_time: float         # simulated seconds burned by this attempt
+    residual: float | None = None
+    error: str | None = None    # exception type name for "error" attempts
+    fault_events: int = 0
+
+
+@dataclass
+class ResilienceReport:
+    """How a resilient solve reached its answer."""
+
+    tier: str                   # algorithm that produced the answer
+    attempts: list[AttemptRecord]
+    recovery_time: float        # virtual seconds spent on failed attempts
+    total_time: float           # recovery + successful attempt
+    residual: float
+
+    @property
+    def degraded(self) -> bool:
+        return self.tier != self.attempts[0].algorithm
+
+    def summary(self) -> str:
+        lines = [f"resilient solve answered by tier {self.tier!r} "
+                 f"(residual {self.residual:.2e}); recovery cost "
+                 f"{self.recovery_time:.3e}s of {self.total_time:.3e}s total"]
+        for i, a in enumerate(self.attempts):
+            what = a.error or a.status
+            res = "" if a.residual is None else f", residual {a.residual:.2e}"
+            lines.append(f"  attempt {i}: {a.algorithm} -> {what} "
+                         f"({a.virtual_time:.3e}s, {a.fault_events} fault "
+                         f"events{res})")
+        return "\n".join(lines)
+
+
+class ResilienceExhausted(RuntimeError):
+    """Every tier of a resilient solve failed (including the reference)."""
+
+    def __init__(self, attempts: list[AttemptRecord]):
+        self.attempts = attempts
+        detail = "; ".join(
+            f"{a.algorithm}: {a.error or a.status}" for a in attempts)
+        super().__init__(
+            f"resilient solve exhausted all {len(attempts)} attempts "
+            f"without a verified solution: {detail}")
+
+
 @dataclass
 class SolveOutcome:
     """A solution (original ordering/shape) plus its performance report."""
 
     x: np.ndarray
     report: PerfReport
+    resilience: ResilienceReport | None = None
 
 
 class SpTRSVSolver:
@@ -185,7 +271,9 @@ class SpTRSVSolver:
     def solve(self, b: np.ndarray, algorithm: str = "new3d",
               tree_kind: str | None = None, machine: Machine | None = None,
               device: str = "cpu", baseline_level_sync: bool = True,
-              allreduce_impl: str = "sparse") -> SolveOutcome:
+              allreduce_impl: str = "sparse",
+              faults: FaultPlan | None = None,
+              resilience: Resilience | None = None) -> SolveOutcome:
         """Solve ``A x = b``; ``b`` may be ``(n,)`` or ``(n, nrhs)``.
 
         ``algorithm``: ``"new3d"`` (proposed; adaptive "auto" trees),
@@ -196,6 +284,13 @@ class SpTRSVSolver:
         ``device="gpu"`` runs the proposed algorithm with GPU 2D solves
         (Algorithms 4-5); requires a machine with a GPU model and, for
         multi-GPU grids, ``Py == 1``.
+
+        ``faults`` injects a deterministic
+        :class:`~repro.comm.faults.FaultPlan` into the simulated fabric;
+        ``resilience`` additionally verifies residuals and degrades
+        gracefully through algorithm tiers on any failure (see
+        :class:`Resilience` and ``docs/FAULTS.md``).  Both default off, in
+        which case the solve is bit-identical to the lossless runtime.
         """
         b2, was1d = as_2d_rhs(b)
         if b2.shape[0] != self.n:
@@ -203,6 +298,15 @@ class SpTRSVSolver:
         nrhs = b2.shape[1]
         b_perm = b2[self.perm]
         machine = machine or self.machine
+
+        if device != "cpu" and (faults is not None or resilience is not None):
+            raise ValueError(
+                "fault injection / resilience are modeled on the CPU "
+                "message-passing runtime only (device='cpu')")
+        if resilience is not None:
+            return self._solve_resilient(b2, was1d, algorithm, tree_kind,
+                                         machine, baseline_level_sync,
+                                         allreduce_impl, faults, resilience)
 
         if device == "gpu":
             if algorithm not in ("new3d", "2d"):
@@ -224,7 +328,25 @@ class SpTRSVSolver:
         if device != "cpu":
             raise ValueError(f"unknown device {device!r}")
 
-        sim = Simulator(self.grid.nranks, machine)
+        x, res = self._solve_cpu(b_perm, nrhs, algorithm, tree_kind,
+                                 machine, baseline_level_sync,
+                                 allreduce_impl, faults)
+        report = PerfReport(sim=res, algorithm=algorithm, grid=self.grid,
+                            nrhs=nrhs)
+        return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
+
+    def _solve_cpu(self, b_perm: np.ndarray, nrhs: int, algorithm: str,
+                   tree_kind: str | None, machine: Machine,
+                   baseline_level_sync: bool, allreduce_impl: str,
+                   faults: FaultPlan | None = None,
+                   sim_kwargs: dict | None = None
+                   ) -> tuple[np.ndarray, SimResult]:
+        """One distributed CPU solve; returns ``(x, sim_result)`` with ``x``
+        already mapped back to the original ordering."""
+        kwargs = dict(sim_kwargs or {})
+        if faults is not None:
+            kwargs["faults"] = faults
+        sim = Simulator(self.grid.nranks, machine, **kwargs)
 
         if algorithm == "2d":
             if self.grid.pz != 1:
@@ -251,9 +373,102 @@ class SpTRSVSolver:
 
         x = np.empty_like(x_perm)
         x[self.perm] = x_perm
-        report = PerfReport(sim=res, algorithm=algorithm, grid=self.grid,
-                            nrhs=nrhs)
-        return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
+        return x, res
+
+    # -- graceful degradation -------------------------------------------------
+
+    def _reference_report(self, machine: Machine, nrhs: int) -> PerfReport:
+        """Cost-model view of the sequential fallback tier: one rank doing
+        the full bandwidth-bound L+U sweep through the factors."""
+        nnz = float(getattr(self.sym, "nnz_LU", self.A.nnz))
+        t = machine.cpu.op_time(2.0 * nnz * nrhs,
+                                8.0 * (nnz + 2.0 * self.n * nrhs))
+        sim = SimResult(clocks=np.array([t]),
+                        times=[{("reference", "fp"): t}],
+                        sent_msgs=[{}], sent_bytes=[{}], marks=[{}],
+                        results=[None])
+        return PerfReport(sim=sim, algorithm="reference", grid=self.grid,
+                          nrhs=nrhs)
+
+    def _solve_resilient(self, b2: np.ndarray, was1d: bool, algorithm: str,
+                         tree_kind: str | None, machine: Machine,
+                         baseline_level_sync: bool, allreduce_impl: str,
+                         faults: FaultPlan | None,
+                         resilience: Resilience) -> SolveOutcome:
+        """Verified solve with retries and tier fallback (the recovery side
+        of the fault model: detect via typed errors + residuals, recover via
+        retry, degrade new-3D → baseline-3D → sequential reference)."""
+        from repro.numfact import solve_residual
+
+        if algorithm == "new3d":
+            tiers = ["new3d", "baseline3d"]
+        elif algorithm in ("baseline3d", "2d"):
+            tiers = [algorithm]
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+
+        nrhs = b2.shape[1]
+        b_perm = b2[self.perm]
+        sim_kwargs = resilience.sim_kwargs()
+        attempts: list[AttemptRecord] = []
+        recovery = 0.0
+        attempt_idx = 0
+
+        for tier in tiers:
+            for retry in range(resilience.retries_per_tier + 1):
+                # Attempt 0 runs the caller's plan verbatim; retries draw
+                # independent (but seed-deterministic) fault schedules.
+                plan = None
+                if faults is not None:
+                    plan = faults if attempt_idx == 0 else faults.fork(
+                        attempt_idx)
+                attempt_idx += 1
+                try:
+                    x, res = self._solve_cpu(b_perm, nrhs, tier, tree_kind,
+                                             machine, baseline_level_sync,
+                                             allreduce_impl, plan, sim_kwargs)
+                except Exception as e:  # typed comm errors + kernel fallout
+                    vt = float(getattr(e, "sim_time", 0.0))
+                    recovery += vt
+                    attempts.append(AttemptRecord(
+                        tier, "error", vt, error=type(e).__name__,
+                        fault_events=len(getattr(e, "fault_events", []))))
+                    continue
+                residual = solve_residual(self.A, x, b2)
+                nflt = len(res.fault_events or [])
+                if residual <= resilience.residual_tol:
+                    attempts.append(AttemptRecord(
+                        tier, "ok", res.makespan, residual=residual,
+                        fault_events=nflt))
+                    report = PerfReport(sim=res, algorithm=tier,
+                                        grid=self.grid, nrhs=nrhs)
+                    rr = ResilienceReport(
+                        tier=tier, attempts=attempts, recovery_time=recovery,
+                        total_time=recovery + res.makespan,
+                        residual=residual)
+                    return SolveOutcome(x=x[:, 0] if was1d else x,
+                                        report=report, resilience=rr)
+                recovery += res.makespan
+                attempts.append(AttemptRecord(
+                    tier, "bad-residual", res.makespan, residual=residual,
+                    fault_events=nflt))
+
+        # Last tier: the sequential reference solve through the same
+        # factors — local, so immune to the injected fabric faults.
+        x = self.reference_solve(b2)
+        residual = solve_residual(self.A, x, b2)
+        report = self._reference_report(machine, nrhs)
+        if residual <= resilience.residual_tol:
+            attempts.append(AttemptRecord(
+                "reference", "ok", report.total_time, residual=residual))
+            rr = ResilienceReport(
+                tier="reference", attempts=attempts, recovery_time=recovery,
+                total_time=recovery + report.total_time, residual=residual)
+            return SolveOutcome(x=x[:, 0] if was1d else x, report=report,
+                                resilience=rr)
+        attempts.append(AttemptRecord("reference", "bad-residual",
+                                      report.total_time, residual=residual))
+        raise ResilienceExhausted(attempts)
 
     def solve_blocked(self, b: np.ndarray, rhs_block: int = 16,
                       **solve_kw) -> SolveOutcome:

@@ -1,0 +1,117 @@
+"""Chaos tests: the resilience invariant under seeded fault sweeps.
+
+The invariant (see ``docs/FAULTS.md``): every resilient solve under an
+arbitrary fault plan either returns a correct solution (residual at or
+below the tolerance) or raises a diagnosable typed error — never a silent
+wrong answer.  The ``smoke`` tests run a reduced sweep quickly (used by the
+CI chaos-smoke job); the full sweep covers every fault kind on all three
+algorithms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import CORI_HASWELL, FaultPlan
+from repro.comm.chaos import TYPED_ERRORS, ChaosRun, chaos_sweep
+from repro.core import Resilience, SpTRSVSolver
+from repro.matrices import make_rhs, poisson2d
+from repro.numfact import solve_residual
+
+SMOKE_SEED = 2023  # fixed: CI must test the same schedules as local runs
+
+
+@pytest.fixture(scope="module")
+def solver3d():
+    A = poisson2d(12, stencil=9, seed=4)
+    return SpTRSVSolver(A, 2, 1, 2, max_supernode=8)
+
+
+@pytest.fixture(scope="module")
+def solver2d():
+    A = poisson2d(12, stencil=9, seed=4)
+    return SpTRSVSolver(A, 2, 2, 1, max_supernode=8)
+
+
+def test_chaos_smoke_invariant(solver3d, solver2d):
+    """Reduced sweep for CI: every cell correct or typed-error."""
+    report = chaos_sweep(
+        {"new3d": solver3d, "2d": solver2d},
+        kinds=("drop", "corrupt", "crash"),
+        rates=(0.0, 0.05),
+        seeds=(SMOKE_SEED,))
+    report.verify()
+    counts = report.counts()
+    assert sum(counts.values()) == 2 * 3 * 2
+    assert counts.get("exact", 0) >= 6  # all rate-0 cells at least
+    assert not report.breaches()
+    assert "chaos sweep" in report.summary()
+
+
+def test_chaos_full_sweep_all_kinds(solver3d, solver2d):
+    """Every fault kind, all three algorithms, two rates, one seed."""
+    report = chaos_sweep(
+        {"new3d": solver3d, "baseline3d": solver3d, "2d": solver2d},
+        rates=(0.0, 0.05),
+        seeds=(SMOKE_SEED,))
+    report.verify()
+    # Benign kinds (duplicate/delay/reorder) must not force degradation
+    # below the requested algorithm: recovery yes, silent corruption never.
+    for r in report.runs:
+        if r.kind in ("duplicate", "delay") and r.status not in (
+                "typed-error",):
+            assert r.residual is not None and r.residual <= 1e-10
+
+
+def test_chaos_identical_seeds_identical_runs(solver3d):
+    """Same seed -> same fault schedule, clocks, statuses (determinism)."""
+    kw = dict(kinds=("drop", "corrupt"), rates=(0.05,), seeds=(7,))
+    r1 = chaos_sweep({"new3d": solver3d}, **kw)
+    r2 = chaos_sweep({"new3d": solver3d}, **kw)
+    assert len(r1.runs) == len(r2.runs)
+    for a, b in zip(r1.runs, r2.runs):
+        assert (a.status, a.tier, a.error) == (b.status, b.tier, b.error)
+        assert a.virtual_time == b.virtual_time
+        assert a.fault_events == b.fault_events
+        assert a.residual == b.residual
+
+
+def test_chaos_reliable_completes_in_tier(solver3d, solver2d):
+    """reliable=True + nonzero drop: 2D and new-3D finish without fallback."""
+    res = Resilience(reliable=True, checksums=False, residual_tol=1e-10)
+    b3 = make_rhs(solver3d.n, 1)
+    b2 = make_rhs(solver2d.n, 1)
+    for alg, solver, rhs in (("new3d", solver3d, b3), ("2d", solver2d, b2)):
+        plan = FaultPlan.uniform(seed=SMOKE_SEED, drop=0.05)
+        out = solver.solve(rhs, algorithm=alg, faults=plan, resilience=res)
+        rr = out.resilience
+        assert rr.tier == alg, f"{alg} degraded to {rr.tier}"
+        assert len(rr.attempts) == 1
+        assert solve_residual(solver.A, out.x, rhs) <= 1e-10
+        counts = out.report.sim.fault_counts()
+        assert counts.get("drop", 0) >= 1
+        assert counts.get("retransmit", 0) == counts.get("drop", 0)
+
+
+def test_chaos_unreliable_drop_degrades_but_solves(solver3d):
+    """Without the envelope, heavy drop falls back — still a correct x."""
+    b = make_rhs(solver3d.n, 1)
+    plan = FaultPlan.uniform(seed=SMOKE_SEED, drop=0.3)
+    res = Resilience(residual_tol=1e-10, retries_per_tier=0)
+    out = solver3d.solve(b, algorithm="new3d", faults=plan, resilience=res)
+    rr = out.resilience
+    assert solve_residual(solver3d.A, out.x, b) <= 1e-10
+    assert rr.degraded
+    assert rr.tier == "reference"
+    # The failed attempts are all typed and diagnosable.
+    for a in rr.attempts:
+        if a.status != "ok":
+            assert a.status in ("error", "bad-residual")
+    assert any(a.error for a in rr.attempts)
+
+
+def test_chaos_run_classification():
+    ok = ChaosRun("new3d", "drop", 0.05, 0, "recovered")
+    assert ok.ok
+    bad = ChaosRun("new3d", "corrupt", 0.05, 0, "silent-wrong")
+    assert not bad.ok
+    assert all(issubclass(t, Exception) for t in TYPED_ERRORS)
