@@ -27,11 +27,17 @@ from repro.ordering import nested_dissection
 from repro.symbolic import symbolic_factor
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+PROFILES_DIR = os.path.join(RESULTS_DIR, "profiles")
 
 # Depth every cached separator tree is binary-complete to (supports Pz<=64).
 MAX_DEPTH = 6
 # Benchmark matrix scale; "medium" keeps full sweeps within minutes.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium")
+# Profile every benchmarked solve (``pytest --profile`` or the env var):
+# each solve through :func:`get_solver` runs with ``profile=True`` and its
+# rendered report lands in ``benchmarks/results/profiles/``.  Checked at
+# call time so the pytest option can flip it after import.
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "") not in ("", "0")
 
 # The four matrices of the paper's CPU figures (Fig. 4) and the subsets
 # used by the GPU figures (Figs. 9-11).
@@ -61,10 +67,45 @@ def pipeline(name: str, scale: str = SCALE, max_supernode: int = 16,
 def get_solver(name: str, px: int, py: int, pz: int,
                machine: Machine = CORI_HASWELL,
                scale: str = SCALE) -> SpTRSVSolver:
-    """Solver over the cached pipeline of a suite matrix."""
+    """Solver over the cached pipeline of a suite matrix.
+
+    When profiling is enabled (``pytest --profile`` in ``benchmarks/`` or
+    ``REPRO_BENCH_PROFILE=1``), every ``solve()`` through the returned
+    solver runs with metrics collection on and writes its rendered profile
+    under ``benchmarks/results/profiles/`` — no per-benchmark changes
+    needed.
+    """
     A, tree, sym, lu = pipeline(name, scale)
-    return SpTRSVSolver.from_pipeline(A, tree, sym, lu, px, py, pz,
-                                      machine=machine)
+    solver = SpTRSVSolver.from_pipeline(A, tree, sym, lu, px, py, pz,
+                                        machine=machine)
+    _install_profiling(solver, name)
+    return solver
+
+
+def _install_profiling(solver: SpTRSVSolver, name: str) -> None:
+    """Wrap ``solver.solve`` to honor the module-level ``PROFILE`` flag."""
+    inner = solver.solve
+
+    def solve(b, **kw):
+        if not PROFILE or kw.get("profile") or kw.get("resilience") is not None:
+            return inner(b, **kw)
+        out = inner(b, profile=True, **kw)
+        if out.report.metrics is not None:
+            _write_profile(name, solver, kw, out)
+        return out
+
+    solver.solve = solve
+
+
+def _write_profile(name: str, solver: SpTRSVSolver, kw: dict, out) -> None:
+    from repro.obs import format_profile
+
+    g = solver.grid
+    stem = (f"{name}_{g.px}x{g.py}x{g.pz}_"
+            f"{kw.get('algorithm', 'new3d')}_{kw.get('device', 'cpu')}.txt")
+    os.makedirs(PROFILES_DIR, exist_ok=True)
+    with open(os.path.join(PROFILES_DIR, stem), "w") as f:
+        f.write(format_profile(out.report.metrics) + "\n")
 
 
 def grid_for(P: int, pz: int) -> tuple[int, int]:

@@ -1,6 +1,21 @@
-"""Pytest path setup so the bench modules can import ``common``."""
+"""Pytest path setup so the bench modules can import ``common``, plus the
+``--profile`` flag every benchmark gains for free (see ``common.PROFILE``)."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="profile every benchmarked solve: collect per-phase metrics "
+             "and write rendered reports to benchmarks/results/profiles/")
+
+
+def pytest_configure(config):
+    if config.getoption("--profile", default=False):
+        import common
+
+        common.PROFILE = True

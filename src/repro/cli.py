@@ -15,6 +15,11 @@ Autotune the grid shape for 16 ranks::
 
     python -m repro tune --matrix nlpkkt80 --ranks 16
 
+Profile a solve — per-phase tables, sync points, critical path::
+
+    python -m repro profile --matrix s2D9pt2048 --grid 2x2x4 \
+        --algorithm new3d --trace /tmp/solve.json
+
 Inspect a matrix's pipeline statistics::
 
     python -m repro info --matrix ldoor --scale small
@@ -78,6 +83,39 @@ def cmd_solve(args) -> int:
           f"machine={machine.name}")
     print(format_report(out.report))
     print(f"  residual           : {res:10.3e}")
+    return 0 if res < 1e-8 else 1
+
+
+def cmd_profile(args) -> int:
+    """Run one profiled solve and print the observability report."""
+    from repro.obs import format_profile
+
+    A = _load_matrix(args.matrix, args.scale)
+    px, py, pz = _parse_grid(args.grid)
+    machine = _machine(args.machine)
+    solver = SpTRSVSolver(A, px, py, pz, machine=machine,
+                          max_supernode=args.max_supernode,
+                          symbolic_mode=args.symbolic)
+    b = make_rhs(A.shape[0], args.nrhs)
+    out = solver.solve(b, algorithm=args.algorithm, device=args.device,
+                       tree_kind=args.tree_kind, profile=True,
+                       trace=bool(args.trace) and args.device == "cpu")
+    res = solve_residual(A, out.x, b)
+    reg = out.report.metrics
+    print(f"matrix {args.matrix}: n={A.shape[0]}, nnz={A.nnz}, "
+          f"machine={machine.name}, algorithm={args.algorithm} "
+          f"({args.device})")
+    print(format_profile(reg))
+    print(f"residual: {res:.3e}")
+    if args.trace:
+        if args.device != "cpu":
+            print("note: --trace is CPU-only (the GPU dataflow phases have "
+                  "no event timeline); skipped")
+        else:
+            from repro.comm.trace_export import to_chrome_trace
+
+            nev = to_chrome_trace(out.report.sim, args.trace, metrics=reg)
+            print(f"wrote {nev} trace events to {args.trace}")
     return 0 if res < 1e-8 else 1
 
 
@@ -167,6 +205,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tree-kind", default=None,
                    choices=["auto", "binary", "flat"])
     p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("profile",
+                       help="profiled solve: per-phase metrics, inter-grid "
+                            "sync points, critical path")
+    common(p)
+    p.add_argument("--grid", default="1x1x1", help="PxxPyxPz, e.g. 2x2x4")
+    p.add_argument("--algorithm", default="new3d",
+                   choices=["new3d", "baseline3d", "2d"])
+    p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
+    p.add_argument("--tree-kind", default=None,
+                   choices=["auto", "binary", "flat"])
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="also write an annotated Chrome trace (flow arrows "
+                        "per message; open in chrome://tracing or Perfetto)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("tune", help="autotune the grid shape for P ranks")
     common(p)

@@ -8,6 +8,11 @@ expressed without a full MPI communicator implementation.
 
 All participating ranks must call the same collective with the same
 ``members`` and ``tag``.
+
+Every collective accepts ``sync=``: a label naming the inter-grid
+synchronization point its messages belong to in a profiled run
+(``Simulator(metrics=...)``; see ``docs/OBSERVABILITY.md``).  The previous
+label is restored on return, so scoping nests correctly.
 """
 
 from __future__ import annotations
@@ -41,7 +46,7 @@ def _binomial_peers(idx: int, size: int) -> tuple[int, list[int]]:
 
 def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
           tag: Any = "bcast", category: str = "comm",
-          timeout: float | None = None):
+          timeout: float | None = None, sync: str | None = None):
     """Broadcast ``value`` from ``root`` to all ``members``; returns it.
 
     ``timeout`` bounds each internal receive (virtual seconds); on expiry
@@ -52,6 +57,9 @@ def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
     members = sorted(members)
     size = len(members)
     ridx = members.index(root)
+    prev_sync = ctx.sync
+    if sync is not None:
+        ctx.set_sync(sync)
     # Rotate so the root is position 0 of the binomial tree.
     idx = (members.index(ctx.rank) - ridx) % size
     parent, children = _binomial_peers(idx, size)
@@ -62,12 +70,15 @@ def bcast(ctx: RankCtx, members: list[int], root: int, value: Any,
     for c in children:
         yield ctx.send(members[(c + ridx) % size], value, tag=tag,
                        category=category)
+    if sync is not None:
+        ctx.set_sync(prev_sync)
     return value
 
 
 def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
            op: Callable = np.add, tag: Any = "reduce",
-           category: str = "comm", timeout: float | None = None):
+           category: str = "comm", timeout: float | None = None,
+           sync: str | None = None):
     """Reduce ``value`` over ``members`` onto ``root``.
 
     Returns the reduced array on the root, the (partially reduced) local
@@ -77,6 +88,9 @@ def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
     members = sorted(members)
     size = len(members)
     ridx = members.index(root)
+    prev_sync = ctx.sync
+    if sync is not None:
+        ctx.set_sync(sync)
     idx = (members.index(ctx.rank) - ridx) % size
     parent, children = _binomial_peers(idx, size)
     acc = np.array(value, copy=True)
@@ -88,12 +102,15 @@ def reduce(ctx: RankCtx, members: list[int], root: int, value: np.ndarray,
     if parent >= 0:
         yield ctx.send(members[(parent + ridx) % size], acc, tag=tag,
                        category=category)
+    if sync is not None:
+        ctx.set_sync(prev_sync)
     return acc
 
 
 def allreduce(ctx: RankCtx, members: list[int], value: np.ndarray,
               op: Callable = np.add, tag: Any = "allreduce",
-              category: str = "comm", timeout: float | None = None):
+              category: str = "comm", timeout: float | None = None,
+              sync: str | None = None):
     """Reduce-then-broadcast allreduce over ``members``; returns the sum.
 
     ``timeout`` bounds each internal receive (see :func:`bcast`).
@@ -102,18 +119,19 @@ def allreduce(ctx: RankCtx, members: list[int], value: np.ndarray,
     root = members[0]
     acc = yield from reduce(ctx, members, root, value, op=op,
                             tag=(tag, "r"), category=category,
-                            timeout=timeout)
+                            timeout=timeout, sync=sync)
     out = yield from bcast(ctx, members, root, acc, tag=(tag, "b"),
-                           category=category, timeout=timeout)
+                           category=category, timeout=timeout, sync=sync)
     return out
 
 
 def barrier(ctx: RankCtx, members: list[int], tag: Any = "barrier",
-            category: str = "comm", timeout: float | None = None):
+            category: str = "comm", timeout: float | None = None,
+            sync: str | None = None):
     """Synchronize ``members``: nobody returns before everyone arrived.
 
     ``timeout`` bounds each internal receive (see :func:`bcast`).
     """
     token = np.zeros(1)
     yield from allreduce(ctx, members, token, tag=(tag, "bar"),
-                         category=category, timeout=timeout)
+                         category=category, timeout=timeout, sync=sync)

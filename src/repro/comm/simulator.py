@@ -104,6 +104,7 @@ class _RecvOp:
 class _ComputeOp:
     seconds: float
     category: str
+    flops: float = 0.0  # metrics-only annotation; never affects the clock
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -131,6 +132,25 @@ def _copy_payload(payload: Any) -> Any:
     return payload
 
 
+class _LabelScope:
+    """Context manager restoring a RankCtx label attribute on exit."""
+
+    def __init__(self, ctx: "RankCtx", attr: str, value: str):
+        self._ctx = ctx
+        self._attr = attr
+        self._value = value
+        self._saved = ""
+
+    def __enter__(self):
+        self._saved = getattr(self._ctx, self._attr)
+        setattr(self._ctx, self._attr, self._value)
+        return self._ctx
+
+    def __exit__(self, *exc):
+        setattr(self._ctx, self._attr, self._saved)
+        return False
+
+
 class RankCtx:
     """Per-rank handle: build ops to ``yield`` and accumulate timing."""
 
@@ -140,6 +160,7 @@ class RankCtx:
         self.machine = machine
         self.clock = 0.0
         self.phase = ""
+        self.sync = ""
         self.times: dict[tuple[str, str], float] = {}
         self.sent_msgs: dict[tuple[str, str], int] = {}
         self.sent_bytes: dict[tuple[str, str], float] = {}
@@ -180,23 +201,43 @@ class RankCtx:
             raise ValueError("recv timeout must be > 0")
         return _RecvOp(src, tag, category, timeout)
 
-    def compute(self, seconds: float, category: str = "fp") -> _ComputeOp:
-        """Advance the local clock by ``seconds`` of work."""
+    def compute(self, seconds: float, category: str = "fp",
+                flops: float = 0.0) -> _ComputeOp:
+        """Advance the local clock by ``seconds`` of work.
+
+        ``flops`` is a metrics-only annotation (recorded when a
+        :class:`~repro.obs.metrics.MetricsRegistry` is attached); it never
+        influences the virtual clock.
+        """
         if seconds < 0:
             raise ValueError("compute time must be >= 0")
-        return _ComputeOp(seconds, category)
+        return _ComputeOp(seconds, category, flops)
 
     def gemm(self, m: int, n: int, k: int, category: str = "fp") -> _ComputeOp:
         """Convenience: a dense m×k @ k×n on this rank's CPU model."""
         from repro.comm.costmodel import gemm_bytes, gemm_flops
 
-        t = self.machine.cpu.op_time(gemm_flops(m, n, k), gemm_bytes(m, n, k))
-        return _ComputeOp(t, category)
+        fl = gemm_flops(m, n, k)
+        t = self.machine.cpu.op_time(fl, gemm_bytes(m, n, k))
+        return _ComputeOp(t, category, fl)
 
     # -- bookkeeping ---------------------------------------------------------
 
     def set_phase(self, phase: str) -> None:
         self.phase = phase
+
+    def set_sync(self, sync: str) -> None:
+        """Name the inter-grid synchronization point subsequent messages
+        belong to ("" = none); purely an observability label."""
+        self.sync = sync
+
+    def phase_scope(self, phase: str) -> _LabelScope:
+        """``with ctx.phase_scope("l"): ...`` — scoped :meth:`set_phase`."""
+        return _LabelScope(self, "phase", phase)
+
+    def sync_scope(self, sync: str) -> _LabelScope:
+        """``with ctx.sync_scope("allreduce"): ...`` — scoped sync label."""
+        return _LabelScope(self, "sync", sync)
 
     def mark(self, name: str) -> None:
         """Record the current clock under ``name`` (phase boundaries)."""
@@ -326,13 +367,20 @@ class Simulator:
       after this many scheduler events without virtual-clock progress
       (livelock detector; a true deadlock still raises
       :class:`DeadlockError`).
+
+    Observability (see ``docs/OBSERVABILITY.md``): ``metrics`` attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry` that records per-rank,
+    per-phase counters and the send/recv dependency graph.  Recording is
+    purely observational — virtual clocks are bit-identical with and
+    without it.
     """
 
     def __init__(self, nranks: int, machine, max_events: int = 50_000_000,
                  trace: bool = False, faults: FaultPlan | None = None,
                  reliable: bool | ReliableTransport = False,
                  checksums: bool = False,
-                 watchdog_events: int | None = None):
+                 watchdog_events: int | None = None,
+                 metrics=None):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
@@ -340,6 +388,7 @@ class Simulator:
         self.max_events = max_events
         self.trace = trace
         self.faults = faults
+        self.metrics = metrics
         if reliable is True:
             self.transport: ReliableTransport | None = ReliableTransport()
         elif reliable:
@@ -371,6 +420,9 @@ class Simulator:
         events = 0
         started = [False] * n
         trace: list[TraceEvent] | None = [] if self.trace else None
+        mreg = self.metrics
+        if mreg is not None:
+            mreg.start_run(n, self.machine)
         fstate = self.faults.start_run() if self.faults is not None else None
         transport = self.transport
         net = self.machine.net
@@ -487,6 +539,8 @@ class Simulator:
                 attempt += 1
                 # The retransmitted copy is real traffic: count it.
                 ctx._charge_msg(op.category, op.nbytes)
+                if mreg is not None:
+                    mreg.on_retransmit(r, ctx.phase, op.category, op.nbytes)
                 fault_trace(fstate.record(
                     "retransmit", ctx.clock, r, op.dst, op.tag,
                     f"attempt {attempt}, backoff {delay:.3e}s"), r)
@@ -543,11 +597,13 @@ class Simulator:
                         wd_progress = events
                     same = self.machine.same_node(r, op.dst)
                     lat = net.latency(op.nbytes, same)
+                    msg_seq = None
                     if fstate is None and transport is None:
                         heapq.heappush(
                             mailbox[op.dst],
                             _Message(ctx.clock + lat, seq, r, op.tag,
                                      _copy_payload(op.payload), op.nbytes))
+                        msg_seq = seq
                         seq += 1
                     else:
                         payload = _copy_payload(op.payload)
@@ -562,6 +618,7 @@ class Simulator:
                                 mailbox[op.dst],
                                 _Message(arrival, seq, r, op.tag, payload,
                                          op.nbytes, csum))
+                            msg_seq = seq
                             seq += 1
                             if d is not None and d.duplicate:
                                 heapq.heappush(
@@ -572,6 +629,12 @@ class Simulator:
                                 seq += 1
                             if d is not None and d.reorder:
                                 self._apply_reorder(mailbox[op.dst], r)
+                    if mreg is not None:
+                        alpha = (net.alpha_intra if same
+                                 else net.alpha_inter)
+                        mreg.on_send(r, ctx.phase, ctx.sync, op.category,
+                                     msg_seq, op.dst, op.nbytes, t0,
+                                     ctx.clock, alpha, lat - alpha)
                     if trace is not None:
                         trace.append(TraceEvent(r, t0, ctx.clock, "send",
                                                 ctx.phase, op.category,
@@ -588,6 +651,9 @@ class Simulator:
                             seconds *= scale
                     ctx.clock += seconds
                     ctx._charge(op.category, seconds)
+                    if mreg is not None and seconds > 0:
+                        mreg.on_compute(r, ctx.phase, op.category, t0,
+                                        ctx.clock, op.flops)
                     if wd is not None and seconds > 0:
                         wd_progress = events
                     if trace is not None and seconds > 0:
@@ -668,6 +734,9 @@ class Simulator:
                 wait = max(0.0, deadline[r] - ctx.clock)
                 ctx.clock = max(ctx.clock, deadline[r])
                 ctx._charge(spec.category, wait)
+                if mreg is not None:
+                    mreg.on_wait(r, ctx.phase, ctx.sync, spec.category,
+                                 t0, None, ctx.clock, None, None)
                 if wd is not None and wait > 0:
                     wd_progress = events
                 if trace is not None:
@@ -696,6 +765,12 @@ class Simulator:
                     ctx.clock += net.send_overhead
                     ctx._charge(spec.category, net.send_overhead)
                     ctx._charge_msg("ack", transport.ack_nbytes)
+                    if mreg is not None:
+                        mreg.on_ack(r, ctx.phase, "ack",
+                                    transport.ack_nbytes)
+                if mreg is not None:
+                    mreg.on_wait(r, ctx.phase, ctx.sync, spec.category,
+                                 t0, m.arrival, ctx.clock, m.seq, m.src)
                 if trace is not None:
                     trace.append(TraceEvent(r, t0, ctx.clock, "wait",
                                             ctx.phase, spec.category, m.src))

@@ -28,13 +28,41 @@ def _fault_args(e: TraceEvent) -> dict:
 
 
 def to_chrome_trace(result: SimResult, path: str,
-                    time_unit: float = 1e6) -> int:
+                    time_unit: float = 1e6, metrics=None) -> int:
     """Write a Chrome trace-event JSON file; returns the event count.
 
     ``time_unit`` converts simulated seconds to trace microseconds
     (Chrome's expected unit).
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry` from the
+    same run) enriches the trace: every delivered message becomes a flow
+    arrow from the sender's injection to the receiver's delivery, tagged
+    with its phase/sync labels, and ranks get human-readable thread names.
     """
     events = []
+    if metrics is not None:
+        from repro.obs.metrics import phase_name
+
+        for r in range(metrics.nranks):
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": r,
+                "args": {"name": f"rank {r}"},
+            })
+        for msg in metrics.messages.values():
+            if not msg.delivered:
+                continue
+            args = {"bytes": msg.nbytes, "phase": phase_name(msg.phase)}
+            if msg.sync:
+                args["sync"] = msg.sync
+            common = {"name": f"msg:{msg.category}", "cat": "comm",
+                      "id": msg.seq, "pid": 0, "args": args}
+            events.append({**common, "ph": "s", "tid": msg.src,
+                           "ts": msg.t_send1 * time_unit})
+            events.append({**common, "ph": "f", "bp": "e", "tid": msg.dst,
+                           "ts": msg.arrival * time_unit})
     for e in result.trace_timeline():
         if e.kind == "fault":
             events.append({

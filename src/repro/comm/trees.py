@@ -67,6 +67,17 @@ class CommTree:
     def max_fanout(self) -> int:
         return max((len(c) for c in self.children_idx), default=0)
 
+    def edges(self) -> list[tuple[int, int]]:
+        """All ``(parent_rank, child_rank)`` edges.
+
+        One broadcast over the tree sends exactly one message per edge (a
+        reduction the same, reversed), so ``len(tree.edges())`` is the
+        hand-countable message total the observability tests check the
+        recorded metrics against.
+        """
+        return [(self.members[self.parent_idx[i]], self.members[i])
+                for i in range(1, self.size)]
+
 
 def _build(members: list[int], arity: int) -> CommTree:
     m = len(members)

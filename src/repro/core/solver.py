@@ -32,6 +32,7 @@ from repro.core.sptrsv3d_new import (
 )
 from repro.grids.grid3d import Grid3D
 from repro.numfact.lu import lu_factorize
+from repro.obs.metrics import MetricsRegistry
 from repro.ordering.layout import build_layout_tree
 from repro.ordering.nested_dissection import nested_dissection
 from repro.symbolic.fill import symbolic_factor
@@ -45,12 +46,18 @@ class PerfReport:
     Phases: ``"l"`` (L-solve), ``"z"`` (inter-grid), ``"u"`` (U-solve).
     Categories: ``"fp"`` (GEMV/GEMM + diagonal solves), ``"xy"`` (intra-grid
     communication incl. waits), ``"z"`` (inter-grid communication).
+
+    ``metrics`` is populated by ``solve(..., profile=True)`` with the run's
+    :class:`~repro.obs.metrics.MetricsRegistry` (per-rank/per-phase
+    counters, sync points, critical path; see ``docs/OBSERVABILITY.md``);
+    ``None`` otherwise.
     """
 
     sim: SimResult
     algorithm: str
     grid: Grid3D
     nrhs: int
+    metrics: MetricsRegistry | None = None
 
     @property
     def total_time(self) -> float:
@@ -273,7 +280,8 @@ class SpTRSVSolver:
               device: str = "cpu", baseline_level_sync: bool = True,
               allreduce_impl: str = "sparse",
               faults: FaultPlan | None = None,
-              resilience: Resilience | None = None) -> SolveOutcome:
+              resilience: Resilience | None = None,
+              profile: bool = False, trace: bool = False) -> SolveOutcome:
         """Solve ``A x = b``; ``b`` may be ``(n,)`` or ``(n, nrhs)``.
 
         ``algorithm``: ``"new3d"`` (proposed; adaptive "auto" trees),
@@ -291,6 +299,16 @@ class SpTRSVSolver:
         gracefully through algorithm tiers on any failure (see
         :class:`Resilience` and ``docs/FAULTS.md``).  Both default off, in
         which case the solve is bit-identical to the lossless runtime.
+
+        ``profile=True`` attaches a
+        :class:`~repro.obs.metrics.MetricsRegistry` to the returned
+        ``report.metrics`` (per-rank/per-phase counters, inter-grid sync
+        points, critical path); ``trace=True`` additionally records the
+        per-op event list on ``report.sim.trace`` for Chrome-trace export.
+        Both are purely observational — virtual clocks are bit-identical
+        either way.  Under ``resilience``, the registry describes the
+        distributed attempt that produced the answer (``None`` when the
+        sequential reference tier answered).
         """
         b2, was1d = as_2d_rhs(b)
         if b2.shape[0] != self.n:
@@ -303,10 +321,12 @@ class SpTRSVSolver:
             raise ValueError(
                 "fault injection / resilience are modeled on the CPU "
                 "message-passing runtime only (device='cpu')")
+        metrics = MetricsRegistry() if profile else None
         if resilience is not None:
             return self._solve_resilient(b2, was1d, algorithm, tree_kind,
                                          machine, baseline_level_sync,
-                                         allreduce_impl, faults, resilience)
+                                         allreduce_impl, faults, resilience,
+                                         metrics=metrics, trace=trace)
 
         if device == "gpu":
             if algorithm not in ("new3d", "2d"):
@@ -318,21 +338,28 @@ class SpTRSVSolver:
             from repro.gpu.solver3d import solve_new3d_gpu
 
             setup = self._new3d_setup(tree_kind or "binary")
-            gres = solve_new3d_gpu(setup, machine, b_perm, nrhs)
+            gres = solve_new3d_gpu(setup, machine, b_perm, nrhs,
+                                   metrics=metrics)
             x_perm = collect_solution(setup, gres.results, self.n, nrhs)
             x = np.empty_like(x_perm)
             x[self.perm] = x_perm
             report = PerfReport(sim=gres.sim, algorithm=f"{algorithm}-gpu",
-                                grid=self.grid, nrhs=nrhs)
+                                grid=self.grid, nrhs=nrhs, metrics=metrics)
             return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
         if device != "cpu":
             raise ValueError(f"unknown device {device!r}")
 
+        sim_kwargs: dict = {}
+        if metrics is not None:
+            sim_kwargs["metrics"] = metrics
+        if trace:
+            sim_kwargs["trace"] = True
         x, res = self._solve_cpu(b_perm, nrhs, algorithm, tree_kind,
                                  machine, baseline_level_sync,
-                                 allreduce_impl, faults)
+                                 allreduce_impl, faults,
+                                 sim_kwargs=sim_kwargs or None)
         report = PerfReport(sim=res, algorithm=algorithm, grid=self.grid,
-                            nrhs=nrhs)
+                            nrhs=nrhs, metrics=metrics)
         return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
 
     def _solve_cpu(self, b_perm: np.ndarray, nrhs: int, algorithm: str,
@@ -394,7 +421,9 @@ class SpTRSVSolver:
                          tree_kind: str | None, machine: Machine,
                          baseline_level_sync: bool, allreduce_impl: str,
                          faults: FaultPlan | None,
-                         resilience: Resilience) -> SolveOutcome:
+                         resilience: Resilience,
+                         metrics: MetricsRegistry | None = None,
+                         trace: bool = False) -> SolveOutcome:
         """Verified solve with retries and tier fallback (the recovery side
         of the fault model: detect via typed errors + residuals, recover via
         retry, degrade new-3D → baseline-3D → sequential reference)."""
@@ -410,6 +439,12 @@ class SpTRSVSolver:
         nrhs = b2.shape[1]
         b_perm = b2[self.perm]
         sim_kwargs = resilience.sim_kwargs()
+        # The registry resets on every attempt's run, so after the loop it
+        # describes the attempt that produced the answer.
+        if metrics is not None:
+            sim_kwargs["metrics"] = metrics
+        if trace:
+            sim_kwargs["trace"] = True
         attempts: list[AttemptRecord] = []
         recovery = 0.0
         attempt_idx = 0
@@ -441,7 +476,8 @@ class SpTRSVSolver:
                         tier, "ok", res.makespan, residual=residual,
                         fault_events=nflt))
                     report = PerfReport(sim=res, algorithm=tier,
-                                        grid=self.grid, nrhs=nrhs)
+                                        grid=self.grid, nrhs=nrhs,
+                                        metrics=metrics)
                     rr = ResilienceReport(
                         tier=tier, attempts=attempts, recovery_time=recovery,
                         total_time=recovery + res.makespan,

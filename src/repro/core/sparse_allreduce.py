@@ -79,6 +79,10 @@ def sparse_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
                 values[K][:] = buf[ofs:ofs + w]
             ofs += w
 
+    # The whole reduce+broadcast is ONE inter-grid synchronization point —
+    # the quantity the paper's headline claim counts.
+    ctx.set_sync("allreduce")
+
     # Sparse reduce: accumulate toward grid 0.
     for l in range(depth):
         ks = my_steps[l]
@@ -107,6 +111,8 @@ def sparse_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
                                        tag=("sar", "b", l), category=category)
             unpack(ks, buf, accumulate=False)
 
+    ctx.set_sync("")
+
 
 def naive_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
                     part: SupernodePartition, values: dict[int, np.ndarray],
@@ -133,9 +139,13 @@ def naive_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
         buf = np.concatenate([values[K] for K in ks], axis=0)
         members = [grid.zpeer(ctx.rank, zz)
                    for zz in range(node.grid_lo, node.grid_hi)]
+        # One rendezvous per tree node — the sync-point count the sparse
+        # allreduce collapses to 1.
+        ctx.set_sync(f"node-{node.heap_id}")
         out = yield from allreduce(ctx, members, buf,
                                    tag=("nar", node.heap_id),
                                    category=category)
+        ctx.set_sync("")
         ofs = 0
         for K in ks:
             w = values[K].shape[0]

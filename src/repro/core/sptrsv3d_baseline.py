@@ -143,6 +143,11 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
             # Pairwise inter-grid reduction of the ancestor partial sums
             # onto the smaller grid id; the sender idles afterwards.
             if k < depth:
+                # Each elimination-tree level is one inter-grid
+                # synchronization point; its L-reduce half here and the
+                # mirrored U-broadcast half below share the label, exactly
+                # as the sparse allreduce's two halves count as one.
+                ctx.set_sync(f"level-{k}")
                 stride = 1 << k
                 ks = _my_diag_sns(anc_sns, grid, i, j)
                 if ks:
@@ -173,6 +178,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
                     yield from barrier(ctx, members,
                                        tag=("blbar", k, pair_lo),
                                        category="z")
+                ctx.set_sync("")
         ctx.mark("l_end")
 
         # ---------------- U phase: top level downward -----------------------
@@ -183,6 +189,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
         if z != 0:
             _, anc_sns, _, _ = zsteps[kmax]
             partner = z - (1 << kmax)
+            ctx.set_sync(f"level-{kmax}")
             ks = _my_diag_sns(anc_sns, grid, i, j)
             if ks:
                 _, _, buf = yield ctx.recv(
@@ -197,6 +204,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
                 members = (grid.grid_ranks(partner) + grid.grid_ranks(z))
                 yield from barrier(ctx, members, tag=("bubar", kmax, partner),
                                    category="z")
+            ctx.set_sync("")
         for k in range(kmax, -1, -1):
             node_sns, anc_sns, _, plan_u = zsteps[k]
             my_plan = plan_u.plan_of(ctx.rank)
@@ -213,6 +221,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
             if k >= 1:
                 stride = 1 << (k - 1)
                 peer_z = z + stride
+                ctx.set_sync(f"level-{k - 1}")
                 # Supernodes the partner needs: ancestors of its next node,
                 # i.e. this node plus our ancestors.
                 need = sorted(node_sns) + anc_sns
@@ -225,6 +234,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
                     members = (grid.grid_ranks(z) + grid.grid_ranks(peer_z))
                     yield from barrier(ctx, members, tag=("bubar", k - 1, z),
                                        category="z")
+                ctx.set_sync("")
         ctx.mark("u_end")
         return x_all
 

@@ -125,6 +125,9 @@ def new3d_rank_fn(setup: New3DSetup, b_perm: np.ndarray, nrhs: int,
 
         # Single inter-grid synchronization: the sparse allreduce
         # (or the naive per-node allreduce, kept for the ablation).
+        # The allreduce labels itself via ctx.set_sync, so a profiled run
+        # reports exactly one sync point here (MetricsRegistry.nsyncs == 1)
+        # vs the baseline's ceil(log2(Pz)) "level-k" points.
         ctx.set_phase("z")
         if allreduce_impl == "sparse":
             yield from sparse_allreduce(ctx, grid, setup.layout, part, y,

@@ -35,13 +35,20 @@ class Gpu3DResult:
 
 
 def solve_new3d_gpu(setup: New3DSetup, machine: Machine,
-                    b_perm: np.ndarray, nrhs: int) -> Gpu3DResult:
+                    b_perm: np.ndarray, nrhs: int,
+                    metrics=None) -> Gpu3DResult:
     """Run the proposed 3D SpTRSV with GPU 2D solves.
 
     ``setup`` is the same plan bundle the CPU path uses (binary trees); the
     machine must carry a GPU model.  Grids with more than one GPU require
     ``Py == 1`` and one-sided sub-communicator support (NVSHMEM; absent on
     the Crusher preset, mirroring ROC-SHMEM's limitation).
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records the
+    CPU-side phase-2 allreduce at event level; the GPU dataflow phases are
+    merged in as external summaries afterwards, so all counters and sync
+    points are exact but the critical-path walk is unavailable
+    (``metrics.complete_timeline`` becomes ``False``).
     """
     gpu = machine.gpu
     if gpu is None:
@@ -95,7 +102,7 @@ def solve_new3d_gpu(setup: New3DSetup, machine: Machine,
         ctx.mark("z_end")
         return vals
 
-    sim = Simulator(grid.nranks, machine)
+    sim = Simulator(grid.nranks, machine, metrics=metrics)
     res = sim.run(rank_fn)
     y_reduced = {r: res.results[r] for r in range(grid.nranks)}
     start_u = {r: float(res.clocks[r]) for r in range(grid.nranks)}
@@ -131,6 +138,21 @@ def solve_new3d_gpu(setup: New3DSetup, machine: Machine,
                 nbytes[r][("l", "xy")] = nbytes[r].get(("l", "xy"), 0.0) + lr.nvshmem_bytes
                 msgs[r][("u", "xy")] = msgs[r].get(("u", "xy"), 0) + nv
                 nbytes[r][("u", "xy")] = nbytes[r].get(("u", "xy"), 0.0) + nb
+            if metrics is not None:
+                # The GPU U-phase has no event timeline; merge its busy and
+                # spin-wait time (and, on the grid's rank 0, the NVSHMEM
+                # message totals) as external summaries.
+                metrics.add_external(r, "u", "fp",
+                                     compute_time=ur.occupied[r])
+                metrics.add_external(
+                    r, "u", "xy",
+                    wait_time=max(0.0, ur.finish[r] - start_u[r]
+                                  - ur.occupied[r]))
+                if idx == 0:
+                    metrics.add_external(r, "l", "xy",
+                                         msgs=lr.nvshmem_msgs,
+                                         nbytes=lr.nvshmem_bytes)
+                    metrics.add_external(r, "u", "xy", msgs=nv, nbytes=nb)
 
     merged = SimResult(clocks=clocks, times=times, sent_msgs=msgs,
                        sent_bytes=nbytes, marks=marks, results=results)

@@ -1,0 +1,43 @@
+"""Observability layer: metrics registry, critical-path analysis, profiles.
+
+The paper's claims are communication-accounting claims (one inter-grid
+synchronization instead of ``O(log Pz)``, sparse allreduce touching only
+ancestor subvectors, binary-tree vs flat broadcast cost); this package
+makes them *measurable* on every run instead of derivable from trace JSON:
+
+- :class:`~repro.obs.metrics.MetricsRegistry` — per-rank, per-phase
+  counters (messages, bytes, flops, α/β time, overheads, idle time,
+  retransmits) plus the send→recv dependency graph, recorded automatically
+  by ``Simulator(metrics=...)`` without perturbing virtual clocks;
+- :func:`~repro.obs.critpath.analyze_critical_path` — the binding chain of
+  a recorded run: longest dependency path, per-rank slack, dominant phase;
+- :func:`~repro.obs.render.format_profile` — the ``repro profile`` tables.
+
+Entry points: ``SpTRSVSolver.solve(b, profile=True)`` attaches a registry
+to ``outcome.report.metrics``; the ``repro profile`` CLI subcommand and the
+benchmarks' ``--profile`` flag render it.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.critpath import (ChainStep, CriticalPathReport,
+                                analyze_critical_path)
+from repro.obs.metrics import (PHASE_NAMES, MessageRecord, MetricsRegistry,
+                               OpRecord, PhaseStats, SyncStats, phase_name)
+from repro.obs.render import (format_profile, phase_table, sync_table,
+                              utilization_summary)
+
+__all__ = [
+    "MetricsRegistry",
+    "PhaseStats",
+    "MessageRecord",
+    "OpRecord",
+    "SyncStats",
+    "PHASE_NAMES",
+    "phase_name",
+    "analyze_critical_path",
+    "CriticalPathReport",
+    "ChainStep",
+    "format_profile",
+    "phase_table",
+    "sync_table",
+    "utilization_summary",
+]

@@ -1,0 +1,170 @@
+"""Critical-path analysis over a *recorded* simulation.
+
+:mod:`repro.perf.critical_path` bounds any schedule from below using only
+the task DAG; this module answers the complementary question about one
+*actual* run: which chain of operations — compute, message injection,
+in-flight network time, receive overhead — determined the makespan, and
+which phase dominates it.
+
+The walk uses the send/recv dependency graph a
+:class:`~repro.obs.metrics.MetricsRegistry` records.  Starting from the
+last operation of the slowest rank it steps backwards; at a receive whose
+message arrived *after* the rank started waiting (a binding wait) it jumps
+to the sender's injection op, inserting a ``"wire"`` step for the in-flight
+α-β time.  The resulting chain is contiguous: its summed durations equal
+the makespan exactly (asserted by the tests), so "where did the time go"
+has a complete, mechanical answer — e.g. the proposed algorithm's single
+inter-grid synchronization shows up as exactly one block of ``z``-phase
+wire/wait steps on the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, phase_name
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One link of the critical chain (disjoint, contiguous intervals).
+
+    ``kind`` is ``"compute"``, ``"send"``, ``"wait"`` (receive overhead
+    after a binding arrival, or a non-binding wait consumed locally) or
+    ``"wire"`` (message in flight between two ranks; ``rank`` is the
+    sender, ``peer`` the receiver).
+    """
+
+    rank: int
+    t0: float
+    t1: float
+    kind: str
+    phase: str
+    category: str
+    peer: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class CriticalPathReport:
+    """The longest (binding) chain of one recorded run."""
+
+    makespan: float
+    steps: list[ChainStep]
+    slack: np.ndarray                  # per-rank schedule slack
+    phase_time: dict[str, float] = field(default_factory=dict)
+    kind_time: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.phase_time:
+            for s in self.steps:
+                self.phase_time[s.phase] = \
+                    self.phase_time.get(s.phase, 0.0) + s.duration
+                self.kind_time[s.kind] = \
+                    self.kind_time.get(s.kind, 0.0) + s.duration
+
+    @property
+    def dominant_phase(self) -> str:
+        return max(self.phase_time, key=self.phase_time.get)
+
+    @property
+    def cross_rank_hops(self) -> int:
+        """Number of rank-to-rank handoffs (wire steps) on the chain."""
+        return sum(1 for s in self.steps if s.kind == "wire")
+
+    @property
+    def ranks_touched(self) -> list[int]:
+        """Distinct ranks on the chain, in chain order."""
+        seen: list[int] = []
+        for s in self.steps:
+            if s.kind != "wire" and (not seen or seen[-1] != s.rank):
+                if s.rank not in seen:
+                    seen.append(s.rank)
+        return seen
+
+    def coverage(self) -> float:
+        """Summed chain time over the makespan (1.0 for a complete walk)."""
+        total = sum(s.duration for s in self.steps)
+        return total / self.makespan if self.makespan > 0 else 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"critical path: {self.makespan * 1e3:.3f} ms over "
+            f"{len(self.steps)} steps, {self.cross_rank_hops} cross-rank "
+            f"hops, {len(self.ranks_touched)} rank(s)"]
+        for ph, t in sorted(self.phase_time.items(),
+                            key=lambda kv: -kv[1]):
+            lines.append(f"  phase {phase_name(ph):<12s}: "
+                         f"{t * 1e3:9.3f} ms ({t / self.makespan:6.1%})")
+        for kind in ("compute", "wait", "send", "wire"):
+            t = self.kind_time.get(kind, 0.0)
+            if t:
+                lines.append(f"  {kind:<18s}: {t * 1e3:9.3f} ms "
+                             f"({t / self.makespan:6.1%})")
+        sl = self.slack
+        lines.append(f"  slack: min {sl.min() * 1e3:.3f} ms "
+                     f"(rank {int(sl.argmin())}), "
+                     f"max {sl.max() * 1e3:.3f} ms (rank {int(sl.argmax())})")
+        return "\n".join(lines)
+
+
+def analyze_critical_path(reg: MetricsRegistry) -> CriticalPathReport:
+    """Walk the recorded dependency graph back from the slowest rank.
+
+    Requires an event-complete registry (``reg.complete_timeline``); a
+    registry holding merged GPU summaries has counters but no per-op
+    timeline and raises ``ValueError``.
+    """
+    if not reg.complete_timeline:
+        raise ValueError(
+            "critical path needs an event-level timeline; this registry "
+            "holds merged summaries (GPU dataflow phases) — counters and "
+            "sync points remain available")
+    if reg.nranks == 0 or all(not ops for ops in reg.ops):
+        raise ValueError("registry holds no recorded operations")
+
+    finish = reg.finish_times()
+    # Per-rank chronological ops; map seq -> (rank, op index) for sends.
+    ops = [sorted(r_ops, key=lambda o: (o.t0, o.t1)) for r_ops in reg.ops]
+    send_at: dict[int, tuple[int, int]] = {}
+    for r in range(reg.nranks):
+        for i, op in enumerate(ops[r]):
+            if op.kind == "send" and op.seq is not None:
+                send_at[op.seq] = (r, i)
+
+    rank = int(np.argmax(finish))
+    i = len(ops[rank]) - 1
+    steps: list[ChainStep] = []
+    guard = sum(len(o) for o in ops) + len(reg.messages) + 1
+
+    while i >= 0 and guard > 0:
+        guard -= 1
+        op = ops[rank][i]
+        if op.kind == "wait" and op.seq is not None:
+            msg = reg.messages.get(op.seq)
+            arrival = msg.arrival if msg is not None else None
+            binding = (msg is not None and op.seq in send_at
+                       and arrival is not None and arrival > op.t0)
+            if binding:
+                # Receive overhead after the arrival, then the wire, then
+                # continue on the sender at its injection op.
+                steps.append(ChainStep(rank, arrival, op.t1, "wait",
+                                       op.phase, op.category, peer=msg.src))
+                steps.append(ChainStep(msg.src, msg.t_send1, arrival,
+                                       "wire", msg.phase, msg.category,
+                                       peer=msg.dst))
+                rank, i = send_at[op.seq]
+                continue
+        if op.t1 > op.t0:
+            steps.append(ChainStep(rank, op.t0, op.t1, op.kind, op.phase,
+                                   op.category, peer=op.peer))
+        i -= 1
+
+    steps.reverse()
+    return CriticalPathReport(makespan=float(finish.max()), steps=steps,
+                              slack=reg.slack())

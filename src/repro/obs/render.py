@@ -1,0 +1,105 @@
+"""Human-readable rendering of recorded metrics (`repro profile`).
+
+Turns a :class:`~repro.obs.metrics.MetricsRegistry` into the paper-style
+per-phase communication-accounting tables: messages / bytes / flops /
+compute / α-β / wait per ``(phase, category)`` label, the named inter-grid
+synchronization points (the "1 vs O(log Pz)" claim as a printed number),
+a rank-utilization summary, and the recorded-run critical path.
+"""
+
+from __future__ import annotations
+
+from repro.obs.critpath import analyze_critical_path
+from repro.obs.metrics import MetricsRegistry, phase_name
+
+
+def _fmt_bytes(b: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if b < 1024.0 or unit == "GiB":
+            return f"{b:8.1f} {unit}"
+        b /= 1024.0
+    return f"{b:8.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _fmt_flops(f: float) -> str:
+    for unit in ("", "K", "M", "G"):
+        if f < 1e3 or unit == "G":
+            return f"{f:7.1f} {unit:>1s}"
+        f /= 1e3
+    return f"{f:7.1f} G"  # pragma: no cover - loop always returns
+
+
+def phase_table(reg: MetricsRegistry) -> str:
+    """Per-(phase, category) accounting table, summed over ranks."""
+    header = (f"{'phase':<12s} {'cat':<5s} {'msgs':>8s} {'bytes':>12s} "
+              f"{'flops':>9s} {'compute':>11s} {'alpha':>9s} {'beta':>9s} "
+              f"{'ovrhd':>9s} {'wait':>11s}")
+    lines = [header, "-" * len(header)]
+
+    def row(label_phase: str, label_cat: str, st) -> str:
+        return (f"{label_phase:<12s} {label_cat:<5s} {st.msgs:>8d} "
+                f"{_fmt_bytes(st.bytes):>12s} {_fmt_flops(st.flops):>9s} "
+                f"{st.compute_time * 1e3:9.3f}ms "
+                f"{st.alpha_time * 1e6:7.1f}us {st.beta_time * 1e6:7.1f}us "
+                f"{st.overhead_time * 1e6:7.1f}us "
+                f"{st.wait_time * 1e3:9.3f}ms")
+
+    for phase, cat in reg.labels():
+        lines.append(row(phase_name(phase), cat, reg.stats(phase, cat)))
+    lines.append("-" * len(header))
+    lines.append(row("total", "", reg.stats()))
+    total = reg.stats()
+    if total.retransmits or total.acks:
+        lines.append(f"{'':<12s} {'':<5s} retransmits {total.retransmits}, "
+                     f"acks {total.acks}")
+    return "\n".join(lines)
+
+
+def sync_table(reg: MetricsRegistry) -> str:
+    """The named inter-grid synchronization points of the run."""
+    pts = reg.sync_points()
+    lines = [f"inter-grid synchronization points: {len(pts)}"]
+    for s in pts.values():
+        lines.append(
+            f"  {s.name:<14s}: {s.msgs:6d} msgs, {_fmt_bytes(s.bytes)}, "
+            f"{len(s.ranks)} ranks, "
+            f"[{s.t_first * 1e3:.3f} .. {s.t_last * 1e3:.3f}] ms")
+    return "\n".join(lines)
+
+
+def utilization_summary(reg: MetricsRegistry) -> str:
+    """Per-rank busy fraction and load-imbalance view (Figs. 7-8 style)."""
+    util = reg.utilization()
+    finish = reg.finish_times()
+    comp = [reg.stats(rank=r).compute_time for r in range(reg.nranks)]
+    mean_c = sum(comp) / len(comp) if comp else 0.0
+    imbalance = (max(comp) / mean_c) if mean_c > 0 else 1.0
+    return (
+        f"rank utilization: busy {util.mean():.1%} mean "
+        f"(min {util.min():.1%} rank {int(util.argmin())}, "
+        f"max {util.max():.1%} rank {int(util.argmax())}); "
+        f"load imbalance {imbalance:.2f}x; "
+        f"finish spread [{finish.min() * 1e3:.3f} .. "
+        f"{finish.max() * 1e3:.3f}] ms")
+
+
+def format_profile(reg: MetricsRegistry, critical_path: bool = True) -> str:
+    """Full profile text: tables + sync points + utilization (+ the
+    critical path when the registry carries an event-level timeline)."""
+    parts = [
+        f"profile over {reg.nranks} ranks, makespan "
+        f"{reg.makespan * 1e3:.3f} ms",
+        "",
+        phase_table(reg),
+        "",
+        sync_table(reg),
+        "",
+        utilization_summary(reg),
+    ]
+    if critical_path:
+        if reg.complete_timeline:
+            parts += ["", analyze_critical_path(reg).summary()]
+        else:
+            parts += ["", "critical path: unavailable (merged GPU phases "
+                          "have no event-level timeline)"]
+    return "\n".join(parts)

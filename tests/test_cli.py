@@ -62,6 +62,41 @@ def test_tune(capsys):
     assert "best: --grid" in out
 
 
+def test_profile(capsys, tmp_path):
+    trace = str(tmp_path / "trace.json")
+    rc = main(["profile", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--grid", "2x1x4", "--max-supernode", "8",
+               "--trace", trace])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "inter-grid synchronization points: 1" in out
+    assert "critical path:" in out
+    assert "rank utilization" in out
+    import json
+    import os
+
+    assert os.path.exists(trace)
+    data = json.loads(open(trace).read())
+    assert any(e["ph"] == "s" for e in data["traceEvents"])
+
+
+def test_profile_baseline_sync_count(capsys):
+    rc = main(["profile", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--grid", "1x1x4", "--algorithm", "baseline3d",
+               "--max-supernode", "8"])
+    assert rc == 0
+    # ceil(log2(4)) = 2 per-level rendezvous for the baseline.
+    assert "inter-grid synchronization points: 2" in capsys.readouterr().out
+
+
+def test_profile_gpu(capsys):
+    rc = main(["profile", "--matrix", "ldoor", "--scale", "tiny",
+               "--grid", "2x1x2", "--machine", "perlmutter-gpu",
+               "--device", "gpu", "--max-supernode", "8"])
+    assert rc == 0
+    assert "critical path: unavailable" in capsys.readouterr().out
+
+
 def test_error_paths():
     with pytest.raises(SystemExit, match="neither a suite matrix"):
         main(["solve", "--matrix", "not-a-matrix", "--grid", "1x1x1"])

@@ -1,0 +1,15 @@
+"""Documentation stays navigable: no broken intra-repo markdown links."""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_markdown_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "tools", "check_md_links.py"),
+         REPO],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

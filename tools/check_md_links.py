@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links (CI docs job; also a tier-1 test).
+
+Scans every tracked ``*.md`` file for inline links and validates the ones
+that point inside the repository:
+
+- relative file links (``docs/API.md``, ``../README.md``) must resolve to
+  an existing file or directory;
+- fragment links into a markdown file (``API.md#solve``) must match a
+  heading anchor in the target (GitHub's slug rules, simplified);
+- bare ``#fragment`` links must match a heading in the same file.
+
+External links (``http(s)://``, ``mailto:``) are not fetched — CI must not
+depend on the network.  Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def repo_markdown_files(root: str) -> list[str]:
+    out = []
+    skip = {".git", "__pycache__", "node_modules", ".pytest_cache"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in skip]
+        for fn in filenames:
+            if fn.endswith(".md"):
+                out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor (simplified: enough for this repo)."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set[str]:
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {slugify(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path: str, root: str) -> list[str]:
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    rel = os.path.relpath(path, root)
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path):
+                errors.append(f"{rel}: broken fragment {target}")
+            continue
+        file_part, _, frag = target.partition("#")
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{rel}: broken link {target}")
+            continue
+        if frag and resolved.endswith(".md"):
+            if slugify(frag) not in anchors_of(resolved):
+                errors.append(f"{rel}: broken anchor {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = (argv or sys.argv[1:] or ["."])[0]
+    root = os.path.abspath(root)
+    errors: list[str] = []
+    files = repo_markdown_files(root)
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"{len(errors)} broken markdown link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"checked {len(files)} markdown files: all intra-repo links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
