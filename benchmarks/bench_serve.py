@@ -1,0 +1,125 @@
+"""Serving benchmark: α-amortization through request batching.
+
+Sweeps the batch-width cap of :class:`repro.serve.SolveService` under a
+fixed Poisson arrival stream and measures served throughput.  Because the
+distributed solve is latency (α) bound, a batch of ``k`` coalesced
+right-hand sides pays each per-message α once instead of ``k`` times, so
+throughput should rise with the cap until the per-flop β/compute term
+takes over — the serving-tier analogue of the paper's multi-RHS
+amortization argument.
+
+Shape claims checked:
+- throughput strictly improves from max-batch 1 to the largest cap;
+- per-request virtual service time (server busy time / completed) falls
+  monotonically-ish (within 5% noise) as the cap grows;
+- a mixed-matrix stream gets a nonzero factorization-cache hit rate and
+  its cache-hit answers are bit-identical to cold per-request solves.
+"""
+
+import numpy as np
+import pytest
+
+from common import SCALE, write_report
+
+from repro.serve import (
+    BatchPolicy,
+    ServiceConfig,
+    SolveService,
+    WorkloadSpec,
+    generate_workload,
+)
+
+BATCH_CAPS = [1, 2, 4, 8, 16]
+# tiny keeps the sweep fast at any REPRO_BENCH_SCALE; the serving tier's
+# virtual-time behaviour (batch formation, amortization) is scale-free.
+SERVE_SCALE = "tiny" if SCALE == "medium" else SCALE
+N_REQUESTS = 48
+RATE = 1e6        # effectively "always backlogged": isolates batching gain
+CFG = ServiceConfig(px=1, py=1, pz=4)
+
+
+def run_sweep():
+    """Returns {cap: (throughput, busy_per_req, slo)} over one stream."""
+    wl = generate_workload(WorkloadSpec(
+        seed=42, rate=RATE, n_requests=N_REQUESTS, deadline=10.0,
+        mix=(("s2D9pt2048", SERVE_SCALE, 1.0),)))
+    out = {}
+    for cap in BATCH_CAPS:
+        svc = SolveService(CFG, BatchPolicy(max_batch=cap, max_wait=1e-3,
+                                            queue_bound=4 * N_REQUESTS),
+                           keep_solutions=False)
+        slo = svc.run(wl).slo
+        assert slo.n_completed == N_REQUESTS
+        busy = (slo.setup_time + slo.solve_time) / slo.n_completed
+        out[cap] = (slo.throughput, busy, slo)
+    return out
+
+
+def test_serve_throughput_vs_batch(benchmark):
+    sweep = run_sweep()
+    rows = ["Serving: throughput vs batch-width cap "
+            f"(s2D9pt2048/{SERVE_SCALE}, backlogged stream, "
+            "grid 1x1x4, Cori model)",
+            f"{'cap':>4s} {'batches':>8s} {'mean width':>10s} "
+            f"{'req/s':>10s} {'busy/req':>12s}"]
+    for cap in BATCH_CAPS:
+        thr, busy, slo = sweep[cap]
+        rows.append(f"{cap:4d} {slo.n_batches:8d} {slo.batch_mean:10.2f} "
+                    f"{thr:10.1f} {busy * 1e6:9.2f} us")
+
+    from repro.perf.ascii_plot import ascii_line_chart
+
+    rows.append("")
+    rows.append(ascii_line_chart(
+        {"req/s": [(cap, sweep[cap][0]) for cap in BATCH_CAPS]},
+        title="Serving throughput vs max-batch (alpha amortization)",
+        xlabel="max-batch", ylabel="req/s"))
+    write_report("serve_batch_sweep.txt", rows)
+
+    # α-amortization: wider batches serve strictly more requests per second.
+    assert sweep[BATCH_CAPS[-1]][0] > sweep[1][0]
+    for lo, hi in zip(BATCH_CAPS, BATCH_CAPS[1:]):
+        assert sweep[hi][0] >= 0.95 * sweep[lo][0], (
+            f"throughput regressed from cap {lo} to {hi}")
+        assert sweep[hi][1] <= 1.05 * sweep[lo][1], (
+            f"per-request busy time grew from cap {lo} to {hi}")
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+
+def test_serve_cache_and_bit_identity(benchmark):
+    """Mixed-matrix stream: cache hit rate > 0, hits bit-identical to cold."""
+    wl = generate_workload(WorkloadSpec(
+        seed=7, rate=5000.0, n_requests=24, deadline=10.0,
+        mix=(("s2D9pt2048", SERVE_SCALE, 2.0),
+             ("nlpkkt80", SERVE_SCALE, 1.0))))
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3))
+    res = svc.run(wl)
+    slo = res.slo
+    assert slo.n_completed == len(wl)
+    assert slo.cache_hit_rate > 0
+    assert slo.cache_misses == 2      # one factorization per matrix
+
+    cold = {}
+    mism = 0
+    for r in wl.requests:
+        key = (r.matrix, r.scale)
+        if key not in cold:
+            cold[key] = SolveService(CFG)._build_solver(*key)
+        x = cold[key].solve(r.rhs(cold[key].n)).x
+        mism += not np.array_equal(res.solutions[r.id], x.ravel())
+    assert mism == 0, f"{mism} served answers differ from cold solves"
+
+    rows = ["Serving: factorization cache on a mixed stream "
+            f"(2:1 s2D9pt2048:nlpkkt80, {SERVE_SCALE})",
+            f"  requests {slo.n_requests}, batches {slo.n_batches}, "
+            f"hit rate {100 * slo.cache_hit_rate:.1f}%",
+            f"  resident {slo.cache_resident_bytes} B "
+            f"(peak {slo.cache_peak_bytes} B), evictions "
+            f"{slo.cache_evictions}",
+            "  served answers bit-identical to cold per-request solves: "
+            f"{slo.n_completed}/{slo.n_completed}"]
+    write_report("serve_cache.txt", rows)
+    benchmark.pedantic(lambda: SolveService(
+        CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+        keep_solutions=False).run(wl), rounds=1, iterations=1)

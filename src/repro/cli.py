@@ -23,6 +23,13 @@ Profile a solve — per-phase tables, sync points, critical path::
 Inspect a matrix's pipeline statistics::
 
     python -m repro info --matrix ldoor --scale small
+
+Serve a seeded request stream through the batching solve service, save the
+trace, and replay it (byte-identical SLO report both times)::
+
+    python -m repro serve --matrices s2D9pt2048,nlpkkt80 --requests 32 \
+        --rate 2000 --grid 1x1x2 --save-trace /tmp/wl.json
+    python -m repro serve --replay /tmp/wl.json --grid 1x1x2
 """
 
 from __future__ import annotations
@@ -141,11 +148,16 @@ def cmd_info(args) -> int:
     solver = SpTRSVSolver(A, 1, 1, 1, machine=machine,
                           max_supernode=args.max_supernode,
                           symbolic_mode=args.symbolic)
+    from repro.matrices import matrix_fingerprint
+
     sym = solver.sym
     lu = solver.lu
     rf = roofline(lu, nrhs=args.nrhs)
     cp = critical_path(lu, machine, nrhs=args.nrhs)
+    fp = matrix_fingerprint(A)
     print(f"matrix {args.matrix} (scale={args.scale})")
+    print(f"  fingerprint        : {fp.short()} "
+          f"(structure {fp.structure[:16]}, values {fp.numeric[:16]})")
     print(f"  n                  : {A.shape[0]}")
     print(f"  nnz(A)             : {A.nnz}")
     print(f"  nnz(LU)            : {sym.nnz_LU}")
@@ -174,6 +186,65 @@ def cmd_info(args) -> int:
           f"({'stable' if stab.is_stable() else 'UNSTABLE'})")
     for w in stab.warnings():
         print(f"  warning            : {w}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run (or replay) a workload through the batching solve service."""
+    from repro.serve import (
+        BatchPolicy,
+        ServiceConfig,
+        SolveService,
+        Workload,
+        WorkloadSpec,
+        format_slo,
+        generate_workload,
+    )
+
+    px, py, pz = _parse_grid(args.grid)
+    if args.replay:
+        wl = Workload.load(args.replay)
+    else:
+        names = [m.strip() for m in args.matrices.split(",") if m.strip()]
+        unknown = [m for m in names if m not in PAPER_MATRICES]
+        if unknown:
+            raise SystemExit(
+                f"error: unknown suite matrices {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(PAPER_MATRICES))}")
+        spec = WorkloadSpec(seed=args.seed, rate=args.rate,
+                            n_requests=args.requests,
+                            mix=tuple((m, args.scale, 1.0) for m in names),
+                            deadline=args.deadline)
+        wl = generate_workload(spec)
+        if args.save_trace:
+            wl.save(args.save_trace)
+            print(f"wrote {len(wl)} requests to {args.save_trace}")
+
+    faults = resilience = None
+    if args.drop > 0:
+        from repro.comm.faults import FaultPlan
+        from repro.core.solver import Resilience
+
+        faults = FaultPlan.uniform(seed=args.seed, drop=args.drop)
+        resilience = Resilience(reliable=True)
+
+    svc = SolveService(
+        ServiceConfig(px=px, py=py, pz=pz, machine=args.machine,
+                      algorithm=args.algorithm, device=args.device,
+                      max_supernode=args.max_supernode,
+                      symbolic_mode=args.symbolic),
+        BatchPolicy(max_batch=args.max_batch, max_wait=args.max_wait,
+                    queue_bound=args.queue_bound),
+        faults=faults, resilience=resilience,
+        profile=args.profile, keep_solutions=False)
+    res = svc.run(wl)
+    if args.json:
+        print(res.slo.to_json())
+    else:
+        title = (f"SLO report — {len(wl)} requests, grid {px}x{py}x{pz}, "
+                 f"{args.algorithm} on {args.machine}, "
+                 f"max-batch {args.max_batch}")
+        print(format_slo(res.slo, title=title))
     return 0
 
 
@@ -232,6 +303,49 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="pipeline and roofline statistics")
     common(p)
     p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a request workload through the batching solve service")
+    p.add_argument("--matrices", default="s2D9pt2048",
+                   help="comma-separated suite matrix mix (equal weights)")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "small", "medium"])
+    p.add_argument("--requests", type=int, default=32,
+                   help="number of generated requests")
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="mean arrival rate (requests per virtual second)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=0.1,
+                   help="relative completion budget per request (virtual s)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="batch width cap (nrhs per dispatched solve)")
+    p.add_argument("--max-wait", type=float, default=1e-3,
+                   help="max age of the oldest queued request (virtual s)")
+    p.add_argument("--queue-bound", type=int, default=256,
+                   help="admission-control queue depth bound")
+    p.add_argument("--grid", default="1x1x2", help="PxxPyxPz, e.g. 1x1x4")
+    p.add_argument("--machine", default="cori-haswell",
+                   help=f"one of: {', '.join(sorted(MACHINES))}")
+    p.add_argument("--algorithm", default="new3d",
+                   choices=["new3d", "baseline3d"])
+    p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
+    p.add_argument("--max-supernode", type=int, default=16)
+    p.add_argument("--symbolic", default="detect",
+                   choices=["detect", "fixed"])
+    p.add_argument("--drop", type=float, default=0.0,
+                   help="serve over a lossy fabric: per-message drop "
+                        "probability (enables the resilience envelope)")
+    p.add_argument("--profile", action="store_true",
+                   help="aggregate the per-batch comm metrics into the "
+                        "report")
+    p.add_argument("--save-trace", default=None, metavar="OUT.json",
+                   help="save the generated workload as a replayable trace")
+    p.add_argument("--replay", default=None, metavar="TRACE.json",
+                   help="replay a saved trace instead of generating")
+    p.add_argument("--json", action="store_true",
+                   help="print the SLO report as JSON")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -257,6 +257,36 @@ class SpTRSVSolver:
     def n(self) -> int:
         return self.A.shape[0]
 
+    def storage_nbytes(self) -> int:
+        """Resident bytes of the factored pipeline (matrix, permutations,
+        LU blocks).  This is the unit :class:`repro.serve.FactorizationCache`
+        accounts capacity in.
+        """
+        total = 0
+        for M in (self.A, self.A_perm):
+            total += M.data.nbytes + M.indices.nbytes + M.indptr.nbytes
+        total += self.perm.nbytes + self.iperm.nbytes
+        lu = self.lu
+        for arrs in (lu.diagL, lu.diagU, lu.diagLinv, lu.diagUinv):
+            total += sum(a.nbytes for a in arrs)
+        total += sum(b.nbytes for b in lu.Lblocks.values())
+        total += sum(b.nbytes for b in lu.Ublocks.values())
+        return int(total)
+
+    def factor_time_estimate(self, machine: Machine | None = None) -> float:
+        """Virtual seconds the preprocessing pipeline is charged on a
+        factorization-cache miss (serving tier, ``repro.serve``).
+
+        Crude but deterministic model: a right-looking supernodal LU
+        touches every stored factor entry O(mean supernode width) times,
+        so flops ≈ ``2 · nnz(LU) · (n / nsup)`` and traffic ≈ three sweeps
+        over the factor storage, priced by the machine's CPU roofline.
+        """
+        machine = machine or self.machine
+        nnz = float(self.lu.nnz_stored())
+        w_bar = self.n / max(1, self.lu.nsup)
+        return machine.cpu.op_time(2.0 * nnz * w_bar, 24.0 * nnz)
+
     # -- setup caches ---------------------------------------------------------
 
     def _new3d_setup(self, tree_kind: str) -> New3DSetup:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.comm.simulator import ANY, RankCtx
 from repro.core.plan2d import Plan2D
+from repro.util import matmul_columns
 
 
 def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
@@ -46,17 +47,32 @@ def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
     my_solve = set(plan.solve_cols)
     rank = ctx.rank
 
-    lsum: dict[int, np.ndarray] = {}
+    # Partial sums are buffered per contribution and materialized in
+    # canonical key order, NOT accumulated in message-arrival order:
+    # arrival order shifts with ``nrhs`` (GEMM durations scale with the
+    # batch width), and floating-point addition is order-sensitive.  The
+    # canonical order makes every solved column bit-identical to the same
+    # column solved alone — the batching contract ``repro.serve`` relies
+    # on.  Keys: (0, 0) carried-in lsum, (1, J) local block of column J,
+    # (2, src) reduce-tree partial from rank ``src``.
+    contribs: dict[int, dict[tuple[int, int], np.ndarray]] = {}
 
-    def acc(I: int) -> np.ndarray:
-        a = lsum.get(I)
-        if a is None:
-            a = lsum[I] = np.zeros((size(I), nrhs))
-        return a
+    def add_contrib(I: int, key: tuple[int, int], arr: np.ndarray) -> None:
+        c = contribs.setdefault(I, {})
+        c[key] = c[key] + arr if key in c else arr
+
+    def materialize(I: int) -> np.ndarray:
+        """Sum of row I's contributions, in canonical key order."""
+        out = np.zeros((size(I), nrhs))
+        c = contribs.pop(I, None)
+        if c:
+            for key in sorted(c):
+                out += c[key]
+        return out
 
     if initial_lsum:
         for I, v in initial_lsum.items():
-            acc(I)[:] += v
+            add_contrib(I, (0, 0), v)
 
     fmod = dict(plan.fmod0)
     frecv = dict(plan.frecv0)
@@ -75,7 +91,7 @@ def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
                 K = item[1]
                 w = size(K)
                 yield ctx.gemm(w, nrhs, w, category=fp_category)
-                val = diag_inv[K] @ (rhs[K] - acc(K))
+                val = matmul_columns(diag_inv[K], rhs[K] - materialize(K))
                 values[K] = val
                 work.append(("emit", K, val))
             elif kind == "emit":
@@ -88,7 +104,7 @@ def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
                 for I, blk in plan.consumer_blocks.get(J, ()):
                     m, k = blk.shape
                     yield ctx.gemm(m, nrhs, k, category=fp_category)
-                    acc(I)[:] += blk @ val
+                    add_contrib(I, (1, J), matmul_columns(blk, val))
                     fmod[I] -= 1
                     if row_ready(I):
                         work.append(("rowdone", I))
@@ -100,7 +116,7 @@ def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
                         work.append(("solve", I))
                     # else: exported out_row, value stays in lsum
                 else:
-                    yield ctx.send(tree.parent(rank), acc(I),
+                    yield ctx.send(tree.parent(rank), materialize(I),
                                    tag=("rd", I, tag_salt),
                                    category=comm_category)
 
@@ -123,7 +139,7 @@ def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
         if kind == "bc":
             work.append(("emit", key, payload))
         elif kind == "rd":
-            acc(key)[:] += payload
+            add_contrib(key, (2, src), payload)
             frecv[key] -= 1
             if row_ready(key):
                 work.append(("rowdone", key))
@@ -135,4 +151,4 @@ def sptrsv_2d(ctx: RankCtx, plan2d: Plan2D, rhs: dict[int, np.ndarray],
     if missing:  # pragma: no cover - indicates a plan bug
         raise RuntimeError(
             f"rank {rank}: solve incomplete, missing {sorted(missing)[:5]}")
-    return values, {I: lsum[I] for I in plan.out_rows}
+    return values, {I: materialize(I) for I in plan.out_rows}

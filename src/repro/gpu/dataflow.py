@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.comm.costmodel import Machine, gemm_bytes, gemm_flops
 from repro.core.plan2d import Plan2D
+from repro.util import matmul_columns
 
 
 @dataclass
@@ -83,7 +84,12 @@ def run_gpu_2d_solve(plan2d: Plan2D, machine: Machine,
     diag_inv = plan2d.diag_inv
 
     # Per-rank state.
-    lsum: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
+    # Contributions are buffered per (row, producer column) and summed in
+    # canonical column order at solve time (not in event-completion order,
+    # which shifts with ``nrhs``) so each solved column is bit-identical to
+    # a single-RHS solve — see ``repro.util.matmul_columns``.
+    contribs: dict[int, dict[int, dict[int, np.ndarray]]] = {
+        r: {} for r in ranks}
     values: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
     fmod: dict[int, dict[int, int]] = {
         r: dict(plan2d.plan_of(r).fmod0) for r in ranks}
@@ -96,11 +102,18 @@ def run_gpu_2d_solve(plan2d: Plan2D, machine: Machine,
     nvshmem_msgs = 0
     nvshmem_bytes = 0.0
 
-    def acc(r: int, I: int) -> np.ndarray:
-        a = lsum[r].get(I)
-        if a is None:
-            a = lsum[r][I] = np.zeros((size(I), nrhs))
-        return a
+    def add_contrib(r: int, I: int, J: int, arr: np.ndarray) -> None:
+        c = contribs[r].setdefault(I, {})
+        c[J] = c[J] + arr if J in c else arr
+
+    def settled(r: int, I: int) -> np.ndarray:
+        """Sum of row I's contributions, in canonical column order."""
+        out = np.zeros((size(I), nrhs))
+        c = contribs[r].pop(I, None)
+        if c:
+            for J in sorted(c):
+                out += c[J]
+        return out
 
     def apply_cost(r: int, J: int) -> float:
         """One thread block processes all local blocks of column J at once."""
@@ -142,7 +155,7 @@ def run_gpu_2d_solve(plan2d: Plan2D, machine: Machine,
             w = size(J)
             dur_diag = gpu.op_time(gemm_flops(w, nrhs, w),
                                    gemm_bytes(w, nrhs, w), u_solve=u_solve)
-            val = diag_inv[J] @ (rhs[r][J] - acc(r, J))
+            val = matmul_columns(diag_inv[J], rhs[r][J] - settled(r, J))
             values[r][J] = val
             send_tree(t + dur_diag, r, J, val)
             dur = dur_diag + apply_cost(r, J)
@@ -168,7 +181,7 @@ def run_gpu_2d_solve(plan2d: Plan2D, machine: Machine,
     def post_contributions(t: float, r: int, J: int) -> None:
         """Apply column J's local blocks (numerics) and release new tasks."""
         for I, blk in plan2d.plan_of(r).consumer_blocks.get(J, ()):
-            acc(r, I)[:] += blk @ values[r][J]
+            add_contrib(r, I, J, matmul_columns(blk, values[r][J]))
             fmod[r][I] -= 1
             if fmod[r][I] == 0 and I in my_diag[r]:
                 release(t, "diag", r, I)
@@ -228,7 +241,8 @@ def _run_single_kernel(plan2d: Plan2D, machine: Machine,
     size = plan2d.sn_size
     diag_inv = plan2d.diag_inv
 
-    lsum: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
+    contribs: dict[int, dict[int, dict[int, np.ndarray]]] = {
+        r: {} for r in ranks}
     values: dict[int, dict[int, np.ndarray]] = {r: {} for r in ranks}
     fmod = {r: dict(plan2d.plan_of(r).fmod0) for r in ranks}
     my_diag = {r: set(plan2d.plan_of(r).solve_cols) for r in ranks}
@@ -250,11 +264,17 @@ def _run_single_kernel(plan2d: Plan2D, machine: Machine,
         admission[r] = sorted(cols, reverse=u_solve)
         cursor[r] = 0
 
-    def acc(r: int, I: int) -> np.ndarray:
-        a = lsum[r].get(I)
-        if a is None:
-            a = lsum[r][I] = np.zeros((size(I), nrhs))
-        return a
+    def add_contrib(r: int, I: int, J: int, arr: np.ndarray) -> None:
+        c = contribs[r].setdefault(I, {})
+        c[J] = c[J] + arr if J in c else arr
+
+    def settled(r: int, I: int) -> np.ndarray:
+        out = np.zeros((size(I), nrhs))
+        c = contribs[r].pop(I, None)
+        if c:
+            for J in sorted(c):
+                out += c[J]
+        return out
 
     def apply_cost(r: int, J: int) -> float:
         fl = bt = 0.0
@@ -295,7 +315,7 @@ def _run_single_kernel(plan2d: Plan2D, machine: Machine,
             w = size(J)
             dur_diag = gpu.op_time(gemm_flops(w, nrhs, w),
                                    gemm_bytes(w, nrhs, w), u_solve=u_solve)
-            val = diag_inv[J] @ (rhs[r][J] - acc(r, J))
+            val = matmul_columns(diag_inv[J], rhs[r][J] - settled(r, J))
             values[r][J] = val
             send_tree(start + dur_diag, r, J, val)
             dur = dur_diag + apply_cost(r, J)
@@ -325,7 +345,7 @@ def _run_single_kernel(plan2d: Plan2D, machine: Machine,
 
     def post_contributions(t: float, r: int, J: int) -> None:
         for I, blk in plan2d.plan_of(r).consumer_blocks.get(J, ()):
-            acc(r, I)[:] += blk @ values[r][J]
+            add_contrib(r, I, J, matmul_columns(blk, values[r][J]))
             fmod[r][I] -= 1
             if fmod[r][I] == 0 and I in my_diag[r]:
                 key = (r, I)

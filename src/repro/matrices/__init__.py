@@ -8,6 +8,7 @@ be generated at any scale.
 """
 
 from repro.matrices.analysis import MatrixStats, check_solver_requirements, matrix_stats
+from repro.matrices.fingerprint import MatrixFingerprint, matrix_fingerprint
 from repro.matrices.generators import (
     block_tridiagonal,
     chemistry_like,
@@ -29,6 +30,8 @@ __all__ = [
     "matrix_stats",
     "MatrixStats",
     "check_solver_requirements",
+    "MatrixFingerprint",
+    "matrix_fingerprint",
     "poisson2d",
     "poisson3d",
     "kkt3d",

@@ -1,0 +1,70 @@
+"""Content fingerprints for sparse matrices.
+
+A :class:`MatrixFingerprint` identifies a matrix by two SHA-256 digests:
+the *structure* hash covers the canonical CSR pattern (shape, ``indptr``,
+``indices``) and the *numeric* digest covers the values.  Splitting the two
+lets callers distinguish "same sparsity, new values" (a refactorization
+with reusable symbolic analysis) from "different matrix entirely".
+
+The combined :attr:`~MatrixFingerprint.hexdigest` is the cache key of
+:class:`repro.serve.FactorizationCache` — repeat solve traffic for an
+already-factored matrix skips the whole preprocessing pipeline — and is
+printed by ``repro info``.
+
+Hashing is canonical: indices are sorted, index arrays are widened to
+``int64`` and values to ``float64`` before digesting, so the fingerprint
+is invariant to CSR index dtype and unsorted-column representation (but
+*not* to explicit zeros — those are structural by definition here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class MatrixFingerprint:
+    """Structural + numeric identity of a square sparse matrix."""
+
+    structure: str  # SHA-256 over (shape, indptr, indices), hex
+    numeric: str    # SHA-256 over the canonicalized values, hex
+    n: int
+    nnz: int
+
+    @property
+    def hexdigest(self) -> str:
+        """Combined digest: the cache key for (structure, values) identity."""
+        return hashlib.sha256(
+            (self.structure + ":" + self.numeric).encode()).hexdigest()
+
+    def short(self, k: int = 16) -> str:
+        """Abbreviated combined digest for display."""
+        return self.hexdigest[:k]
+
+    def same_structure(self, other: "MatrixFingerprint") -> bool:
+        return self.structure == other.structure
+
+    def __str__(self) -> str:
+        return (f"{self.short()} (structure {self.structure[:8]}, "
+                f"numeric {self.numeric[:8]}, n={self.n}, nnz={self.nnz})")
+
+
+def matrix_fingerprint(A: sp.spmatrix) -> MatrixFingerprint:
+    """Fingerprint ``A``'s canonical CSR form (structure + values)."""
+    A = sp.csr_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {A.shape}")
+    if not A.has_sorted_indices:
+        A = A.sorted_indices()
+    sh = hashlib.sha256(b"csr-fingerprint-v1")
+    sh.update(np.asarray(A.shape, dtype=np.int64).tobytes())
+    sh.update(np.ascontiguousarray(A.indptr, dtype=np.int64).tobytes())
+    sh.update(np.ascontiguousarray(A.indices, dtype=np.int64).tobytes())
+    nh = hashlib.sha256(b"values-v1")
+    nh.update(np.ascontiguousarray(A.data, dtype=np.float64).tobytes())
+    return MatrixFingerprint(structure=sh.hexdigest(), numeric=nh.hexdigest(),
+                             n=int(A.shape[0]), nnz=int(A.nnz))

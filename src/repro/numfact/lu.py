@@ -18,7 +18,7 @@ import scipy.linalg
 import scipy.sparse as sp
 
 from repro.symbolic.supernodes import SupernodePartition
-from repro.util import as_2d_rhs
+from repro.util import as_2d_rhs, matmul_columns
 
 
 def dense_lu_nopivot(D: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -103,11 +103,11 @@ class BlockSparseLU:
         part = self.partition
         for K in range(self.nsup):
             c0, c1 = part.first(K), part.last(K)
-            yK = self.diagLinv[K] @ y[c0:c1]
+            yK = matmul_columns(self.diagLinv[K], y[c0:c1])
             y[c0:c1] = yK
             for I in self.l_blockrows[K]:
                 r0, r1 = part.first(I), part.last(I)
-                y[r0:r1] -= self.Lblocks[(I, K)] @ yK
+                y[r0:r1] -= matmul_columns(self.Lblocks[(I, K)], yK)
         return y[:, 0] if was1d else y
 
     def solve_U(self, y: np.ndarray) -> np.ndarray:
@@ -120,8 +120,8 @@ class BlockSparseLU:
             acc = x[c0:c1].copy()
             for J in self.u_blockcols[K]:
                 j0, j1 = part.first(J), part.last(J)
-                acc -= self.Ublocks[(K, J)] @ x[j0:j1]
-            x[c0:c1] = self.diagUinv[K] @ acc
+                acc -= matmul_columns(self.Ublocks[(K, J)], x[j0:j1])
+            x[c0:c1] = matmul_columns(self.diagUinv[K], acc)
         return x[:, 0] if was1d else x
 
     def solve(self, b: np.ndarray) -> np.ndarray:

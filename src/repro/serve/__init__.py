@@ -1,0 +1,61 @@
+"""``repro.serve`` — a batching solve service over the simulated cluster.
+
+The paper's result is that distributed SpTRSV is latency (α) bound; this
+package turns that observation into a serving tier.  Single-RHS solve
+requests arrive as a seeded Poisson stream (:mod:`~repro.serve.workload`),
+a deadline-aware scheduler coalesces same-matrix requests into multi-RHS
+batches that amortize the per-message α cost
+(:mod:`~repro.serve.scheduler`), factorizations are reused across batches
+through a content-fingerprinted LRU cache (:mod:`~repro.serve.cache`), and
+a virtual-time service loop (:mod:`~repro.serve.service`) runs the batches
+on the existing solver stack — including, optionally, over a lossy
+simulated fabric with the resilience envelope.  :mod:`~repro.serve.slo`
+folds a run into the operator-facing SLO report.
+
+Entry points: the ``repro serve`` CLI subcommand and
+``benchmarks/bench_serve.py``; the guided tour is ``docs/SERVING.md``.
+"""
+
+from repro.serve.cache import CacheKey, CacheStats, FactorizationCache
+from repro.serve.scheduler import (
+    BatchingScheduler,
+    BatchPolicy,
+    Rejection,
+    RejectReason,
+)
+from repro.serve.service import (
+    BatchRecord,
+    Completion,
+    ServeResult,
+    ServiceConfig,
+    SolveService,
+)
+from repro.serve.slo import SLOReport, build_slo, format_slo
+from repro.serve.workload import (
+    Request,
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "BatchRecord",
+    "BatchingScheduler",
+    "CacheKey",
+    "CacheStats",
+    "Completion",
+    "FactorizationCache",
+    "RejectReason",
+    "Rejection",
+    "Request",
+    "SLOReport",
+    "ServeResult",
+    "ServiceConfig",
+    "SolveService",
+    "Workload",
+    "WorkloadSpec",
+    "build_slo",
+    "format_slo",
+    "generate_workload",
+]

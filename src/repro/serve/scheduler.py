@@ -1,0 +1,174 @@
+"""Batch formation, admission control and load shedding.
+
+The scheduler owns the waiting room between arrival and dispatch.  Its
+job is the α-amortization at the heart of the serving tier: the paper
+shows distributed SpTRSV is latency (α) bound, so coalescing ``k`` queued
+single-RHS requests for the same matrix into one ``nrhs = k`` solve pays
+the per-message α cost once instead of ``k`` times.
+
+Policy knobs (:class:`BatchPolicy`):
+
+- ``max_batch`` — batch width cap (the ``nrhs`` handed to the solver);
+- ``max_wait`` — how long the oldest queued request for a matrix may age
+  before its batch dispatches anyway (latency floor vs batching gain);
+- ``queue_bound`` — admission control: total queued requests beyond this
+  bound are shed on arrival (backpressure), with priority displacement —
+  an arriving request outranking the lowest-priority queued one takes its
+  slot instead of being rejected.
+
+Dispatch is deadline-scheduled: among matrix groups that are *ready*
+(full batch, or head aged past ``max_wait``), the group with the earliest
+queued deadline dispatches first (EDF).  Requests whose deadline already
+passed at dispatch time are shed rather than solved — finishing them
+would waste cluster time on answers nobody is waiting for.
+
+Every shed produces a typed :class:`Rejection` with a
+:class:`RejectReason`, never a silent drop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.serve.workload import Request
+
+
+class RejectReason(enum.Enum):
+    """Why a request was shed instead of solved."""
+
+    QUEUE_FULL = "queue-full"        # backpressure at admission
+    DISPLACED = "displaced"          # evicted by a higher-priority arrival
+    DEADLINE_PASSED = "deadline-passed"  # expired while queued
+
+    def __str__(self) -> str:  # stable text for SLO reports
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Typed load-shedding outcome for one request."""
+
+    request: Request
+    reason: RejectReason
+    time: float          # virtual time of the shed decision
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Tunable batching / admission policy of a :class:`SolveService`."""
+
+    max_batch: int = 8
+    max_wait: float = 1e-3
+    queue_bound: int = 256
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        if self.queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+
+
+def _queue_order(r: Request) -> tuple:
+    """In-queue service order: priority first, then EDF, then FIFO."""
+    return (-r.priority, r.deadline, r.arrival, r.id)
+
+
+@dataclass
+class BatchingScheduler:
+    """Deterministic per-matrix batching queues under one policy."""
+
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    _queues: dict = field(default_factory=dict)  # (matrix, scale) -> [Request]
+
+    # -- admission -----------------------------------------------------------
+
+    def depth(self) -> int:
+        """Total queued requests (the backpressure signal)."""
+        return sum(len(q) for q in self._queues.values())
+
+    def offer(self, req: Request, t: float) -> Rejection | None:
+        """Admit ``req`` at time ``t``; returns the shed victim, if any.
+
+        The victim may be ``req`` itself (queue full, nothing outranked)
+        or the lowest-priority queued request it displaces.
+        """
+        victim = None
+        if self.depth() >= self.policy.queue_bound:
+            worst = self._worst_queued()
+            if worst is not None and _queue_order(req) < _queue_order(worst):
+                self._remove(worst)
+                victim = Rejection(worst, RejectReason.DISPLACED, t)
+            else:
+                return Rejection(req, RejectReason.QUEUE_FULL, t)
+        q = self._queues.setdefault((req.matrix, req.scale), [])
+        q.append(req)
+        q.sort(key=_queue_order)
+        return victim
+
+    def _worst_queued(self) -> Request | None:
+        worst = None
+        for q in self._queues.values():
+            for r in q:
+                if worst is None or _queue_order(r) > _queue_order(worst):
+                    worst = r
+        return worst
+
+    def _remove(self, req: Request) -> None:
+        key = (req.matrix, req.scale)
+        self._queues[key].remove(req)
+        if not self._queues[key]:
+            del self._queues[key]
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _head_age_due(self, key: tuple, t: float) -> bool:
+        q = self._queues[key]
+        oldest = min(r.arrival for r in q)
+        return t >= oldest + self.policy.max_wait
+
+    def ready_group(self, t: float) -> tuple | None:
+        """The group to dispatch now, or ``None`` if no batch is due.
+
+        A group is due when its queue holds a full batch or its oldest
+        request aged past ``max_wait``; among due groups the earliest
+        queued deadline wins (EDF), ties broken by group key.
+        """
+        due = [key for key, q in self._queues.items()
+               if len(q) >= self.policy.max_batch
+               or self._head_age_due(key, t)]
+        if not due:
+            return None
+        return min(due, key=lambda k: (min(r.deadline
+                                           for r in self._queues[k]), k))
+
+    def next_trigger(self) -> float | None:
+        """Earliest future time a queued group becomes dispatch-due."""
+        if not self._queues:
+            return None
+        return min(min(r.arrival for r in q) + self.policy.max_wait
+                   for q in self._queues.values())
+
+    def pop_batch(self, key: tuple, t: float
+                  ) -> tuple[list[Request], list[Rejection]]:
+        """Take up to ``max_batch`` requests of group ``key`` for dispatch.
+
+        Requests whose deadline passed while queued are shed (typed), not
+        solved; they do not consume batch slots.
+        """
+        q = self._queues.pop(key)
+        batch: list[Request] = []
+        shed: list[Rejection] = []
+        rest: list[Request] = []
+        for r in q:  # q is kept sorted by _queue_order
+            if r.deadline <= t:
+                shed.append(Rejection(r, RejectReason.DEADLINE_PASSED, t))
+            elif len(batch) < self.policy.max_batch:
+                batch.append(r)
+            else:
+                rest.append(r)
+        if rest:
+            self._queues[key] = rest
+        return batch, shed

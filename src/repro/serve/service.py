@@ -1,0 +1,252 @@
+"""The solve service: a virtual-time loop tying the tier together.
+
+:class:`SolveService` models a single-server solve endpoint in the same
+virtual time as the communication simulator underneath it.  The loop is
+classic discrete-event serving:
+
+1. requests are admitted (or shed, typed) at their arrival instants by the
+   :class:`~repro.serve.scheduler.BatchingScheduler`;
+2. whenever the server is free and a matrix group is dispatch-due, the
+   scheduler's EDF pick becomes one batched solve — requests' single
+   right-hand sides stacked into an ``(n, k)`` block handed to
+   ``SpTRSVSolver.solve_blocked``;
+3. the batch's factorization comes from the
+   :class:`~repro.serve.cache.FactorizationCache` (a miss charges the
+   solver's virtual factorization estimate as setup time, a hit charges
+   nothing);
+4. the server advances its clock by setup + the solve's *simulated*
+   makespan — the α/β cost model, not host wall-clock — and completes the
+   batch's requests.
+
+Because the kernels produce per-column bit-identical solutions (see
+``matmul_columns``), every request's answer is the same bits whether it
+was solved alone, inside any batch, against a cold factorization or a
+cache hit — asserted by ``tests/test_serve.py``.
+
+Optional integrations: ``profile=True`` attaches a
+:class:`~repro.obs.metrics.MetricsRegistry` per batch and aggregates the
+α/β communication split into the SLO report; ``faults=`` runs every batch
+over a lossy fabric (each batch gets an independent fork of the plan) with
+``resilience=`` providing PR 1's verified-degradation envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.costmodel import MACHINES
+from repro.comm.faults import FaultPlan
+from repro.core.solver import Resilience, SpTRSVSolver
+from repro.matrices import get_matrix, matrix_fingerprint
+from repro.obs.metrics import PhaseStats
+from repro.serve.cache import CacheKey, FactorizationCache
+from repro.serve.scheduler import BatchingScheduler, BatchPolicy, Rejection
+from repro.serve.slo import SLOReport, build_slo
+from repro.serve.workload import Request, Workload
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Solver-side configuration shared by every batch the service runs."""
+
+    px: int = 1
+    py: int = 1
+    pz: int = 4
+    machine: str = "cori-haswell"
+    algorithm: str = "new3d"
+    device: str = "cpu"
+    max_supernode: int = 16
+    symbolic_mode: str = "detect"
+    ordering: str = "nd"
+
+    def __post_init__(self):
+        if self.machine not in MACHINES:
+            raise ValueError(f"unknown machine {self.machine!r} "
+                             f"(have {sorted(MACHINES)})")
+
+
+@dataclass
+class BatchRecord:
+    """One dispatched batch, for the histogram and for debugging."""
+
+    batch_id: int
+    matrix: str
+    scale: str
+    size: int                 # nrhs = number of coalesced requests
+    request_ids: list[int]
+    t_dispatch: float
+    t_complete: float
+    cache_hit: bool
+    setup_time: float
+    solve_time: float
+
+
+@dataclass
+class Completion:
+    """One finished request with its end-to-end (queue + solve) latency."""
+
+    request: Request
+    t_complete: float
+    batch_id: int
+
+    @property
+    def latency(self) -> float:
+        return self.t_complete - self.request.arrival
+
+    @property
+    def deadline_met(self) -> bool:
+        return self.t_complete <= self.request.deadline
+
+
+@dataclass
+class ServeResult:
+    """Everything :meth:`SolveService.run` observed, plus the SLO fold."""
+
+    completions: list[Completion]
+    rejections: list[Rejection]
+    batches: list[BatchRecord]
+    queue_samples: list[int]
+    solutions: dict = field(default_factory=dict)   # request id -> (n,) x
+    slo: SLOReport = field(default_factory=SLOReport)
+
+
+class SolveService:
+    """Batching, caching, deadline-scheduled solve server (virtual time)."""
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 policy: BatchPolicy | None = None,
+                 cache: FactorizationCache | None = None,
+                 faults: FaultPlan | None = None,
+                 resilience: Resilience | None = None,
+                 profile: bool = False,
+                 keep_solutions: bool = True):
+        self.config = config or ServiceConfig()
+        self.policy = policy or BatchPolicy()
+        self.cache = cache if cache is not None else FactorizationCache()
+        self.faults = faults
+        self.resilience = resilience
+        self.profile = profile
+        self.keep_solutions = keep_solutions
+        # (matrix, scale) -> (A, fingerprint hexdigest); fingerprints are
+        # content hashes, so computing one per distinct matrix suffices.
+        self._matrices: dict = {}
+
+    # -- solver construction --------------------------------------------------
+
+    def _matrix(self, name: str, scale: str):
+        key = (name, scale)
+        if key not in self._matrices:
+            A = get_matrix(name, scale)
+            self._matrices[key] = (A, matrix_fingerprint(A).hexdigest)
+        return self._matrices[key]
+
+    def cache_key(self, name: str, scale: str) -> CacheKey:
+        _, digest = self._matrix(name, scale)
+        c = self.config
+        return CacheKey(fingerprint=digest, px=c.px, py=c.py, pz=c.pz,
+                        machine=c.machine, max_supernode=c.max_supernode,
+                        symbolic_mode=c.symbolic_mode, ordering=c.ordering)
+
+    def _build_solver(self, name: str, scale: str) -> SpTRSVSolver:
+        A, _ = self._matrix(name, scale)
+        c = self.config
+        return SpTRSVSolver(A, px=c.px, py=c.py, pz=c.pz,
+                            machine=MACHINES[c.machine],
+                            max_supernode=c.max_supernode,
+                            symbolic_mode=c.symbolic_mode,
+                            ordering=c.ordering)
+
+    # -- the service loop -----------------------------------------------------
+
+    def run(self, workload: Workload) -> ServeResult:
+        """Serve ``workload`` to completion; deterministic in its inputs."""
+        arrivals = sorted(workload.requests, key=lambda r: (r.arrival, r.id))
+        sched = BatchingScheduler(policy=self.policy)
+        res = ServeResult(completions=[], rejections=[], batches=[],
+                          queue_samples=[])
+        comm = PhaseStats() if self.profile else None
+        setup_total = 0.0
+        solve_total = 0.0
+        t = 0.0
+        i = 0
+        while i < len(arrivals) or sched.depth():
+            while i < len(arrivals) and arrivals[i].arrival <= t:
+                r = arrivals[i]
+                i += 1
+                rej = sched.offer(r, r.arrival)
+                if rej is not None:
+                    res.rejections.append(rej)
+            res.queue_samples.append(sched.depth())
+
+            key = sched.ready_group(t)
+            if key is None:
+                # Idle: jump to the next arrival or batch-age trigger.
+                nexts = []
+                if i < len(arrivals):
+                    nexts.append(arrivals[i].arrival)
+                trig = sched.next_trigger()
+                if trig is not None:
+                    nexts.append(trig)
+                if not nexts:
+                    break
+                t = max(t, min(nexts))
+                continue
+
+            batch, shed = sched.pop_batch(key, t)
+            res.rejections.extend(shed)
+            if not batch:
+                continue
+            t = self._dispatch(batch, t, res, comm)
+            setup_total += res.batches[-1].setup_time
+            solve_total += res.batches[-1].solve_time
+
+        res.slo = build_slo(
+            n_requests=len(workload),
+            latencies=[c.latency for c in res.completions],
+            deadline_met=[c.deadline_met for c in res.completions],
+            shed_reasons=[str(r.reason) for r in res.rejections],
+            batch_sizes=[b.size for b in res.batches],
+            queue_samples=res.queue_samples,
+            cache_stats=self.cache.stats,
+            setup_time=setup_total, solve_time=solve_total,
+            makespan=max((c.t_complete for c in res.completions), default=t),
+            comm=comm)
+        return res
+
+    def _dispatch(self, batch: list[Request], t: float, res: ServeResult,
+                  comm: PhaseStats | None) -> float:
+        """Run one batched solve; returns the server's new free time."""
+        name, scale = batch[0].matrix, batch[0].scale
+        solver, setup, hit = self.cache.get_or_build(
+            self.cache_key(name, scale),
+            lambda: self._build_solver(name, scale))
+
+        B = np.hstack([r.rhs(solver.n) for r in batch])
+        batch_id = len(res.batches)
+        kw: dict = dict(algorithm=self.config.algorithm,
+                        device=self.config.device, profile=self.profile)
+        if self.faults is not None:
+            kw["faults"] = self.faults.fork(batch_id)
+        if self.resilience is not None:
+            kw["resilience"] = self.resilience
+        out = solver.solve_blocked(B, rhs_block=self.policy.max_batch, **kw)
+        solve_time = (out.resilience.total_time if out.resilience is not None
+                      else out.report.total_time)
+        if comm is not None and out.report.metrics is not None:
+            comm.add(out.report.metrics.stats())
+
+        t_done = t + setup + solve_time
+        X = out.x if out.x.ndim == 2 else out.x[:, None]
+        for j, r in enumerate(batch):
+            res.completions.append(Completion(request=r, t_complete=t_done,
+                                              batch_id=batch_id))
+            if self.keep_solutions:
+                res.solutions[r.id] = X[:, j].copy()
+        res.batches.append(BatchRecord(
+            batch_id=batch_id, matrix=name, scale=scale, size=len(batch),
+            request_ids=[r.id for r in batch], t_dispatch=t,
+            t_complete=t_done, cache_hit=hit, setup_time=setup,
+            solve_time=solve_time))
+        return t_done

@@ -1,0 +1,176 @@
+"""Service-level objective accounting for a served workload.
+
+An :class:`SLOReport` condenses one :meth:`SolveService.run` into the
+numbers an operator tunes against: completion/shed counts (by typed
+reason), deadline hit rate, the latency distribution (p50/p95/p99),
+throughput over the virtual makespan, the batch-size histogram that shows
+whether α-amortization actually happened, queue-depth pressure, cache
+effectiveness, and — when the run was profiled — the aggregate α/β
+communication split underneath it all.
+
+Everything here is derived from virtual time and deterministic counters,
+so two replays of the same trace render byte-identical reports; the
+serve-smoke CI job diffs them to pin that property.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class SLOReport:
+    """Deterministic summary of one served workload."""
+
+    # request accounting
+    n_requests: int = 0
+    n_completed: int = 0
+    n_shed: int = 0
+    shed_by_reason: dict = field(default_factory=dict)   # reason -> count
+    n_deadline_met: int = 0
+
+    # latency (virtual seconds, completed requests only)
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    latency_mean: float = 0.0
+    latency_max: float = 0.0
+
+    # throughput
+    makespan: float = 0.0          # last completion (virtual seconds)
+    throughput: float = 0.0        # completed requests / makespan
+
+    # batching
+    n_batches: int = 0
+    batch_hist: dict = field(default_factory=dict)       # size -> count
+    batch_mean: float = 0.0
+
+    # queueing
+    queue_depth_max: int = 0
+    queue_depth_mean: float = 0.0
+
+    # factorization cache
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_hit_rate: float = 0.0
+    cache_resident_bytes: int = 0
+    cache_peak_bytes: int = 0
+
+    # time split (virtual seconds of server busy time)
+    setup_time: float = 0.0        # factorization misses
+    solve_time: float = 0.0        # batched solves
+
+    # aggregate communication (profiled runs only)
+    comm_msgs: int = 0
+    comm_bytes: float = 0.0
+    comm_alpha_time: float = 0.0
+    comm_beta_time: float = 0.0
+    profiled: bool = False
+
+    @property
+    def deadline_met_rate(self) -> float:
+        return self.n_deadline_met / self.n_completed if self.n_completed \
+            else 0.0
+
+    def to_json(self) -> str:
+        doc = asdict(self)
+        doc["deadline_met_rate"] = self.deadline_met_rate
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def build_slo(*, n_requests: int, latencies: list[float],
+              deadline_met: list[bool], shed_reasons: list[str],
+              batch_sizes: list[int], queue_samples: list[int],
+              cache_stats, setup_time: float, solve_time: float,
+              makespan: float, comm=None) -> SLOReport:
+    """Fold raw service-loop records into an :class:`SLOReport`.
+
+    ``cache_stats`` is a :class:`~repro.serve.cache.CacheStats`; ``comm``
+    is an aggregate :class:`~repro.obs.metrics.PhaseStats` (or ``None``
+    for unprofiled runs).
+    """
+    rep = SLOReport(
+        n_requests=n_requests,
+        n_completed=len(latencies),
+        n_shed=len(shed_reasons),
+        n_deadline_met=sum(deadline_met),
+        latency_p50=_percentile(latencies, 50),
+        latency_p95=_percentile(latencies, 95),
+        latency_p99=_percentile(latencies, 99),
+        latency_mean=float(np.mean(latencies)) if latencies else 0.0,
+        latency_max=max(latencies, default=0.0),
+        makespan=makespan,
+        throughput=len(latencies) / makespan if makespan > 0 else 0.0,
+        n_batches=len(batch_sizes),
+        batch_mean=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+        queue_depth_max=max(queue_samples, default=0),
+        queue_depth_mean=float(np.mean(queue_samples))
+        if queue_samples else 0.0,
+        cache_hits=cache_stats.hits,
+        cache_misses=cache_stats.misses,
+        cache_evictions=cache_stats.evictions,
+        cache_hit_rate=cache_stats.hit_rate,
+        cache_resident_bytes=cache_stats.resident_bytes,
+        cache_peak_bytes=cache_stats.peak_bytes,
+        setup_time=setup_time,
+        solve_time=solve_time,
+    )
+    for r in shed_reasons:
+        rep.shed_by_reason[r] = rep.shed_by_reason.get(r, 0) + 1
+    for s in batch_sizes:
+        rep.batch_hist[s] = rep.batch_hist.get(s, 0) + 1
+    if comm is not None:
+        rep.profiled = True
+        rep.comm_msgs = comm.msgs
+        rep.comm_bytes = comm.bytes
+        rep.comm_alpha_time = comm.alpha_time
+        rep.comm_beta_time = comm.beta_time
+    return rep
+
+
+def format_slo(rep: SLOReport, title: str = "SLO report") -> str:
+    """Render a report as stable, diffable text (no wall-clock anywhere)."""
+    lines = [title, "=" * len(title)]
+    lines.append(f"requests            {rep.n_requests}")
+    lines.append(f"  completed         {rep.n_completed}")
+    shed = ", ".join(f"{k}={v}" for k, v in sorted(rep.shed_by_reason.items()))
+    lines.append(f"  shed              {rep.n_shed}"
+                 + (f"  ({shed})" if shed else ""))
+    lines.append(f"  deadlines met     {rep.n_deadline_met}"
+                 f"  ({100.0 * rep.deadline_met_rate:.1f}% of completed)")
+    lines.append("latency (virtual s)")
+    lines.append(f"  p50 / p95 / p99   {rep.latency_p50:.3e} / "
+                 f"{rep.latency_p95:.3e} / {rep.latency_p99:.3e}")
+    lines.append(f"  mean / max        {rep.latency_mean:.3e} / "
+                 f"{rep.latency_max:.3e}")
+    lines.append(f"throughput          {rep.throughput:.1f} req/s over "
+                 f"{rep.makespan:.3e} s makespan")
+    hist = ", ".join(f"{k}x{v}" for k, v in sorted(rep.batch_hist.items()))
+    lines.append(f"batches             {rep.n_batches}  "
+                 f"(mean width {rep.batch_mean:.2f}; {hist})")
+    lines.append(f"queue depth         max {rep.queue_depth_max}, "
+                 f"mean {rep.queue_depth_mean:.2f}")
+    lines.append(f"cache               {rep.cache_hits} hits / "
+                 f"{rep.cache_misses} misses "
+                 f"(hit rate {100.0 * rep.cache_hit_rate:.1f}%), "
+                 f"{rep.cache_evictions} evictions, "
+                 f"{rep.cache_resident_bytes} B resident "
+                 f"(peak {rep.cache_peak_bytes} B)")
+    lines.append(f"server time         setup {rep.setup_time:.3e} s, "
+                 f"solve {rep.solve_time:.3e} s")
+    if rep.profiled:
+        lines.append(f"communication       {rep.comm_msgs} msgs, "
+                     f"{rep.comm_bytes:.0f} B, "
+                     f"alpha {rep.comm_alpha_time:.3e} s, "
+                     f"beta {rep.comm_beta_time:.3e} s")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Seeded solve workloads: Poisson arrivals over a matrix mix.
+
+A :class:`Workload` is a list of :class:`Request` records — each one
+single-RHS solve against a suite matrix, with a virtual arrival time, an
+absolute completion deadline, and a priority.  Workloads come from two
+places and are interchangeable between them:
+
+- :func:`generate_workload` draws one deterministically from a
+  :class:`WorkloadSpec` (Poisson arrivals at ``rate`` req/s, weighted
+  matrix mix, per-request deadline jitter) — same seed, same workload,
+  bit for bit;
+- :meth:`Workload.load` replays one from a JSON trace previously written
+  by :meth:`Workload.save` (the ``repro serve --save-trace`` /
+  ``--replay`` round trip the serve-smoke CI job diffs).
+
+Request RHS vectors are not stored; they are regenerated on demand from
+``rhs_seed`` via :func:`repro.matrices.make_rhs`, which keeps traces tiny
+and replays exact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Request:
+    """One queued solve: a single right-hand side against a suite matrix."""
+
+    id: int
+    arrival: float        # virtual seconds since workload start
+    matrix: str           # suite matrix name (repro.matrices.PAPER_MATRICES)
+    scale: str            # suite scale: tiny / small / medium
+    rhs_seed: int         # seed for make_rhs(n, 1, "random", seed=rhs_seed)
+    deadline: float       # ABSOLUTE virtual completion deadline
+    priority: int = 0     # higher serves first within a batch queue
+
+    def rhs(self, n: int) -> np.ndarray:
+        """Materialize this request's ``(n, 1)`` right-hand side."""
+        from repro.matrices import make_rhs
+
+        return make_rhs(n, 1, kind="random", seed=self.rhs_seed)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a generated workload.
+
+    ``mix`` weights matrices: ``((name, scale, weight), ...)``.
+    ``deadline`` is the *relative* completion budget; each request's
+    absolute deadline is ``arrival + deadline * U[0.75, 1.25)``.
+    ``priorities`` weights the priority classes handed out.
+    """
+
+    seed: int = 0
+    rate: float = 1000.0          # mean arrivals per virtual second
+    n_requests: int = 32
+    mix: tuple = (("s2D9pt2048", "tiny", 1.0),)
+    deadline: float = 0.1         # relative completion budget, seconds
+    priorities: tuple = ((0, 1.0),)
+
+
+@dataclass
+class Workload:
+    """An ordered (by arrival) list of requests plus provenance metadata."""
+
+    requests: list[Request]
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def matrices(self) -> list[tuple[str, str]]:
+        """Distinct (matrix, scale) pairs, in first-appearance order."""
+        seen: dict[tuple[str, str], None] = {}
+        for r in self.requests:
+            seen.setdefault((r.matrix, r.scale))
+        return list(seen)
+
+    # -- JSON trace round trip ----------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {"version": TRACE_VERSION, "meta": self.meta,
+               "requests": [asdict(r) for r in self.requests]}
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workload":
+        doc = json.loads(text)
+        if doc.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported workload trace version {doc.get('version')!r} "
+                f"(expected {TRACE_VERSION})")
+        reqs = [Request(**r) for r in doc["requests"]]
+        reqs.sort(key=lambda r: (r.arrival, r.id))
+        return cls(requests=reqs, meta=dict(doc.get("meta", {})))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Workload":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def generate_workload(spec: WorkloadSpec) -> Workload:
+    """Draw a workload from ``spec``; deterministic in ``spec.seed``.
+
+    Arrivals are Poisson (exponential inter-arrival at ``spec.rate``);
+    per-request draws happen in a fixed order so the stream is stable
+    against numpy version-to-version sampling of *unused* distributions.
+    """
+    if spec.rate <= 0:
+        raise ValueError("rate must be positive")
+    if spec.n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if not spec.mix:
+        raise ValueError("mix must name at least one matrix")
+    rng = np.random.default_rng(spec.seed)
+    mw = np.array([w for (_, _, w) in spec.mix], dtype=np.float64)
+    mw = mw / mw.sum()
+    pw = np.array([w for (_, w) in spec.priorities], dtype=np.float64)
+    pw = pw / pw.sum()
+
+    requests = []
+    t = 0.0
+    for i in range(spec.n_requests):
+        t += float(rng.exponential(1.0 / spec.rate))
+        mi = int(rng.choice(len(spec.mix), p=mw))
+        pi = int(rng.choice(len(spec.priorities), p=pw))
+        slack = spec.deadline * (0.75 + 0.5 * float(rng.random()))
+        rhs_seed = int(rng.integers(0, 2**31 - 1))
+        name, scale, _ = spec.mix[mi]
+        requests.append(Request(
+            id=i, arrival=t, matrix=name, scale=scale, rhs_seed=rhs_seed,
+            deadline=t + slack, priority=int(spec.priorities[pi][0])))
+    meta = {"seed": spec.seed, "rate": spec.rate,
+            "n_requests": spec.n_requests,
+            "mix": [list(m) for m in spec.mix],
+            "deadline": spec.deadline,
+            "priorities": [list(p) for p in spec.priorities]}
+    return Workload(requests=requests, meta=meta)

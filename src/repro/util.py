@@ -33,6 +33,26 @@ def as_2d_rhs(b: np.ndarray) -> tuple[np.ndarray, bool]:
     raise ValueError(f"RHS must be 1-D or 2-D, got ndim={b.ndim}")
 
 
+def matmul_columns(M: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """``M @ Y`` with per-column bit-reproducibility.
+
+    Each column of the product is computed as its own contiguous
+    ``(k, 1)`` matmul, so column ``j`` of the result is bit-identical to
+    ``M @ Y[:, j:j+1]`` evaluated in isolation.  BLAS does not guarantee
+    this for a single ``(m, k) @ (k, nrhs)`` call (wide GEMMs tile the
+    summation differently than column GEMMs), and the serving tier's
+    batching contract requires it: coalescing single-RHS requests into a
+    multi-RHS batch must not change any individual answer.  For one
+    column this is exactly ``M @ Y``.
+    """
+    if Y.ndim != 2 or Y.shape[1] <= 1:
+        return M @ Y
+    out = np.empty((M.shape[0], Y.shape[1]), dtype=np.result_type(M, Y))
+    for j in range(Y.shape[1]):
+        out[:, j:j + 1] = M @ np.ascontiguousarray(Y[:, j:j + 1])
+    return out
+
+
 def check_permutation(perm: np.ndarray, n: int) -> None:
     """Validate that ``perm`` is a permutation of ``range(n)``."""
     perm = np.asarray(perm)

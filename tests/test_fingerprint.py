@@ -1,0 +1,61 @@
+"""Unit tests for the content fingerprint (repro.matrices.fingerprint)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import get_matrix, matrix_fingerprint, poisson2d
+
+
+def test_fingerprint_deterministic():
+    A = poisson2d(12, seed=3)
+    f1 = matrix_fingerprint(A)
+    f2 = matrix_fingerprint(A.copy())
+    assert f1 == f2
+    assert f1.hexdigest == f2.hexdigest
+    assert f1.n == A.shape[0] and f1.nnz == A.nnz
+
+
+def test_fingerprint_format_independent():
+    """CSR / CSC / COO of the same matrix fingerprint identically."""
+    A = poisson2d(10, seed=1)
+    fp = matrix_fingerprint(sp.csr_matrix(A))
+    assert matrix_fingerprint(sp.csc_matrix(A)) == fp
+    assert matrix_fingerprint(sp.coo_matrix(A)) == fp
+
+
+def test_fingerprint_separates_structure_and_values():
+    A = sp.csr_matrix(poisson2d(10, seed=1))
+    B = A.copy()
+    B.data = B.data.copy()
+    B.data[0] *= 2.0  # same sparsity, different values
+    fa, fb = matrix_fingerprint(A), matrix_fingerprint(B)
+    assert fa.same_structure(fb)
+    assert fa.structure == fb.structure
+    assert fa.numeric != fb.numeric
+    assert fa.hexdigest != fb.hexdigest
+
+
+def test_fingerprint_structure_sensitivity():
+    fa = matrix_fingerprint(poisson2d(10, seed=1))
+    fb = matrix_fingerprint(poisson2d(11, seed=1))
+    assert not fa.same_structure(fb)
+    assert fa != fb
+
+
+def test_fingerprint_short_and_str():
+    fp = matrix_fingerprint(poisson2d(8))
+    assert fp.short(8) == fp.hexdigest[:8]
+    assert fp.short() in str(fp)
+    assert len(fp.hexdigest) == 64  # sha256 hex
+
+
+def test_fingerprint_distinguishes_suite_matrices():
+    digests = {matrix_fingerprint(get_matrix(name, "tiny")).hexdigest
+               for name in ("s2D9pt2048", "nlpkkt80", "ldoor")}
+    assert len(digests) == 3
+
+
+def test_fingerprint_rejects_non_2d():
+    with pytest.raises((ValueError, TypeError, AttributeError)):
+        matrix_fingerprint(np.ones(4))  # type: ignore[arg-type]

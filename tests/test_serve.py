@@ -1,0 +1,326 @@
+"""Tests for the batching solve service (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.faults import FaultPlan
+from repro.core.solver import Resilience
+from repro.matrices import get_matrix, matrix_fingerprint
+from repro.serve import (
+    BatchPolicy,
+    BatchingScheduler,
+    FactorizationCache,
+    RejectReason,
+    Request,
+    ServiceConfig,
+    SolveService,
+    Workload,
+    WorkloadSpec,
+    format_slo,
+    generate_workload,
+)
+from repro.serve.cache import CacheKey
+
+
+def req(i, arrival=0.0, matrix="m", scale="tiny", deadline=1.0, priority=0):
+    return Request(id=i, arrival=arrival, matrix=matrix, scale=scale,
+                   rhs_seed=i, deadline=deadline, priority=priority)
+
+
+# -- workload generation / trace round trip ---------------------------------
+
+def test_workload_deterministic_and_sorted():
+    spec = WorkloadSpec(seed=5, rate=100.0, n_requests=20,
+                        mix=(("s2D9pt2048", "tiny", 1.0),
+                             ("nlpkkt80", "tiny", 2.0)),
+                        priorities=((0, 1.0), (3, 1.0)))
+    a, b = generate_workload(spec), generate_workload(spec)
+    assert a.requests == b.requests
+    arr = [r.arrival for r in a.requests]
+    assert arr == sorted(arr)
+    assert all(r.deadline > r.arrival for r in a.requests)
+    assert {r.matrix for r in a.requests} <= {"s2D9pt2048", "nlpkkt80"}
+    assert generate_workload(
+        WorkloadSpec(seed=6, rate=100.0, n_requests=20)).requests \
+        != a.requests
+
+
+def test_workload_trace_round_trip(tmp_path):
+    wl = generate_workload(WorkloadSpec(seed=1, n_requests=8))
+    path = str(tmp_path / "trace.json")
+    wl.save(path)
+    wl2 = Workload.load(path)
+    assert wl2.requests == wl.requests
+    assert wl2.meta == wl.meta
+
+
+def test_workload_trace_version_check():
+    with pytest.raises(ValueError, match="version"):
+        Workload.from_json('{"version": 999, "requests": []}')
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValueError):
+        generate_workload(WorkloadSpec(rate=0.0))
+    with pytest.raises(ValueError):
+        generate_workload(WorkloadSpec(n_requests=0))
+    with pytest.raises(ValueError):
+        generate_workload(WorkloadSpec(mix=()))
+
+
+# -- factorization cache -----------------------------------------------------
+
+class FakeSolver:
+    def __init__(self, nbytes=100, setup=1.0):
+        self._nbytes = nbytes
+        self._setup = setup
+
+    def storage_nbytes(self):
+        return self._nbytes
+
+    def factor_time_estimate(self, machine=None):
+        return self._setup
+
+
+def key(tag):
+    return CacheKey(fingerprint=tag, px=1, py=1, pz=1, machine="m",
+                    max_supernode=16, symbolic_mode="detect", ordering="nd")
+
+
+def test_cache_hit_miss_counters():
+    c = FactorizationCache()
+    assert c.get(key("a")) is None
+    s = FakeSolver()
+    c.put(key("a"), s)
+    assert c.get(key("a")) is s
+    assert c.stats.hits == 1 and c.stats.misses == 1
+    assert c.stats.hit_rate == 0.5
+    assert c.stats.resident_bytes == 100
+
+
+def test_cache_lru_eviction_by_entries():
+    c = FactorizationCache(max_entries=2)
+    c.put(key("a"), FakeSolver())
+    c.put(key("b"), FakeSolver())
+    c.get(key("a"))                    # refresh a; b is now LRU
+    evicted = c.put(key("c"), FakeSolver())
+    assert evicted == [key("b")]
+    assert c.get(key("a")) is not None
+    assert c.get(key("b")) is None
+    assert c.stats.evictions == 1
+
+
+def test_cache_byte_bound_eviction():
+    c = FactorizationCache(max_bytes=250)
+    c.put(key("a"), FakeSolver(nbytes=100))
+    c.put(key("b"), FakeSolver(nbytes=100))
+    c.put(key("c"), FakeSolver(nbytes=100))   # 300 > 250: evict oldest
+    assert len(c) == 2
+    assert c.stats.resident_bytes == 200
+    assert c.stats.peak_bytes == 300
+    # An oversized entry is still admitted (never evict the only entry).
+    c2 = FactorizationCache(max_bytes=50)
+    c2.put(key("big"), FakeSolver(nbytes=500))
+    assert len(c2) == 1
+
+
+def test_cache_get_or_build():
+    c = FactorizationCache()
+    built = []
+
+    def build():
+        built.append(1)
+        return FakeSolver(setup=2.5)
+
+    s1, t1, hit1 = c.get_or_build(key("a"), build)
+    s2, t2, hit2 = c.get_or_build(key("a"), build)
+    assert s1 is s2 and built == [1]
+    assert (hit1, hit2) == (False, True)
+    assert t1 == 2.5 and t2 == 0.0
+
+
+# -- scheduler: batching, admission, shedding --------------------------------
+
+def test_scheduler_batches_when_full():
+    s = BatchingScheduler(BatchPolicy(max_batch=3, max_wait=10.0))
+    for i in range(3):
+        assert s.offer(req(i, arrival=0.1 * i), 0.1 * i) is None
+    k = s.ready_group(0.2)
+    assert k == ("m", "tiny")
+    batch, shed = s.pop_batch(k, 0.2)
+    assert [r.id for r in batch] == [0, 1, 2] and not shed
+    assert s.depth() == 0
+
+
+def test_scheduler_dispatches_on_max_wait():
+    s = BatchingScheduler(BatchPolicy(max_batch=8, max_wait=0.5))
+    s.offer(req(0, arrival=1.0), 1.0)
+    assert s.ready_group(1.4) is None
+    assert s.next_trigger() == 1.5
+    assert s.ready_group(1.5) == ("m", "tiny")
+
+
+def test_scheduler_edf_across_groups():
+    s = BatchingScheduler(BatchPolicy(max_batch=1, max_wait=10.0))
+    s.offer(req(0, matrix="a", deadline=5.0), 0.0)
+    s.offer(req(1, matrix="b", deadline=2.0), 0.0)
+    assert s.ready_group(0.0) == ("b", "tiny")  # earliest deadline first
+
+
+def test_scheduler_queue_full_and_displacement():
+    s = BatchingScheduler(BatchPolicy(max_batch=8, max_wait=10.0,
+                                      queue_bound=2))
+    s.offer(req(0, priority=1), 0.0)
+    s.offer(req(1, priority=1), 0.0)
+    rej = s.offer(req(2, priority=0), 0.1)     # lower priority: bounced
+    assert rej is not None and rej.reason is RejectReason.QUEUE_FULL
+    assert rej.request.id == 2
+    rej = s.offer(req(3, priority=5), 0.2)     # higher priority: displaces
+    assert rej is not None and rej.reason is RejectReason.DISPLACED
+    assert rej.request.id in (0, 1)
+    assert s.depth() == 2
+
+
+def test_scheduler_sheds_expired_at_dispatch():
+    s = BatchingScheduler(BatchPolicy(max_batch=4, max_wait=0.0))
+    s.offer(req(0, deadline=0.5), 0.0)
+    s.offer(req(1, deadline=9.0), 0.0)
+    batch, shed = s.pop_batch(s.ready_group(1.0), 1.0)
+    assert [r.id for r in batch] == [1]
+    assert len(shed) == 1 and shed[0].reason is RejectReason.DEADLINE_PASSED
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_wait=-1.0)
+    with pytest.raises(ValueError):
+        BatchPolicy(queue_bound=0)
+
+
+# -- the service loop --------------------------------------------------------
+
+CFG = ServiceConfig(px=1, py=1, pz=2)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return generate_workload(WorkloadSpec(
+        seed=11, rate=3000.0, n_requests=12, deadline=0.5,
+        mix=(("s2D9pt2048", "tiny", 1.0),)))
+
+
+def test_service_completes_and_batches(small_workload):
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3))
+    res = svc.run(small_workload)
+    assert res.slo.n_completed == 12 and res.slo.n_shed == 0
+    assert res.slo.n_batches < 12            # coalescing happened
+    assert any(b.size > 1 for b in res.batches)
+    assert res.slo.cache_hit_rate > 0        # repeat matrix reused
+    assert res.slo.makespan > 0 and res.slo.throughput > 0
+    # Completion bookkeeping is consistent.
+    assert sorted(r.id for r in small_workload.requests) == \
+        sorted(c.request.id for c in res.completions)
+    assert all(c.latency > 0 for c in res.completions)
+
+
+def test_service_deterministic(small_workload):
+    def go():
+        return SolveService(
+            CFG, BatchPolicy(max_batch=4, max_wait=1e-3)).run(small_workload)
+    a, b = go(), go()
+    assert a.slo.to_json() == b.slo.to_json()
+    assert [x.size for x in a.batches] == [x.size for x in b.batches]
+    assert [x.request_ids for x in a.batches] == \
+        [x.request_ids for x in b.batches]
+    for i in a.solutions:
+        assert np.array_equal(a.solutions[i], b.solutions[i])
+
+
+def test_served_solutions_bit_identical_to_cold_single_solves(small_workload):
+    """The headline contract: batched + cached answers are the same bits
+    as a fresh solver solving each request alone."""
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3))
+    res = svc.run(small_workload)
+    cold = SolveService(CFG)._build_solver("s2D9pt2048", "tiny")
+    for r in small_workload.requests:
+        x = cold.solve(r.rhs(cold.n)).x
+        assert np.array_equal(res.solutions[r.id], x.ravel()), r
+
+
+def test_cache_hit_solves_bit_identical_to_cold(small_workload):
+    hot = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3))
+    res_hot = hot.run(small_workload)
+    assert res_hot.slo.cache_hits > 0
+    # Same workload with a cache too small to ever hit.
+    cold = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+                        cache=FactorizationCache(max_entries=1))
+    # max_entries=1 with one matrix still hits; force misses by clearing.
+    res_cold_sols = {}
+    for r in small_workload.requests:
+        s = SolveService(CFG)._build_solver(r.matrix, r.scale)
+        res_cold_sols[r.id] = s.solve(r.rhs(s.n)).x.ravel()
+    for i, x in res_hot.solutions.items():
+        assert np.array_equal(x, res_cold_sols[i])
+
+
+def test_service_sheds_under_overload():
+    wl = generate_workload(WorkloadSpec(
+        seed=2, rate=50000.0, n_requests=30, deadline=0.001,
+        priorities=((0, 3.0), (5, 1.0))))
+    svc = SolveService(CFG, BatchPolicy(max_batch=2, max_wait=1e-4,
+                                        queue_bound=4), keep_solutions=False)
+    res = svc.run(svc_wl := wl)
+    assert res.slo.n_shed > 0
+    assert res.slo.n_completed + res.slo.n_shed == len(svc_wl)
+    assert set(res.slo.shed_by_reason) <= {
+        "queue-full", "displaced", "deadline-passed"}
+    # Every shed is typed and timestamped.
+    assert all(r.reason in RejectReason for r in res.rejections)
+
+
+def test_service_profile_aggregates_comm(small_workload):
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+                       profile=True, keep_solutions=False)
+    res = svc.run(small_workload)
+    assert res.slo.profiled
+    assert res.slo.comm_msgs > 0
+    assert res.slo.comm_alpha_time > 0
+
+
+def test_service_over_lossy_fabric(small_workload):
+    """Served workload survives a lossy network via the resilience tiers."""
+    svc = SolveService(
+        CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+        faults=FaultPlan.uniform(seed=3, drop=0.05),
+        resilience=Resilience(reliable=True))
+    res = svc.run(small_workload)
+    assert res.slo.n_completed == len(small_workload)
+    cold = SolveService(CFG)._build_solver("s2D9pt2048", "tiny")
+    for r in small_workload.requests[:3]:
+        x = cold.solve(r.rhs(cold.n)).x
+        assert np.array_equal(res.solutions[r.id], x.ravel())
+
+
+def test_service_cache_keyed_by_content():
+    svc = SolveService(CFG)
+    k1 = svc.cache_key("s2D9pt2048", "tiny")
+    k2 = svc.cache_key("nlpkkt80", "tiny")
+    assert k1 != k2
+    assert k1.fingerprint == matrix_fingerprint(
+        get_matrix("s2D9pt2048", "tiny")).hexdigest
+
+
+def test_slo_report_format_and_json(small_workload):
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+                       keep_solutions=False)
+    rep = svc.run(small_workload).slo
+    text = format_slo(rep, title="t")
+    for token in ("requests", "latency", "throughput", "batches", "cache"):
+        assert token in text
+    import json
+    doc = json.loads(rep.to_json())
+    assert doc["n_completed"] == 12
+    assert 0.0 <= doc["cache_hit_rate"] <= 1.0
+    assert doc["deadline_met_rate"] == rep.deadline_met_rate
