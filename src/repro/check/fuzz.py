@@ -1,0 +1,452 @@
+"""Differential fuzzing over solver and serving configurations.
+
+A :class:`FuzzCase` is one seeded, fully replayable configuration draw:
+either a *solve* case (matrix generator × size × grid shape × ordering ×
+symbolic mode × device × ``nrhs`` × optional fault rates) or a *serve*
+case (workload spec × batching policy × grid).  :func:`run_case` executes
+every applicable path of the case and cross-checks them:
+
+- every distributed algorithm (``new3d``, ``baseline3d``, ``2d`` when
+  ``pz == 1``, GPU when drawn) solves to a small relative residual
+  against the right-hand side, and the sequential reference tier agrees
+  with an independent ``scipy.sparse.linalg.spsolve``;
+- multi-RHS solves are **bit-identical** per column to single-RHS solves
+  (the serving tier's batching contract from PR 3);
+- replaying a solve reproduces **bit-identical** virtual clocks and
+  solution bits, and profiling is an observer (clocks with ``profile=``
+  equal clocks without);
+- profiled runs report the paper's headline sync counts mechanically:
+  one inter-grid sync point for the proposed algorithm, ``ceil(log2 Pz)``
+  for the baseline, zero when ``Pz == 1``;
+- every run passes the :mod:`repro.check.invariants` layer (time /
+  message / metrics conservation), and serve cases additionally pass the
+  serve-loop and cache conservation checks plus SLO-report replay
+  equality.
+
+Failures come back as a :class:`CaseResult` with human-readable mismatch
+strings; :mod:`repro.check.reduce` shrinks them and writes corpus repro
+files.  Entry point: ``repro fuzz --cases N --seed S``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.comm.costmodel import MACHINES
+from repro.comm.faults import FaultPlan
+from repro.core.solver import Resilience, SpTRSVSolver
+from repro.matrices import (
+    block_tridiagonal,
+    chemistry_like,
+    elasticity3d,
+    kkt3d,
+    make_rhs,
+    poisson2d,
+    poisson3d,
+)
+from repro.check.invariants import (
+    InvariantViolation,
+    check_serve,
+    check_solve,
+)
+
+CASE_VERSION = 1
+
+#: Relative residual bound for differential solution checks.  The solvers
+#: are exact triangular sweeps through one LU factorization; anything
+#: above this is a wrong answer, not roundoff.
+RESIDUAL_TOL = 1e-8
+
+#: Matrix generators the fuzzer draws from, with the sizes that keep a
+#: case under ~a second: name -> (factory(size) -> csr_matrix, sizes).
+GENERATORS = {
+    "poisson2d": (lambda s: poisson2d(s, stencil=9, seed=1),
+                  (8, 10, 12, 16)),
+    "poisson2d5": (lambda s: poisson2d(s, stencil=5, seed=2), (10, 14)),
+    "poisson3d": (lambda s: poisson3d(s, seed=3), (3, 4, 5)),
+    "kkt3d": (lambda s: kkt3d(s, seed=4), (3, 4)),
+    "elasticity3d": (lambda s: elasticity3d(s, dof=2, seed=5), (3, 4)),
+    "chemistry": (lambda s: chemistry_like(s, seed=6), (48, 72)),
+    "blocktri": (lambda s: block_tridiagonal(s, block=8, seed=7), (4, 8)),
+}
+
+#: Suite matrices serve cases draw their workload mix from (tiny scale).
+SERVE_MATRICES = ("s2D9pt2048", "nlpkkt80")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One replayable configuration draw (JSON round-trippable)."""
+
+    index: int
+    seed: int
+    kind: str = "solve"            # "solve" | "serve"
+    # -- solve cases --------------------------------------------------------
+    generator: str = "poisson2d"
+    size: int = 10
+    px: int = 1
+    py: int = 1
+    pz: int = 1
+    ordering: str = "nd"
+    symbolic_mode: str = "detect"
+    max_supernode: int = 16
+    device: str = "cpu"
+    machine: str = "cori-haswell"
+    nrhs: int = 1
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    fault_seed: int = 0
+    # -- serve cases --------------------------------------------------------
+    matrices: tuple = ()
+    n_requests: int = 0
+    rate: float = 2000.0
+    deadline: float = 0.1
+    max_batch: int = 4
+    max_wait: float = 1e-3
+    queue_bound: int = 256
+
+    @property
+    def faulted(self) -> bool:
+        return self.drop > 0 or self.duplicate > 0 or self.delay > 0
+
+    def fault_plan(self) -> FaultPlan | None:
+        if not self.faulted:
+            return None
+        return FaultPlan.uniform(seed=self.fault_seed, drop=self.drop,
+                                 duplicate=self.duplicate, delay=self.delay)
+
+    def describe(self) -> str:
+        if self.kind == "serve":
+            return (f"serve[{self.index}] mix={','.join(self.matrices)} "
+                    f"n={self.n_requests} rate={self.rate:g} "
+                    f"deadline={self.deadline:g} batch={self.max_batch} "
+                    f"wait={self.max_wait:g} bound={self.queue_bound} "
+                    f"grid={self.px}x{self.py}x{self.pz}")
+        extra = (f" faults(drop={self.drop:g},dup={self.duplicate:g},"
+                 f"delay={self.delay:g})" if self.faulted else "")
+        return (f"solve[{self.index}] {self.generator}({self.size}) "
+                f"grid={self.px}x{self.py}x{self.pz} ord={self.ordering} "
+                f"sym={self.symbolic_mode} sup={self.max_supernode} "
+                f"dev={self.device} nrhs={self.nrhs}{extra}")
+
+    # -- JSON round trip (corpus repro files) -------------------------------
+
+    def to_json(self) -> str:
+        doc = {"version": CASE_VERSION, **asdict(self)}
+        doc["matrices"] = list(self.matrices)
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        doc = json.loads(text)
+        if doc.pop("version", None) != CASE_VERSION:
+            raise ValueError("unsupported fuzz-case version")
+        doc["matrices"] = tuple(doc.get("matrices", ()))
+        return cls(**doc)
+
+    def digest(self) -> str:
+        """Short content hash, used for corpus file names."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:12]
+
+
+@dataclass
+class CaseResult:
+    """What one case execution observed."""
+
+    case: FuzzCase
+    checks: int = 0
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        head = f"{self.case.describe()} — {self.checks} checks"
+        if self.ok:
+            return head + ", ok"
+        return head + "".join(f"\n    FAIL: {m}" for m in self.mismatches)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate over one fuzzing session."""
+
+    cases: int = 0
+    checks: int = 0
+    failures: list = field(default_factory=list)   # failing CaseResults
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [f"fuzz: {self.cases} cases, {self.checks} checks, "
+                 f"{len(self.failures)} failing"]
+        lines.extend("  " + f.summary() for f in self.failures)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Drawing cases.
+# ---------------------------------------------------------------------------
+
+
+def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
+    """Draw one case; consumes a fixed draw pattern so streams replay."""
+    seed = int(rng.integers(0, 2**31 - 1))
+    if rng.random() < 0.2:
+        return _draw_serve(rng, index, seed)
+    gen = str(rng.choice(sorted(GENERATORS)))
+    size = int(rng.choice(GENERATORS[gen][1]))
+    pz = int(rng.choice((1, 2, 4)))
+    px = int(rng.choice((1, 2)))
+    py = int(rng.choice((1, 2)))
+    device = "gpu" if rng.random() < 0.15 else "cpu"
+    ordering = "mmd" if pz == 1 and rng.random() < 0.25 else "nd"
+    symbolic = str(rng.choice(("detect", "fixed")))
+    sup = int(rng.choice((4, 8, 16)))
+    nrhs = int(rng.choice((1, 2, 3, 4)))
+    drop = dup = delay = 0.0
+    fault_seed = int(rng.integers(0, 2**31 - 1))
+    if device == "cpu" and rng.random() < 0.25:
+        drop = float(rng.choice((0.02, 0.05)))
+        dup = float(rng.choice((0.0, 0.02)))
+        delay = float(rng.choice((0.0, 0.05)))
+    machine = "cori-haswell"
+    if device == "gpu":
+        py = 1                      # multi-GPU grids require Py == 1
+        machine = "perlmutter-gpu"
+        drop = dup = delay = 0.0    # faults are CPU-runtime only
+    return FuzzCase(index=index, seed=seed, kind="solve", generator=gen,
+                    size=size, px=px, py=py, pz=pz, ordering=ordering,
+                    symbolic_mode=symbolic, max_supernode=sup, device=device,
+                    machine=machine, nrhs=nrhs, drop=drop, duplicate=dup,
+                    delay=delay, fault_seed=fault_seed)
+
+
+def _draw_serve(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
+    k = int(rng.integers(1, len(SERVE_MATRICES) + 1))
+    mix = tuple(sorted(rng.choice(SERVE_MATRICES, size=k, replace=False)))
+    return FuzzCase(
+        index=index, seed=seed, kind="serve", matrices=mix,
+        px=1, py=1, pz=int(rng.choice((1, 2))),
+        n_requests=int(rng.integers(6, 20)),
+        rate=float(rng.choice((500.0, 2000.0, 8000.0, 30000.0))),
+        deadline=float(rng.choice((0.002, 0.01, 0.1))),
+        max_batch=int(rng.choice((1, 2, 4, 8))),
+        max_wait=float(rng.choice((1e-4, 1e-3))),
+        queue_bound=int(rng.choice((3, 8, 256))))
+
+
+# ---------------------------------------------------------------------------
+# Running cases.
+# ---------------------------------------------------------------------------
+
+
+def run_case(case: FuzzCase) -> CaseResult:
+    """Execute one case over every applicable path; never raises."""
+    res = CaseResult(case)
+    try:
+        if case.kind == "serve":
+            _run_serve_case(case, res)
+        elif case.kind == "solve":
+            _run_solve_case(case, res)
+        else:
+            res.mismatches.append(f"unknown case kind {case.kind!r}")
+    except InvariantViolation as e:
+        res.mismatches.append(f"invariant violation: {e}")
+    except Exception as e:  # a crash is a finding, not a fuzzer abort
+        res.mismatches.append(f"crashed: {type(e).__name__}: {e}")
+    return res
+
+
+def _residual(A, x, b) -> float:
+    r = A @ x - b
+    scale = spla.norm(A, np.inf) * np.abs(x).max() + np.abs(b).max()
+    return float(np.abs(r).max() / scale) if scale > 0 else 0.0
+
+
+def _check(res: CaseResult, cond: bool, msg: str) -> None:
+    res.checks += 1
+    if not cond:
+        res.mismatches.append(msg)
+
+
+def _run_solve_case(case: FuzzCase, res: CaseResult) -> None:
+    factory, _ = GENERATORS[case.generator]
+    A = sp.csr_matrix(factory(case.size))
+    machine = MACHINES[case.machine]
+    solver = SpTRSVSolver(A, case.px, case.py, case.pz, machine=machine,
+                          max_supernode=case.max_supernode,
+                          symbolic_mode=case.symbolic_mode,
+                          ordering=case.ordering)
+    b = make_rhs(A.shape[0], case.nrhs, kind="random", seed=case.seed)
+
+    # Reference tier vs an independent scipy solve of the original system.
+    x_ref = solver.reference_solve(b)
+    _check(res, _residual(A, x_ref, b) <= RESIDUAL_TOL,
+           f"reference solve residual {_residual(A, x_ref, b):.3e} > "
+           f"{RESIDUAL_TOL:g}")
+    x_scipy = spla.spsolve(sp.csc_matrix(A), b)
+    if x_scipy.ndim == 1 and x_ref.ndim == 2:
+        x_scipy = x_scipy[:, None]
+    _check(res, bool(np.allclose(x_ref, x_scipy, rtol=1e-6, atol=1e-9)),
+           "reference solve disagrees with scipy.sparse.linalg.spsolve")
+
+    algorithms = ["new3d", "baseline3d"] + (["2d"] if case.pz == 1 else [])
+    for alg in algorithms:
+        _differential_solve(case, res, solver, A, b, alg, "cpu", machine)
+    if case.device == "gpu":
+        _differential_solve(case, res, solver, A, b, "new3d", "gpu", machine)
+    if case.faulted:
+        _faulted_solve(case, res, solver, A, b)
+
+
+def _differential_solve(case, res, solver, A, b, algorithm, device,
+                        machine) -> None:
+    what = f"{algorithm}/{device}"
+    out = solver.solve(b, algorithm=algorithm, device=device,
+                       profile=True, trace=(device == "cpu"))
+    res.checks += check_solve(out)
+    _check(res, _residual(A, out.x, b) <= RESIDUAL_TOL,
+           f"{what}: residual {_residual(A, out.x, b):.3e} > "
+           f"{RESIDUAL_TOL:g}")
+
+    # Replay determinism — and profiling/tracing must be pure observers:
+    # the second run records nothing yet must land on the same clocks.
+    out2 = solver.solve(b, algorithm=algorithm, device=device)
+    _check(res, bool(np.array_equal(out.report.sim.clocks,
+                                    out2.report.sim.clocks)),
+           f"{what}: virtual clocks differ across replays (or profiling "
+           f"perturbed them)")
+    _check(res, bool(np.array_equal(out.x, out2.x)),
+           f"{what}: solution bits differ across replays")
+
+    # Headline sync counts, counted mechanically from the sync labels.
+    nsyncs = out.report.metrics.nsyncs
+    if case.pz == 1:
+        expect = 0
+    elif algorithm == "new3d":
+        expect = 1
+    else:
+        expect = int(math.ceil(math.log2(case.pz)))
+    _check(res, nsyncs == expect,
+           f"{what}: {nsyncs} inter-grid sync points, expected {expect} "
+           f"for pz={case.pz}")
+
+    # The serving tier's batching contract: every column of a multi-RHS
+    # solve is bit-identical to solving that column alone.
+    if case.nrhs > 1:
+        X = out.x
+        for j in range(case.nrhs):
+            xj = solver.solve(b[:, j], algorithm=algorithm,
+                              device=device).x
+            _check(res, bool(np.array_equal(X[:, j], xj)),
+                   f"{what}: column {j} of nrhs={case.nrhs} differs from "
+                   f"its single-RHS solve (batching not bit-identical)")
+
+
+def _faulted_solve(case, res, solver, A, b) -> None:
+    resil = Resilience(reliable=True)
+    plan = case.fault_plan()
+    out = solver.solve(b, algorithm="new3d", faults=plan, resilience=resil)
+    res.checks += check_solve(out, faulted=True)
+    _check(res, out.resilience is not None
+           and out.resilience.residual <= resil.residual_tol,
+           f"faulted: resilient solve returned unverified answer")
+    _check(res, _residual(A, out.x, b) <= RESIDUAL_TOL,
+           f"faulted: residual {_residual(A, out.x, b):.3e} > "
+           f"{RESIDUAL_TOL:g} despite resilience verification")
+    out2 = solver.solve(b, algorithm="new3d", faults=case.fault_plan(),
+                        resilience=resil)
+    _check(res, out2.resilience is not None
+           and out.resilience.tier == out2.resilience.tier
+           and out.resilience.total_time == out2.resilience.total_time,
+           f"faulted: replay reached tier {out2.resilience.tier!r} in "
+           f"{out2.resilience.total_time!r}s vs {out.resilience.tier!r} in "
+           f"{out.resilience.total_time!r}s — fault schedule not "
+           f"deterministic")
+    _check(res, bool(np.array_equal(out.x, out2.x)),
+           "faulted: solution bits differ across fault-plan replays")
+
+
+def _run_serve_case(case: FuzzCase, res: CaseResult) -> None:
+    from repro.serve import (
+        BatchPolicy,
+        ServiceConfig,
+        SolveService,
+        WorkloadSpec,
+        generate_workload,
+    )
+
+    spec = WorkloadSpec(seed=case.seed, rate=case.rate,
+                        n_requests=case.n_requests,
+                        mix=tuple((m, "tiny", 1.0) for m in case.matrices),
+                        deadline=case.deadline,
+                        priorities=((0, 3.0), (5, 1.0)))
+    wl = generate_workload(spec)
+    cfg = ServiceConfig(px=case.px, py=case.py, pz=case.pz)
+    policy = BatchPolicy(max_batch=case.max_batch, max_wait=case.max_wait,
+                         queue_bound=case.queue_bound)
+
+    def serve():
+        svc = SolveService(cfg, policy, invariants=True)
+        return svc, svc.run(wl)
+
+    svc, r1 = serve()
+    res.checks += check_serve(wl, r1, service=svc)
+    _, r2 = serve()
+    _check(res, r1.slo.to_json() == r2.slo.to_json(),
+           "serve: SLO reports differ across replays of the same workload")
+    _check(res, [b.request_ids for b in r1.batches]
+           == [b.request_ids for b in r2.batches],
+           "serve: batch composition differs across replays")
+
+    # Spot-check the batching contract end to end: a served answer is the
+    # same bits as a cold, unbatched solve of that request alone.
+    done = sorted(r1.solutions)[:3]
+    cold: dict = {}
+    by_id = {r.id: r for r in wl.requests}
+    for i in done:
+        req = by_id[i]
+        key = (req.matrix, req.scale)
+        if key not in cold:
+            cold[key] = svc._build_solver(req.matrix, req.scale)
+        x = cold[key].solve(req.rhs(cold[key].n)).x
+        _check(res, bool(np.array_equal(r1.solutions[i], x.ravel())),
+               f"serve: request {i} answer differs from its cold "
+               f"single-RHS solve")
+
+
+# ---------------------------------------------------------------------------
+# The driver.
+# ---------------------------------------------------------------------------
+
+
+def fuzz(cases: int = 50, seed: int = 0, progress=None) -> FuzzReport:
+    """Draw and run ``cases`` cases; deterministic in ``seed``.
+
+    ``progress`` (optional) is called with each :class:`CaseResult` as it
+    finishes — the CLI uses it for live output.
+    """
+    rng = np.random.default_rng([seed, 0xF022])
+    report = FuzzReport()
+    for i in range(cases):
+        case = draw_case(rng, i)
+        result = run_case(case)
+        report.cases += 1
+        report.checks += result.checks
+        if not result.ok:
+            report.failures.append(result)
+        if progress is not None:
+            progress(result)
+    return report

@@ -1,0 +1,294 @@
+"""Runtime invariants over simulation, observability and serving state.
+
+Every function here takes finished result objects, re-derives a
+conservation law the runtime is supposed to obey, and raises a typed
+:class:`InvariantViolation` naming the broken law when it does not hold.
+The checks are *observers*: they never mutate what they inspect, so a run
+with checking enabled is bit-identical to one without.
+
+Catalog (see ``docs/CHECKING.md`` for the prose version):
+
+- :func:`check_sim` — per-rank clock sanity and monotone trace order,
+  time conservation (every virtual second on a rank's clock is charged
+  to exactly one ``(phase, category)`` label) and message conservation
+  (a fault-free run leaves no unconsumed mailbox messages behind).
+- :func:`check_metrics` — the :class:`~repro.obs.metrics.MetricsRegistry`
+  attached to a profiled solve agrees with the simulator's own
+  accounting: per-rank α+β+compute+wait sums, message and byte counts.
+- :func:`check_solve` — both of the above over one
+  :class:`~repro.core.solver.SolveOutcome`.
+- :func:`check_serve` — serve-loop conservation: every request is
+  completed or shed exactly once, shed timestamps respect the deadline
+  convention, batch accounting is self-consistent, and the cache obeys
+  :func:`check_cache`.
+- :func:`check_cache` — ``resident_bytes == Σ entry.nbytes``,
+  ``resident_entries == len(cache)``, peak/lookup counter consistency.
+
+Plug-in points: ``Simulator(invariants=True)`` runs :func:`check_sim` on
+every result; ``SolveService(invariants=True)`` runs :func:`check_serve`
+after every workload.  The fuzzer (:mod:`repro.check.fuzz`) enables both
+on every case it draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Relative tolerance for conservation sums: the simulator accumulates the
+#: same increments into the clock (one float) and the per-label time dict
+#: (many floats), so the two disagree only by addition-order rounding.
+REL_TOL = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant does not hold; ``invariant`` names which one."""
+
+    def __init__(self, invariant: str, detail: str):
+        self.invariant = invariant
+        self.detail = detail
+        super().__init__(f"[{invariant}] {detail}")
+
+
+def _ensure(cond: bool, invariant: str, detail: str) -> None:
+    if not cond:
+        raise InvariantViolation(invariant, detail)
+
+
+def _close(a: float, b: float, scale: float = 0.0) -> bool:
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b), scale, 1e-300) \
+        or a == b
+
+
+# ---------------------------------------------------------------------------
+# Simulation results.
+# ---------------------------------------------------------------------------
+
+
+def check_sim(result, *, faulted: bool = False,
+              conservation: bool = True) -> int:
+    """Invariants over one :class:`~repro.comm.simulator.SimResult`.
+
+    ``faulted`` relaxes message conservation (drops, duplicates and
+    crashes legitimately leave mailbox leftovers).  ``conservation``
+    gates the per-rank time-conservation sum — exact for the CPU
+    message-passing runtime, not for merged GPU phase summaries.
+    Returns the number of checks evaluated.
+    """
+    checks = 0
+    clocks = np.asarray(result.clocks, dtype=np.float64)
+    checks += 1
+    _ensure(bool(np.all(np.isfinite(clocks)) and np.all(clocks >= 0.0)),
+            "sim.clock-sane",
+            f"per-rank clocks must be finite and >= 0, got {clocks}")
+    for r, times in enumerate(result.times):
+        checks += 1
+        _ensure(all(v >= 0.0 and math.isfinite(v) for v in times.values()),
+                "sim.time-nonnegative",
+                f"rank {r} charged a negative/non-finite label time: {times}")
+        if conservation:
+            total = sum(times.values())
+            checks += 1
+            _ensure(_close(total, float(clocks[r])),
+                    "sim.time-conservation",
+                    f"rank {r}: sum of per-label times {total!r} != clock "
+                    f"{float(clocks[r])!r} — some clock advance was not "
+                    f"charged to a (phase, category) label")
+    if result.trace is not None:
+        for r in range(result.nranks):
+            evs = [e for e in result.trace
+                   if e.rank == r and e.kind != "fault"]
+            checks += 1
+            _ensure(all(e.t0 <= e.t1 for e in evs),
+                    "sim.trace-interval", f"rank {r} has an event ending "
+                    f"before it starts")
+            checks += 1
+            _ensure(all(a.t1 <= b.t1 for a, b in zip(evs, evs[1:])),
+                    "sim.clock-monotone",
+                    f"rank {r} trace is not monotone in virtual time")
+    checks += 1
+    if not faulted and not result.crashed:
+        leftover = result.unconsumed_msgs
+        _ensure(not leftover, "sim.message-conservation",
+                f"fault-free run left {len(leftover)} unconsumed mailbox "
+                f"message(s): "
+                + "; ".join(f"dst={m.dst} src={m.src} tag={m.tag!r}"
+                            for m in leftover[:5])
+                + ("..." if len(leftover) > 5 else ""))
+    return checks
+
+
+def check_metrics(report) -> int:
+    """The profiled registry agrees with the simulator's own accounting.
+
+    ``report`` is a :class:`~repro.core.solver.PerfReport` whose
+    ``metrics`` is a populated registry.  Per rank: the registry's
+    compute + overhead + wait sum equals the simulator's charged time,
+    non-ack message/byte counts match, and ack counts match the
+    simulator's ``"ack"`` category.  Skipped (returns 0) for registries
+    with merged external phases (GPU), whose counters are summary-level.
+    """
+    reg = report.metrics
+    if reg is None or not reg.complete_timeline:
+        return 0
+    sim = report.sim
+    checks = 0
+    for r in range(sim.nranks):
+        st = reg.stats(rank=r)
+        sim_total = sum(sim.times[r].values())
+        reg_total = st.compute_time + st.overhead_time + st.wait_time
+        checks += 1
+        _ensure(_close(reg_total, sim_total),
+                "metrics.time-conservation",
+                f"rank {r}: registry compute+overhead+wait {reg_total!r} != "
+                f"simulator charged time {sim_total!r}")
+        sim_msgs = sum(v for (p, c), v in sim.sent_msgs[r].items()
+                       if c != "ack")
+        sim_acks = sum(v for (p, c), v in sim.sent_msgs[r].items()
+                       if c == "ack")
+        sim_bytes = sum(sim.sent_bytes[r].values())
+        checks += 1
+        _ensure(st.msgs == sim_msgs, "metrics.msg-conservation",
+                f"rank {r}: registry counted {st.msgs} messages, simulator "
+                f"charged {sim_msgs}")
+        checks += 1
+        _ensure(st.acks == sim_acks, "metrics.ack-conservation",
+                f"rank {r}: registry counted {st.acks} acks, simulator "
+                f"charged {sim_acks}")
+        checks += 1
+        _ensure(_close(st.bytes, sim_bytes, scale=1.0),
+                "metrics.byte-conservation",
+                f"rank {r}: registry counted {st.bytes!r} bytes, simulator "
+                f"charged {sim_bytes!r}")
+    return checks
+
+
+def check_solve(outcome, *, faulted: bool = False) -> int:
+    """Simulation + metrics invariants over one solver outcome."""
+    conservation = not outcome.report.algorithm.endswith("-gpu")
+    checks = check_sim(outcome.report.sim, faulted=faulted,
+                       conservation=conservation)
+    checks += check_metrics(outcome.report)
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Serving tier.
+# ---------------------------------------------------------------------------
+
+
+def check_cache(cache) -> int:
+    """Byte/entry accounting of a :class:`FactorizationCache` is conserved."""
+    stats = cache.stats
+    entries = cache._entries
+    actual_bytes = sum(e.nbytes for e in entries.values())
+    checks = 1
+    _ensure(stats.resident_bytes == actual_bytes,
+            "cache.byte-conservation",
+            f"stats.resident_bytes {stats.resident_bytes} != sum of entry "
+            f"nbytes {actual_bytes}")
+    checks += 1
+    _ensure(stats.resident_entries == len(entries),
+            "cache.entry-conservation",
+            f"stats.resident_entries {stats.resident_entries} != "
+            f"{len(entries)} entries actually resident")
+    checks += 1
+    _ensure(stats.peak_bytes >= stats.resident_bytes >= 0,
+            "cache.peak-bound",
+            f"peak_bytes {stats.peak_bytes} < resident_bytes "
+            f"{stats.resident_bytes}")
+    checks += 1
+    _ensure(stats.lookups == stats.hits + stats.misses
+            and min(stats.hits, stats.misses, stats.evictions) >= 0,
+            "cache.counter-sane",
+            f"hits={stats.hits} misses={stats.misses} "
+            f"evictions={stats.evictions}")
+    return checks
+
+
+def check_serve(workload, result, service=None) -> int:
+    """Serve-loop conservation over one :class:`ServeResult`.
+
+    Every workload request is completed or shed, never both, never twice;
+    shed records respect the deadline boundary convention
+    (``deadline < t`` sheds); batch and SLO accounting are
+    self-consistent; and, when ``service`` is given, its cache passes
+    :func:`check_cache` and batches respect its policy.
+    """
+    from repro.serve.scheduler import RejectReason
+
+    all_ids = [r.id for r in workload.requests]
+    done = [c.request.id for c in result.completions]
+    shed = [r.request.id for r in result.rejections]
+    checks = 1
+    _ensure(len(set(all_ids)) == len(all_ids), "serve.unique-request-ids",
+            "workload contains duplicate request ids")
+    checks += 1
+    _ensure(len(done) == len(set(done)), "serve.single-completion",
+            f"request(s) completed more than once: "
+            f"{sorted({i for i in done if done.count(i) > 1})}")
+    checks += 1
+    _ensure(len(shed) == len(set(shed)), "serve.single-shed",
+            f"request(s) shed more than once: "
+            f"{sorted({i for i in shed if shed.count(i) > 1})}")
+    checks += 1
+    _ensure(not set(done) & set(shed), "serve.completed-xor-shed",
+            f"request(s) both completed and shed: "
+            f"{sorted(set(done) & set(shed))}")
+    checks += 1
+    _ensure(set(done) | set(shed) == set(all_ids),
+            "serve.request-conservation",
+            f"n_requests {len(all_ids)} != completed {len(done)} + shed "
+            f"{len(shed)}; lost: {sorted(set(all_ids) - set(done) - set(shed))}"
+            f", invented: {sorted((set(done) | set(shed)) - set(all_ids))}")
+    for c in result.completions:
+        checks += 1
+        _ensure(c.t_complete >= c.request.arrival, "serve.causal-completion",
+                f"request {c.request.id} completed at {c.t_complete} before "
+                f"its arrival {c.request.arrival}")
+    for rej in result.rejections:
+        checks += 1
+        _ensure(rej.reason in RejectReason, "serve.typed-shed",
+                f"rejection of request {rej.request.id} has untyped reason "
+                f"{rej.reason!r}")
+        if rej.reason is RejectReason.DEADLINE_PASSED:
+            checks += 1
+            _ensure(rej.time > rej.request.deadline, "serve.deadline-boundary",
+                    f"request {rej.request.id} shed as deadline-passed at "
+                    f"t={rej.time!r} <= its deadline "
+                    f"{rej.request.deadline!r} (convention: deadline < t "
+                    f"sheds)")
+    batched_ids = [i for b in result.batches for i in b.request_ids]
+    checks += 1
+    _ensure(sorted(batched_ids) == sorted(done), "serve.batch-conservation",
+            f"batched request ids != completed request ids "
+            f"({len(batched_ids)} batched vs {len(done)} completed)")
+    slo = result.slo
+    checks += 1
+    _ensure(slo.n_requests == len(all_ids)
+            and slo.n_completed == len(done)
+            and slo.n_shed == len(shed)
+            and slo.n_batches == len(result.batches),
+            "serve.slo-counts",
+            f"SLO counts ({slo.n_requests}/{slo.n_completed}/{slo.n_shed}/"
+            f"{slo.n_batches}) disagree with the raw records "
+            f"({len(all_ids)}/{len(done)}/{len(shed)}/{len(result.batches)})")
+    checks += 1
+    _ensure(sum(slo.shed_by_reason.values()) == slo.n_shed,
+            "serve.shed-by-reason",
+            f"shed_by_reason sums to {sum(slo.shed_by_reason.values())}, "
+            f"n_shed is {slo.n_shed}")
+    if result.solutions:
+        checks += 1
+        _ensure(set(result.solutions) == set(done), "serve.solution-coverage",
+                "kept solutions do not match completed request ids")
+    if service is not None:
+        for b in result.batches:
+            checks += 1
+            _ensure(1 <= b.size <= service.policy.max_batch,
+                    "serve.batch-width",
+                    f"batch {b.batch_id} width {b.size} violates "
+                    f"max_batch {service.policy.max_batch}")
+        checks += check_cache(service.cache)
+    return checks

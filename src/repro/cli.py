@@ -30,6 +30,12 @@ trace, and replay it (byte-identical SLO report both times)::
     python -m repro serve --matrices s2D9pt2048,nlpkkt80 --requests 32 \
         --rate 2000 --grid 1x1x2 --save-trace /tmp/wl.json
     python -m repro serve --replay /tmp/wl.json --grid 1x1x2
+
+Differentially fuzz the solver and serving stacks (seeded, replayable;
+failures are shrunk and written to tests/corpus/)::
+
+    python -m repro fuzz --cases 50 --seed 0
+    python -m repro fuzz --replay tests/corpus/case-0123456789ab.json
 """
 
 from __future__ import annotations
@@ -248,6 +254,41 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: random configs, cross-checked paths."""
+    from repro.check import FuzzCase, fuzz, run_case, shrink, write_repro
+
+    if args.replay:
+        with open(args.replay) as f:
+            case = FuzzCase.from_json(f.read())
+        result = run_case(case)
+        print(result.summary())
+        return 0 if result.ok else 1
+
+    def progress(result):
+        status = "ok" if result.ok else "FAIL"
+        print(f"  [{result.case.index + 1:3d}/{args.cases}] {status:4s} "
+              f"{result.case.describe()} ({result.checks} checks)")
+
+    report = fuzz(cases=args.cases, seed=args.seed,
+                  progress=progress if args.verbose else None)
+    print(report.summary())
+    if report.ok:
+        return 0
+    for failing in report.failures:
+        case = failing.case
+
+        def is_failing(cand):
+            return not run_case(cand).ok
+
+        small = shrink(case, is_failing)
+        path = write_repro(small, args.corpus)
+        print(f"shrunk case {case.index} "
+              f"({case.describe()} -> {small.describe()}); "
+              f"repro written to {path}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -346,6 +387,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the SLO report as JSON")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the solver and serving stacks")
+    p.add_argument("--cases", type=int, default=50,
+                   help="number of random cases to draw and run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; same seed => same case stream")
+    p.add_argument("--replay", default=None, metavar="CASE.json",
+                   help="replay one corpus case file instead of drawing")
+    p.add_argument("--corpus", default=os.path.join("tests", "corpus"),
+                   help="where shrunk failing cases are written")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each case as it finishes")
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -266,6 +266,24 @@ class TraceEvent:
     detail: Any = None  # dst rank for sends, src for waits, note for faults
 
 
+@dataclass(frozen=True)
+class UnconsumedMessage:
+    """A message still sitting in a mailbox when its rank exited.
+
+    In a fault-free run every send must be received — a leftover message
+    means some rank forgot a ``recv`` (a silent protocol leak the
+    invariant layer in :mod:`repro.check.invariants` flags).  Under
+    injected faults, duplicates and deliveries to crashed ranks leave
+    leftovers legitimately.
+    """
+
+    dst: int
+    src: int
+    tag: Hashable
+    arrival: float
+    nbytes: int
+
+
 @dataclass
 class SimResult:
     """Outcome of a simulation: per-rank clocks, times, and return values."""
@@ -279,6 +297,7 @@ class SimResult:
     trace: list[TraceEvent] | None = None
     fault_events: list[FaultEvent] | None = None
     crashed: list[int] = field(default_factory=list)
+    unconsumed_msgs: list[UnconsumedMessage] = field(default_factory=list)
 
     def trace_timeline(self, rank: int | None = None) -> list[TraceEvent]:
         """Chronological trace events (optionally for one rank)."""
@@ -373,6 +392,13 @@ class Simulator:
     per-phase counters and the send/recv dependency graph.  Recording is
     purely observational — virtual clocks are bit-identical with and
     without it.
+
+    Checking (see ``docs/CHECKING.md``): ``invariants=True`` runs the
+    :mod:`repro.check.invariants` simulation checks (clock/time
+    conservation, no unconsumed mailbox messages in fault-free runs) on
+    the result before returning it — also purely observational; a
+    violation raises
+    :class:`~repro.check.invariants.InvariantViolation`.
     """
 
     def __init__(self, nranks: int, machine, max_events: int = 50_000_000,
@@ -380,7 +406,7 @@ class Simulator:
                  reliable: bool | ReliableTransport = False,
                  checksums: bool = False,
                  watchdog_events: int | None = None,
-                 metrics=None):
+                 metrics=None, invariants: bool = False):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
@@ -389,6 +415,7 @@ class Simulator:
         self.trace = trace
         self.faults = faults
         self.metrics = metrics
+        self.invariants = invariants
         if reliable is True:
             self.transport: ReliableTransport | None = ReliableTransport()
         elif reliable:
@@ -789,7 +816,14 @@ class Simulator:
                         continue
                 advance(r, (m.src, m.tag, m.payload))
 
-        return SimResult(
+        # Every rank exited; whatever is still in a mailbox was sent but
+        # never received.  Surfaced (never silently discarded) so the
+        # invariant layer can flag protocol leaks in fault-free runs.
+        unconsumed = [UnconsumedMessage(dst=r, src=m.src, tag=m.tag,
+                                        arrival=m.arrival, nbytes=m.nbytes)
+                      for r in range(n)
+                      for m in sorted(mailbox[r])]
+        result = SimResult(
             clocks=np.array([c.clock for c in ctxs]),
             times=[c.times for c in ctxs],
             sent_msgs=[c.sent_msgs for c in ctxs],
@@ -799,7 +833,13 @@ class Simulator:
             trace=trace,
             fault_events=list(fstate.events) if fstate is not None else None,
             crashed=crashed,
+            unconsumed_msgs=unconsumed,
         )
+        if self.invariants:
+            from repro.check.invariants import check_sim
+
+            check_sim(result, faulted=self.faults is not None)
+        return result
 
     @staticmethod
     def _apply_reorder(box: list[_Message], src: int) -> None:

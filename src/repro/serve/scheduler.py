@@ -19,8 +19,18 @@ Policy knobs (:class:`BatchPolicy`):
 Dispatch is deadline-scheduled: among matrix groups that are *ready*
 (full batch, or head aged past ``max_wait``), the group with the earliest
 queued deadline dispatches first (EDF).  Requests whose deadline already
-passed at dispatch time are shed rather than solved — finishing them
-would waste cluster time on answers nobody is waiting for.
+passed are shed rather than solved — finishing them would waste cluster
+time on answers nobody is waiting for.
+
+Deadline boundary convention (uniform across the tier, see
+``docs/SERVING.md``): a request is *expired* once ``deadline < t``
+strictly, and a completion *meets* its deadline when
+``t_complete <= deadline``.  Finishing exactly at the deadline counts as
+met; popping a batch exactly at a queued request's deadline still solves
+it.  :meth:`BatchingScheduler.expire` sheds expired requests between
+dispatches, and :meth:`BatchingScheduler.next_trigger` includes the
+earliest queued deadline so an expiry during an idle gap is shed at its
+deadline, not at the next unrelated dispatch.
 
 Every shed produces a typed :class:`Rejection` with a
 :class:`RejectReason`, never a silent drop.
@@ -29,6 +39,7 @@ Every shed produces a typed :class:`Rejection` with a
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 from repro.serve.workload import Request
@@ -122,6 +133,29 @@ class BatchingScheduler:
         if not self._queues[key]:
             del self._queues[key]
 
+    # -- expiry --------------------------------------------------------------
+
+    def expire(self, t: float) -> list[Rejection]:
+        """Shed every queued request whose deadline passed (``deadline < t``).
+
+        Called by the service loop between dispatches so an expiry during
+        an idle gap is timestamped at the wake-up its deadline triggered
+        (see :meth:`next_trigger`), not at the next unrelated dispatch.
+        """
+        shed: list[Rejection] = []
+        for key in list(self._queues):
+            q = self._queues[key]
+            live = [r for r in q if not r.deadline < t]
+            if len(live) == len(q):
+                continue
+            shed.extend(Rejection(r, RejectReason.DEADLINE_PASSED, t)
+                        for r in q if r.deadline < t)
+            if live:
+                self._queues[key] = live
+            else:
+                del self._queues[key]
+        return shed
+
     # -- dispatch ------------------------------------------------------------
 
     def _head_age_due(self, key: tuple, t: float) -> bool:
@@ -145,25 +179,37 @@ class BatchingScheduler:
                                            for r in self._queues[k]), k))
 
     def next_trigger(self) -> float | None:
-        """Earliest future time a queued group becomes dispatch-due."""
+        """Earliest future time the scheduler needs the service loop awake.
+
+        That is the earlier of (a) the first instant a queued group becomes
+        dispatch-due by age and (b) the first instant a queued request
+        expires.  A request expires strictly *after* its deadline
+        (``deadline < t``), so the expiry trigger is the smallest
+        representable time past the earliest queued deadline — waking
+        exactly at the deadline would shed nothing and stall the loop.
+        """
         if not self._queues:
             return None
-        return min(min(r.arrival for r in q) + self.policy.max_wait
-                   for q in self._queues.values())
+        age = min(min(r.arrival for r in q) + self.policy.max_wait
+                  for q in self._queues.values())
+        dl = min(r.deadline for q in self._queues.values() for r in q)
+        return min(age, math.nextafter(dl, math.inf))
 
     def pop_batch(self, key: tuple, t: float
                   ) -> tuple[list[Request], list[Rejection]]:
         """Take up to ``max_batch`` requests of group ``key`` for dispatch.
 
-        Requests whose deadline passed while queued are shed (typed), not
-        solved; they do not consume batch slots.
+        Requests whose deadline passed while queued (``deadline < t``; a
+        pop exactly at the deadline still solves, matching the
+        ``t_complete <= deadline`` completion convention) are shed
+        (typed), not solved; they do not consume batch slots.
         """
         q = self._queues.pop(key)
         batch: list[Request] = []
         shed: list[Rejection] = []
         rest: list[Request] = []
         for r in q:  # q is kept sorted by _queue_order
-            if r.deadline <= t:
+            if r.deadline < t:
                 shed.append(Rejection(r, RejectReason.DEADLINE_PASSED, t))
             elif len(batch) < self.policy.max_batch:
                 batch.append(r)

@@ -112,6 +112,31 @@ class ServeResult:
     slo: SLOReport = field(default_factory=SLOReport)
 
 
+class _QueueDepthIntegral:
+    """Time-weighted queue-depth accumulator over virtual time.
+
+    The loop reports the depth after every depth-changing event at that
+    event's virtual instant; the mean is then ``∫ depth dt / horizon``,
+    independent of how many (possibly idle) loop iterations happened —
+    unlike a per-iteration sample average, which over-weights whatever
+    the scheduler internals iterate on.
+    """
+
+    def __init__(self):
+        self.area = 0.0
+        self._t = 0.0
+        self._depth = 0
+
+    def record(self, t: float, depth: int) -> None:
+        if t > self._t:
+            self.area += self._depth * (t - self._t)
+            self._t = t
+        self._depth = depth
+
+    def mean(self) -> float:
+        return self.area / self._t if self._t > 0 else 0.0
+
+
 class SolveService:
     """Batching, caching, deadline-scheduled solve server (virtual time)."""
 
@@ -121,7 +146,8 @@ class SolveService:
                  faults: FaultPlan | None = None,
                  resilience: Resilience | None = None,
                  profile: bool = False,
-                 keep_solutions: bool = True):
+                 keep_solutions: bool = True,
+                 invariants: bool = False):
         self.config = config or ServiceConfig()
         self.policy = policy or BatchPolicy()
         self.cache = cache if cache is not None else FactorizationCache()
@@ -129,6 +155,7 @@ class SolveService:
         self.resilience = resilience
         self.profile = profile
         self.keep_solutions = keep_solutions
+        self.invariants = invariants
         # (matrix, scale) -> (A, fingerprint hexdigest); fingerprints are
         # content hashes, so computing one per distinct matrix suffices.
         self._matrices: dict = {}
@@ -167,6 +194,7 @@ class SolveService:
         res = ServeResult(completions=[], rejections=[], batches=[],
                           queue_samples=[])
         comm = PhaseStats() if self.profile else None
+        qdepth = _QueueDepthIntegral()
         setup_total = 0.0
         solve_total = 0.0
         t = 0.0
@@ -178,11 +206,17 @@ class SolveService:
                 rej = sched.offer(r, r.arrival)
                 if rej is not None:
                     res.rejections.append(rej)
+                qdepth.record(r.arrival, sched.depth())
+            expired = sched.expire(t)
+            if expired:
+                res.rejections.extend(expired)
+                qdepth.record(t, sched.depth())
             res.queue_samples.append(sched.depth())
 
             key = sched.ready_group(t)
             if key is None:
-                # Idle: jump to the next arrival or batch-age trigger.
+                # Idle: jump to the next arrival, batch-age or expiry
+                # trigger.
                 nexts = []
                 if i < len(arrivals):
                     nexts.append(arrivals[i].arrival)
@@ -196,12 +230,14 @@ class SolveService:
 
             batch, shed = sched.pop_batch(key, t)
             res.rejections.extend(shed)
+            qdepth.record(t, sched.depth())
             if not batch:
                 continue
             t = self._dispatch(batch, t, res, comm)
             setup_total += res.batches[-1].setup_time
             solve_total += res.batches[-1].solve_time
 
+        qdepth.record(t, sched.depth())
         res.slo = build_slo(
             n_requests=len(workload),
             latencies=[c.latency for c in res.completions],
@@ -209,10 +245,15 @@ class SolveService:
             shed_reasons=[str(r.reason) for r in res.rejections],
             batch_sizes=[b.size for b in res.batches],
             queue_samples=res.queue_samples,
+            queue_time_mean=qdepth.mean(),
             cache_stats=self.cache.stats,
             setup_time=setup_total, solve_time=solve_total,
             makespan=max((c.t_complete for c in res.completions), default=t),
             comm=comm)
+        if self.invariants:
+            from repro.check.invariants import check_serve
+
+            check_serve(workload, res, service=self)
         return res
 
     def _dispatch(self, batch: list[Request], t: float, res: ServeResult,

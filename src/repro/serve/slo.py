@@ -56,7 +56,7 @@ class SLOReport:
 
     # queueing
     queue_depth_max: int = 0
-    queue_depth_mean: float = 0.0
+    queue_depth_mean: float = 0.0   # time-weighted over virtual time
 
     # factorization cache
     cache_hits: int = 0
@@ -92,12 +92,17 @@ def build_slo(*, n_requests: int, latencies: list[float],
               deadline_met: list[bool], shed_reasons: list[str],
               batch_sizes: list[int], queue_samples: list[int],
               cache_stats, setup_time: float, solve_time: float,
-              makespan: float, comm=None) -> SLOReport:
+              makespan: float, comm=None,
+              queue_time_mean: float | None = None) -> SLOReport:
     """Fold raw service-loop records into an :class:`SLOReport`.
 
     ``cache_stats`` is a :class:`~repro.serve.cache.CacheStats`; ``comm``
     is an aggregate :class:`~repro.obs.metrics.PhaseStats` (or ``None``
-    for unprofiled runs).
+    for unprofiled runs).  ``queue_time_mean`` is the time-weighted mean
+    queue depth over virtual time (the service loop integrates
+    ``∫ depth dt``); when omitted the mean falls back to a plain average
+    of ``queue_samples``, which over-weights idle loop iterations and is
+    kept only for callers without a virtual-time trajectory.
     """
     rep = SLOReport(
         n_requests=n_requests,
@@ -114,8 +119,9 @@ def build_slo(*, n_requests: int, latencies: list[float],
         n_batches=len(batch_sizes),
         batch_mean=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
         queue_depth_max=max(queue_samples, default=0),
-        queue_depth_mean=float(np.mean(queue_samples))
-        if queue_samples else 0.0,
+        queue_depth_mean=(queue_time_mean if queue_time_mean is not None
+                          else float(np.mean(queue_samples))
+                          if queue_samples else 0.0),
         cache_hits=cache_stats.hits,
         cache_misses=cache_stats.misses,
         cache_evictions=cache_stats.evictions,

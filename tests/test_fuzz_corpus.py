@@ -1,0 +1,30 @@
+"""Replay every corpus case as an ordinary test.
+
+``tests/corpus/`` holds seeded :class:`~repro.check.fuzz.FuzzCase` JSON
+files: a few standing differential cases plus any failure the fuzzer ever
+shrank and wrote (``repro fuzz`` does that automatically).  Replaying them
+here turns every past finding into a permanent regression test.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.check import FuzzCase, run_case
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+CASES = sorted(glob.glob(os.path.join(CORPUS, "case-*.json")))
+
+
+def test_corpus_is_seeded():
+    assert CASES, "tests/corpus/ must hold at least the seed cases"
+
+
+@pytest.mark.parametrize("path", CASES,
+                         ids=[os.path.basename(p) for p in CASES])
+def test_corpus_case_replays_clean(path):
+    with open(path) as f:
+        case = FuzzCase.from_json(f.read())
+    result = run_case(case)
+    assert result.ok, result.summary()

@@ -1,5 +1,7 @@
 """Tests for the batching solve service (repro.serve)."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -124,6 +126,37 @@ def test_cache_byte_bound_eviction():
     assert len(c2) == 1
 
 
+def test_cache_put_refresh_accounting():
+    """Re-putting an existing key (rebuilt under a racing miss) must swap
+    the entry's bytes, not double-count them."""
+    from repro.check import check_cache
+
+    c = FactorizationCache()
+    c.put(key("a"), FakeSolver(nbytes=100))
+    c.put(key("a"), FakeSolver(nbytes=120))
+    assert len(c) == 1
+    assert c.stats.resident_bytes == 120
+    assert c.stats.resident_entries == 1
+    assert c.stats.evictions == 0
+    check_cache(c)
+
+
+def test_cache_oversize_admission_accounting():
+    """An entry larger than max_bytes is admitted (evicting the rest) and
+    the byte accounting stays conserved."""
+    from repro.check import check_cache
+
+    c = FactorizationCache(max_bytes=50)
+    c.put(key("a"), FakeSolver(nbytes=40))
+    evicted = c.put(key("big"), FakeSolver(nbytes=500))
+    assert evicted == [key("a")]
+    assert len(c) == 1
+    assert c.stats.resident_bytes == 500
+    assert c.stats.peak_bytes == 540
+    assert c.stats.evictions == 1
+    check_cache(c)
+
+
 def test_cache_get_or_build():
     c = FactorizationCache()
     built = []
@@ -154,10 +187,57 @@ def test_scheduler_batches_when_full():
 
 def test_scheduler_dispatches_on_max_wait():
     s = BatchingScheduler(BatchPolicy(max_batch=8, max_wait=0.5))
-    s.offer(req(0, arrival=1.0), 1.0)
+    s.offer(req(0, arrival=1.0, deadline=10.0), 1.0)
     assert s.ready_group(1.4) is None
     assert s.next_trigger() == 1.5
     assert s.ready_group(1.5) == ("m", "tiny")
+
+
+def test_scheduler_next_trigger_includes_earliest_deadline():
+    """Regression: an expiry during an idle gap must wake the loop.
+
+    Before the fix ``next_trigger`` only knew about the max-wait age
+    trigger, so a request expiring while the queue idled below
+    ``max_batch`` was shed at the *next unrelated dispatch* with that
+    later timestamp."""
+    s = BatchingScheduler(BatchPolicy(max_batch=8, max_wait=100.0))
+    s.offer(req(0, arrival=0.0, deadline=2.0), 0.0)
+    trig = s.next_trigger()
+    # Strictly after the deadline (deadline < t sheds) but immediately so.
+    assert trig == math.nextafter(2.0, math.inf)
+    shed = s.expire(trig)
+    assert [r.request.id for r in shed] == [0]
+    assert shed[0].reason is RejectReason.DEADLINE_PASSED
+    assert shed[0].time > shed[0].request.deadline
+    assert s.depth() == 0 and s.next_trigger() is None
+
+
+def test_scheduler_deadline_boundary():
+    """Regression: the tier-wide boundary convention (docs/SERVING.md).
+
+    A request is expired only once ``deadline < t`` *strictly*: a pop or
+    expiry sweep exactly at the deadline still solves it, matching the
+    ``t_complete <= deadline`` completion-side convention.  The pre-fix
+    ``deadline <= t`` shed work that could still finish on time."""
+    s = BatchingScheduler(BatchPolicy(max_batch=4, max_wait=0.0))
+    s.offer(req(0, deadline=1.0), 0.0)
+    assert s.expire(1.0) == []                     # t == deadline: alive
+    batch, shed = s.pop_batch(s.ready_group(1.0), 1.0)
+    assert [r.id for r in batch] == [0] and not shed
+    s.offer(req(1, deadline=1.0), 0.0)
+    t = math.nextafter(1.0, math.inf)
+    batch, shed = s.pop_batch(("m", "tiny"), t)    # t > deadline: shed
+    assert not batch and [r.request.id for r in shed] == [1]
+
+
+def test_scheduler_expire_does_not_early_dispatch_survivors():
+    s = BatchingScheduler(BatchPolicy(max_batch=8, max_wait=10.0))
+    s.offer(req(0, deadline=0.5), 0.0)
+    s.offer(req(1, deadline=9.0), 0.0)
+    shed = s.expire(1.0)
+    assert [r.request.id for r in shed] == [0]
+    assert s.depth() == 1                          # 1 still queued, not popped
+    assert s.ready_group(1.0) is None              # and not dispatch-due
 
 
 def test_scheduler_edf_across_groups():
@@ -278,6 +358,65 @@ def test_service_sheds_under_overload():
         "queue-full", "displaced", "deadline-passed"}
     # Every shed is typed and timestamped.
     assert all(r.reason in RejectReason for r in res.rejections)
+
+
+def test_service_deadline_sheds_stamped_at_expiry():
+    """Regression: a request expiring during an idle gap is shed at (just
+    past) its own deadline, not at the next unrelated dispatch.
+
+    With a batch that never fills and a long max_wait, every request sits
+    queued past its deadline; each must be shed at exactly
+    ``nextafter(deadline)`` — the expiry trigger — with
+    ``time > deadline`` strictly."""
+    wl = generate_workload(WorkloadSpec(
+        seed=7, rate=50000.0, n_requests=10, deadline=0.001))
+    svc = SolveService(CFG, BatchPolicy(max_batch=64, max_wait=0.05),
+                       keep_solutions=False)
+    res = svc.run(wl)
+    assert res.slo.n_completed == 0
+    assert res.slo.shed_by_reason == {"deadline-passed": 10}
+    for r in res.rejections:
+        assert r.reason is RejectReason.DEADLINE_PASSED
+        assert r.time > r.request.deadline
+        assert r.time == math.nextafter(r.request.deadline, math.inf)
+
+
+def test_queue_depth_integral_time_weighted():
+    from repro.serve.service import _QueueDepthIntegral
+
+    q = _QueueDepthIntegral()
+    q.record(1.0, 2)      # depth 0 over [0, 1)
+    q.record(1.0, 3)      # same instant: last write wins, no area
+    q.record(3.0, 0)      # depth 3 over [1, 3)
+    q.record(4.0, 0)      # depth 0 over [3, 4)
+    assert q.area == pytest.approx(6.0)
+    assert q.mean() == pytest.approx(1.5)
+    assert _QueueDepthIntegral().mean() == 0.0
+
+
+def test_slo_queue_depth_mean_is_time_weighted():
+    """Regression: the SLO queue-depth mean integrates over virtual time.
+
+    One request waits exactly ``max_wait`` and then solves: depth is 1
+    for ``max_wait`` seconds out of the makespan, so the time-weighted
+    mean is ``max_wait / makespan`` — not the per-loop-iteration sample
+    average the report used before."""
+    wl = generate_workload(WorkloadSpec(
+        seed=3, rate=1000.0, n_requests=1, deadline=10.0))
+    svc = SolveService(CFG, BatchPolicy(max_batch=8, max_wait=0.5),
+                       keep_solutions=False)
+    res = svc.run(wl)
+    assert res.slo.n_completed == 1
+    assert res.slo.queue_depth_max == 1
+    assert res.slo.queue_depth_mean == pytest.approx(0.5 / res.slo.makespan)
+
+
+def test_service_invariants_hook(small_workload):
+    """The runtime invariant layer accepts a clean service run."""
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+                       invariants=True)
+    res = svc.run(small_workload)
+    assert res.slo.n_completed == len(small_workload)
 
 
 def test_service_profile_aggregates_comm(small_workload):

@@ -230,3 +230,52 @@ def test_gemm_op_positive_time():
 
     res = run(1, fn)
     assert res.time_by(category="fp")[0] > 0
+
+
+def test_unconsumed_messages_surfaced():
+    """Regression: a message nobody receives must not vanish silently.
+
+    A rank that exits without draining its mailbox used to leave the
+    delivered-but-unconsumed message invisible in the result; it now shows
+    up on ``SimResult.unconsumed_msgs`` so the invariant layer (and tests)
+    can flag the protocol leak."""
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, np.zeros(4), tag="orphan")
+        else:
+            yield ctx.compute(1.0)   # exits cleanly, never recvs
+
+    res = run(2, fn)
+    assert len(res.unconsumed_msgs) == 1
+    m = res.unconsumed_msgs[0]
+    assert (m.dst, m.src, m.tag) == (1, 0, "orphan")
+    assert m.nbytes == 32
+
+
+def test_clean_run_has_no_unconsumed_messages():
+    def fn(ctx):
+        other = 1 - ctx.rank
+        yield ctx.send(other, np.zeros(2), tag=0)
+        yield ctx.recv(src=other, tag=0)
+
+    res = run(2, fn)
+    assert res.unconsumed_msgs == []
+
+
+def test_simulator_invariants_flag_mailbox_leak():
+    from repro.check import InvariantViolation
+
+    def leaky(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, np.zeros(4), tag="orphan")
+        else:
+            yield ctx.compute(1.0)
+
+    with pytest.raises(InvariantViolation, match="unconsumed"):
+        Simulator(2, MACHINE, invariants=True).run(leaky)
+
+    def clean(ctx):
+        yield ctx.compute(1.0, category="fp")
+
+    res = Simulator(1, MACHINE, invariants=True).run(clean)
+    assert res.clocks[0] == pytest.approx(1.0)
