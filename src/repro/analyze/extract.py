@@ -1,0 +1,378 @@
+"""Zero-cost symbolic schedule extraction.
+
+Runs real rank programs — the same generator-coroutine protocol the
+simulator drives (:mod:`repro.comm.simulator`) — under an *untimed* causal
+executor and records every send/recv as a
+:class:`~repro.analyze.schedule.Schedule` event.  No cost model is
+consulted: compute ops are discarded, the stub machine prices every
+operation at zero seconds, and delivery follows causal send order instead
+of arrival times.  Payloads are real (zero-filled) arrays so the kernels'
+shape logic runs unchanged, but only ``(tag, nbytes)`` summaries are kept.
+
+The point: anything proved about the extracted schedule (deadlock
+freedom, match determinism, sync counts — see
+:mod:`repro.analyze.verify`) holds for the *communication structure*, not
+for one timed execution.  The extractor resolves wildcard receives in one
+particular causal order; the verifier's race detector is what certifies
+that every other causal order matches the same send sets.
+
+Two send semantics are supported:
+
+- eager (default): sends buffer immediately, matching the runtime's
+  ``MPI_Isend`` model — a send can never block.
+- ``rendezvous=True``: sends block until a matching receive is posted
+  (synchronous ``MPI_Ssend``).  A schedule that is deadlock-free under
+  rendezvous is safe for *any* MPI eager threshold; this is how the
+  classic send/send deadlock is surfaced statically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.comm.simulator import (
+    ANY,
+    RankCtx,
+    _ComputeOp,
+    _RecvOp,
+    _SendOp,
+)
+from repro.analyze.schedule import RecvEvent, Schedule, SendEvent
+
+
+class ExtractionLimit(RuntimeError):
+    """Extraction exceeded ``max_events`` (runaway program, not deadlock)."""
+
+
+class _ZeroCPU:
+    def op_time(self, flops: float, nbytes: float) -> float:
+        return 0.0
+
+
+class _ZeroNet:
+    send_overhead = 0.0
+    recv_overhead = 0.0
+    alpha_intra = 0.0
+    alpha_inter = 0.0
+
+    def latency(self, nbytes: float, same_node: bool) -> float:
+        return 0.0
+
+
+class _SymbolicMachine:
+    """Machine stub pricing every operation at zero virtual seconds."""
+
+    name = "symbolic"
+    cpu = _ZeroCPU()
+    net = _ZeroNet()
+    gpu = None
+
+    def same_node(self, a: int, b: int) -> bool:
+        return True
+
+
+SYMBOLIC_MACHINE = _SymbolicMachine()
+
+_READY, _RECV, _SENDB, _DONE = 0, 1, 2, 3
+
+
+def _op_matches(op: _RecvOp, sev: SendEvent) -> bool:
+    """The recv op's spec against a recorded send (simulator semantics)."""
+    if op.src is not ANY and int(op.src) != sev.rank:
+        return False
+    if op.tag is ANY:
+        return True
+    if callable(op.tag):
+        return bool(op.tag(sev.tag))
+    return sev.tag == op.tag
+
+
+def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
+                     rendezvous: bool = False,
+                     max_events: int = 5_000_000,
+                     name: str = "") -> Schedule:
+    """Extract the communication schedule of ``rank_fn`` over ``nranks``.
+
+    ``rank_fn`` is exactly what ``Simulator.run`` accepts.  The executor
+    drives every runnable rank round-robin; when all ranks are blocked it
+    delivers the earliest-sent matching message (eager mode) or completes
+    the earliest-blocked matching rendezvous pair.  A state where no rank
+    can move does NOT raise — it is recorded on the returned schedule
+    (``complete=False`` plus the blocked positions), so the verifier can
+    produce a deadlock witness instead of a stack trace.
+    """
+    n = nranks
+    ctxs = [RankCtx(r, n, SYMBOLIC_MACHINE) for r in range(n)]
+    gens: list = []
+    for r in range(n):
+        g = rank_fn(ctxs[r])
+        gens.append(g if hasattr(g, "send") else iter(()))
+
+    events: list[list[SendEvent | RecvEvent]] = [[] for _ in range(n)]
+    # Undelivered eager messages per destination, in global send order.
+    mail: list[list[tuple[SendEvent, object]]] = [[] for _ in range(n)]
+    state = [_READY] * n
+    pend: list = [None] * n   # (_RecvOp, RecvEvent) or (_SendOp, SendEvent, payload)
+    started = [False] * n
+    gstep = 0
+    nops = 0
+
+    def run_rank(r: int, value) -> None:
+        """Advance rank r until it blocks or finishes (mirrors the
+        simulator's ``advance``, minus clocks and faults)."""
+        nonlocal gstep, nops
+        ctx = ctxs[r]
+        gen = gens[r]
+        while True:
+            nops += 1
+            if nops > max_events:
+                raise ExtractionLimit(
+                    f"schedule extraction exceeded {max_events} operations")
+            try:
+                if not started[r]:
+                    started[r] = True
+                    op = next(gen)
+                else:
+                    op = gen.send(value)
+            except StopIteration:
+                state[r] = _DONE
+                pend[r] = None
+                return
+            value = None
+            if isinstance(op, _SendOp):
+                ev = SendEvent(r, len(events[r]), gstep, op.dst, op.tag,
+                               op.nbytes, ctx.phase, ctx.sync, op.category)
+                gstep += 1
+                events[r].append(ev)
+                if rendezvous:
+                    state[r] = _SENDB
+                    pend[r] = (op, ev, op.payload)
+                    return
+                mail[op.dst].append((ev, op.payload))
+            elif isinstance(op, _RecvOp):
+                ev = RecvEvent(r, len(events[r]), gstep, op.src, op.tag,
+                               ctx.phase, ctx.sync, op.category)
+                gstep += 1
+                events[r].append(ev)
+                state[r] = _RECV
+                pend[r] = (op, ev)
+                return
+            elif isinstance(op, _ComputeOp):
+                pass  # zero-cost: compute never appears in the schedule
+            else:
+                raise TypeError(
+                    f"rank {r} yielded {op!r}; yield ctx.send/recv/compute")
+
+    while True:
+        progressed = False
+        for r in range(n):
+            if state[r] == _READY:
+                run_rank(r, None)
+                progressed = True
+        if progressed:
+            continue
+        # Everyone is blocked or done: deliver messages / complete pairs.
+        delivered = False
+        for r in range(n):
+            if state[r] != _RECV:
+                continue
+            op, ev = pend[r]
+            best = None
+            for i, (sev, _payload) in enumerate(mail[r]):
+                if _op_matches(op, sev):
+                    best = i   # FIFO == earliest global send order
+                    break
+            if best is not None:
+                sev, payload = mail[r].pop(best)
+                ev.match = (sev.rank, sev.pos)
+                ev.matched_tag = sev.tag
+                state[r] = _READY
+                run_rank(r, (sev.rank, sev.tag, payload))
+                delivered = True
+                continue
+            if rendezvous:
+                cands = [(pend[s][1].gidx, s) for s in range(n)
+                         if state[s] == _SENDB and pend[s][0].dst == r
+                         and _op_matches(op, pend[s][1])]
+                if cands:
+                    _, s = min(cands)
+                    sop, sev, payload = pend[s]
+                    ev.match = (sev.rank, sev.pos)
+                    ev.matched_tag = sev.tag
+                    state[s] = _READY
+                    pend[s] = None
+                    state[r] = _READY
+                    run_rank(r, (sev.rank, sev.tag, payload))
+                    run_rank(s, None)
+                    delivered = True
+        if not delivered:
+            break
+
+    blocked_recvs = [(r, pend[r][1].pos) for r in range(n)
+                     if state[r] == _RECV]
+    blocked_sends = [(r, pend[r][1].pos) for r in range(n)
+                     if state[r] == _SENDB]
+    return Schedule(nranks=n, events=events,
+                    complete=all(s == _DONE for s in state),
+                    blocked_recvs=blocked_recvs,
+                    blocked_sends=blocked_sends,
+                    rendezvous=rendezvous, name=name)
+
+
+# -- solver targets ----------------------------------------------------------
+
+
+def solver_schedule(solver, algorithm: str = "new3d", nrhs: int = 1,
+                    tree_kind: str | None = None,
+                    allreduce_impl: str = "sparse",
+                    baseline_level_sync: bool = True,
+                    rendezvous: bool = False) -> Schedule:
+    """Extract the CPU solve schedule of a factored
+    :class:`~repro.core.solver.SpTRSVSolver` — same algorithm selection as
+    ``SpTRSVSolver.solve``, zero right-hand side, no cost model."""
+    from repro.core.sptrsv3d_baseline import baseline3d_rank_fn
+    from repro.core.sptrsv3d_new import new3d_rank_fn
+
+    b_perm = np.zeros((solver.n, nrhs))
+    if algorithm == "2d":
+        if solver.grid.pz != 1:
+            raise ValueError("algorithm='2d' requires pz == 1")
+        impl = "new3d"
+    elif algorithm in ("new3d", "baseline3d"):
+        impl = algorithm
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    if impl == "new3d":
+        setup = solver._new3d_setup(tree_kind or "auto")
+        rank_fn = new3d_rank_fn(setup, b_perm, nrhs,
+                                allreduce_impl=allreduce_impl)
+    else:
+        setup = solver._baseline_setup(tree_kind or "flat")
+        rank_fn = baseline3d_rank_fn(setup, b_perm, nrhs,
+                                     level_sync=baseline_level_sync)
+    grid = solver.grid
+    label = (f"{algorithm}[{allreduce_impl}]" if impl == "new3d"
+             else algorithm)
+    return extract_schedule(
+        grid.nranks, rank_fn, rendezvous=rendezvous,
+        name=f"{label} px={grid.px} py={grid.py} pz={grid.pz} nrhs={nrhs}")
+
+
+def allreduce_schedule(solver, nrhs: int = 1, impl: str = "sparse",
+                       rendezvous: bool = False) -> Schedule:
+    """Extract the standalone inter-grid allreduce schedule (Algorithm 2):
+    every rank contributes zero-filled subvectors for its diagonally-owned
+    supernodes, exactly as the solve's Z phase does."""
+    from repro.core.sparse_allreduce import naive_allreduce, sparse_allreduce
+
+    setup = solver._new3d_setup("auto")
+    grid, part = solver.grid, setup.part
+    fn = {"sparse": sparse_allreduce, "naive": naive_allreduce}[impl]
+
+    def rank_fn(ctx: RankCtx):
+        _, _, z = grid.coords_of(ctx.rank)
+        cols = setup.plans_L[z].plan_of(ctx.rank).solve_cols
+        values = {K: np.zeros((part.size(K), nrhs)) for K in cols}
+        ctx.set_phase("z")
+        yield from fn(ctx, grid, setup.layout, part, values, category="z")
+
+    return extract_schedule(
+        grid.nranks, rank_fn, rendezvous=rendezvous,
+        name=f"{impl}_allreduce px={grid.px} py={grid.py} pz={grid.pz}")
+
+
+def _plan_bcast_schedule(plan2d, nrhs: int, u_solve: bool,
+                         name: str) -> Schedule:
+    """Derive the one-sided GPU dataflow schedule of one 2D solve statically.
+
+    The GPU engine (:mod:`repro.gpu.dataflow`) is event-driven, not a
+    generator program, but its communication is fully determined by the
+    plan: each solved column's value flows down its broadcast tree, parent
+    to children, and nothing else crosses GPUs (``Py == 1``).  Columns are
+    linearized in topological order (ascending for L, descending for U —
+    the same order the single-kernel admission uses) and each tree is
+    walked root-down, so every recorded order is consistent with the true
+    dataflow dependencies.  Receives carry their statically-known source
+    (the tree parent) — one-sided puts have no wildcard to race on.
+    """
+    grid = plan2d.grid
+    if grid.py != 1:
+        raise ValueError("GPU 2D solves require Py == 1 (see repro.gpu)")
+    ranks = grid.grid_ranks(plan2d.z)
+    size = plan2d.sn_size
+    trees: dict[int, object] = {}
+    for r in ranks:
+        for J, t in plan2d.plan_of(r).bcast_trees.items():
+            trees.setdefault(J, t)
+
+    nranks = grid.nranks
+    events: list[list[SendEvent | RecvEvent]] = [[] for _ in range(nranks)]
+    gstep = 0
+    for J in sorted(trees, reverse=u_solve):
+        tree = trees[J]
+        nbytes = int(size(J)) * nrhs * 8
+        frontier = [tree.root]
+        while frontier:
+            m = frontier.pop(0)
+            if m != tree.root:
+                parent = tree.parent(m)
+                # The parent's send to m was recorded when m's parent was
+                # visited; it is the last send to m in the parent's list.
+                spos = next(e.pos for e in reversed(events[parent])
+                            if e.kind == "send" and e.dst == m
+                            and e.tag == ("gbc", J))
+                ev = RecvEvent(m, len(events[m]), gstep, parent, ("gbc", J),
+                               phase="u" if u_solve else "l", category="xy",
+                               match=(parent, spos),
+                               matched_tag=("gbc", J))
+                gstep += 1
+                events[m].append(ev)
+            for c in tree.children(m):
+                sev = SendEvent(m, len(events[m]), gstep, c, ("gbc", J),
+                                nbytes, phase="u" if u_solve else "l",
+                                category="xy")
+                gstep += 1
+                events[m].append(sev)
+                frontier.append(c)
+    return Schedule(nranks=nranks, events=events, complete=True, name=name)
+
+
+def gpu_schedules(solver, nrhs: int = 1) -> dict[str, Schedule]:
+    """Schedules of the three GPU solve phases (Algorithms 4-5 + 2).
+
+    Phases 1 and 3 (per-grid one-sided broadcasts) are derived statically
+    from the binary-tree plans; phase 2 (the CPU-side sparse allreduce) is
+    extracted by running it under the symbolic harness — the same split
+    :func:`repro.gpu.solver3d.solve_new3d_gpu` executes.
+    """
+    from repro.core.sparse_allreduce import sparse_allreduce
+
+    setup = solver._new3d_setup("binary")
+    grid, part = solver.grid, setup.part
+    if grid.grid_size > 1 and grid.py != 1:
+        raise ValueError("multi-GPU grids require Py == 1 (see repro.gpu)")
+    out: dict[str, Schedule] = {}
+    for z in range(grid.pz):
+        out[f"gpu-l-grid{z}"] = _plan_bcast_schedule(
+            setup.plans_L[z], nrhs, u_solve=False,
+            name=f"gpu-l grid {z} of px={grid.px} pz={grid.pz}")
+
+    def rank_fn(ctx: RankCtx):
+        _, _, z = grid.coords_of(ctx.rank)
+        cols = setup.plans_L[z].plan_of(ctx.rank).solve_cols
+        values = {K: np.zeros((part.size(K), nrhs)) for K in cols}
+        ctx.set_phase("z")
+        yield from sparse_allreduce(ctx, grid, setup.layout, part, values,
+                                    category="z")
+
+    out["gpu-allreduce"] = extract_schedule(
+        grid.nranks, rank_fn,
+        name=f"gpu-allreduce px={grid.px} py={grid.py} pz={grid.pz}")
+    for z in range(grid.pz):
+        out[f"gpu-u-grid{z}"] = _plan_bcast_schedule(
+            setup.plans_U[z], nrhs, u_solve=True,
+            name=f"gpu-u grid {z} of px={grid.px} pz={grid.pz}")
+    return out

@@ -1,0 +1,281 @@
+"""Custom AST lint over the runtime source (``repro lint``).
+
+Five rules, each catching a pattern that has already bitten this codebase
+(see ``docs/ANALYSIS.md`` for the catalog with examples):
+
+- **RPR001** ``untagged-wildcard-recv`` — ``recv(src=ANY)`` with no tag
+  filter.  A bare double wildcard matches *anything*, so overlapping
+  protocol phases silently steal each other's messages; the kernels scope
+  every ANY-source receive with a ``tag_salt`` predicate for exactly this
+  reason.
+- **RPR002** ``unlabeled-collective`` — ``bcast``/``reduce``/
+  ``allreduce``/``barrier`` called without ``sync=``.  Unlabeled
+  collectives are invisible to the sync-point accounting that pins the
+  paper's 1 vs ``ceil(log2 Pz)`` claim.
+- **RPR003** ``noncanonical-accumulation`` — raw ``@`` / ``.dot`` in the
+  RHS-panel kernel modules, bypassing ``util.matmul_columns``.  Wide
+  GEMMs tile their summation differently than column GEMMs, which breaks
+  the per-column bit-reproducibility contract the serving tier batches
+  under.
+- **RPR004** ``wallclock-or-unseeded-rng`` — ``time.time``-family calls,
+  ``random``/unseeded ``numpy.random`` draws.  Everything in the runtime
+  must be deterministic and virtual-clocked; wall clocks and ambient RNGs
+  make replays diverge.
+- **RPR005** ``mutable-default-arg`` — list/dict/set literals (or
+  constructor calls) as parameter defaults; the shared-instance trap.
+
+Suppression: a ``# repro: allow[RPR003]`` comment on the flagged line or
+the line directly above silences that rule there (comma-separate several
+rules; ``allow[*]`` silences all).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+
+#: rule id -> (slug, fix hint)
+RULES: dict[str, tuple[str, str]] = {
+    "RPR001": (
+        "untagged-wildcard-recv",
+        "pass an explicit tag or a tag predicate (e.g. the kernel's "
+        "tag_salt closure) so overlapping protocol phases cannot steal "
+        "each other's messages",
+    ),
+    "RPR002": (
+        "unlabeled-collective",
+        "pass sync=<label> so profiled runs attribute the collective to a "
+        "named synchronization point (the paper's sync-count accounting)",
+    ),
+    "RPR003": (
+        "noncanonical-accumulation",
+        "use repro.util.matmul_columns (or buffer contributions and sum "
+        "them in canonical order) so multi-RHS columns stay bit-identical "
+        "to single-RHS solves",
+    ),
+    "RPR004": (
+        "wallclock-or-unseeded-rng",
+        "deterministic paths must not read wall clocks or ambient RNGs; "
+        "use the simulator's virtual clock and thread a seeded "
+        "numpy.random.Generator instead",
+    ),
+    "RPR005": (
+        "mutable-default-arg",
+        "default to None and initialize inside the function body; a "
+        "mutable default is one shared instance across all calls",
+    ),
+}
+
+#: Modules under the RPR003 contract: RHS panels flow through these, so any
+#: matmul here must preserve per-column bit-reproducibility.
+KERNEL_MODULE_SUFFIXES = (
+    "core/sptrsv2d.py",
+    "core/sparse_allreduce.py",
+    "core/sptrsv3d_new.py",
+    "core/sptrsv3d_baseline.py",
+    "gpu/dataflow.py",
+    "gpu/solver3d.py",
+    "numfact/lu.py",
+)
+
+_COLLECTIVES = {"bcast", "reduce", "allreduce", "barrier"}
+#: Attribute bases whose methods merely share a collective's name
+#: (functools.reduce, numpy ufunc .reduce, ...).
+_NON_COLLECTIVE_BASES = {"np", "numpy", "functools", "operator"}
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: location, rule, what, and how to fix it."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def slug(self) -> str:
+        return RULES[self.rule][0]
+
+    @property
+    def hint(self) -> str:
+        return RULES[self.rule][1]
+
+    def describe(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.slug}] {self.message}\n    fix: {self.hint}")
+
+
+def _allowed_rules(line_text: str) -> set[str]:
+    out: set[str] = set()
+    for m in _ALLOW_RE.finditer(line_text):
+        out.update(p.strip() for p in m.group(1).split(","))
+    return out
+
+
+def _is_suppressed(finding: Finding, lines: list[str]) -> bool:
+    for ln in (finding.line, finding.line - 1):
+        if 1 <= ln <= len(lines):
+            allowed = _allowed_rules(lines[ln - 1])
+            if "*" in allowed or finding.rule in allowed:
+                return True
+    return False
+
+
+def _name_of(node: ast.AST) -> str | None:
+    """Trailing identifier of a Name/Attribute chain (``a.b.c`` -> "c")."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """Leading identifier of a Name/Attribute chain (``a.b.c`` -> "a")."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_any(node: ast.AST | None) -> bool:
+    return node is not None and _name_of(node) == "ANY"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, kernel_module: bool):
+        self.path = path
+        self.kernel_module = kernel_module
+        self.findings: list[Finding] = []
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno, node.col_offset,
+                                     rule, message))
+
+    # -- RPR001 / RPR002 / RPR004: call-site rules -------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _name_of(node.func)
+        kwargs = {kw.arg for kw in node.keywords if kw.arg is not None}
+
+        if name == "recv":
+            src = node.args[0] if node.args else next(
+                (kw.value for kw in node.keywords if kw.arg == "src"), None)
+            tag = (node.args[1] if len(node.args) > 1 else next(
+                (kw.value for kw in node.keywords if kw.arg == "tag"), None))
+            src_wild = src is None or _is_any(src)
+            tag_wild = tag is None or _is_any(tag)
+            if src_wild and tag_wild:
+                self._add(node, "RPR001",
+                          "wildcard recv without a tag filter: matches any "
+                          "message from any rank")
+
+        if (name in _COLLECTIVES and "sync" not in kwargs
+                and not (isinstance(node.func, ast.Attribute)
+                         and _base_name(node.func) in _NON_COLLECTIVE_BASES)):
+            self._add(node, "RPR002",
+                      f"collective {name}() called without a sync= label")
+
+        self._check_rng(node, name)
+        if self.kernel_module and name == "dot":
+            self._add(node, "RPR003",
+                      ".dot() in a kernel module bypasses the canonical "
+                      "per-column accumulation")
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, name: str | None) -> None:
+        func = node.func
+        base = _base_name(func) if isinstance(func, ast.Attribute) else None
+        if base == "time" and name in {"time", "time_ns", "perf_counter",
+                                       "perf_counter_ns", "monotonic",
+                                       "monotonic_ns"}:
+            self._add(node, "RPR004", f"wall-clock read time.{name}()")
+        elif base == "random":
+            self._add(node, "RPR004",
+                      f"ambient RNG draw random.{name}()")
+        elif name in {"now", "utcnow"} and base in {"datetime", "dt"}:
+            self._add(node, "RPR004", f"wall-clock read {base}.{name}()")
+        elif (base in {"np", "numpy"} and isinstance(func, ast.Attribute)
+              and isinstance(func.value, ast.Attribute)
+              and func.value.attr == "random"):
+            if name == "default_rng":
+                if not node.args and not node.keywords:
+                    self._add(node, "RPR004",
+                              "unseeded numpy default_rng() draws from "
+                              "OS entropy")
+            else:
+                self._add(node, "RPR004",
+                          f"ambient numpy RNG draw np.random.{name}()")
+
+    # -- RPR003: raw matmul in kernel modules ------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self.kernel_module and isinstance(node.op, ast.MatMult):
+            self._add(node, "RPR003",
+                      "raw @ matmul in a kernel module bypasses the "
+                      "canonical per-column accumulation")
+        self.generic_visit(node)
+
+    # -- RPR005: mutable defaults ------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for d in defaults:
+            mutable = isinstance(d, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                     ast.DictComp, ast.SetComp))
+            if (isinstance(d, ast.Call)
+                    and _name_of(d.func) in {"list", "dict", "set"}):
+                mutable = True
+            if mutable:
+                self._add(d, "RPR005",
+                          f"mutable default argument in {node.name}()")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    norm = path.replace(os.sep, "/")
+    kernel = any(norm.endswith(sfx) for sfx in KERNEL_MODULE_SUFFIXES)
+    tree = ast.parse(source, filename=path)
+    v = _Visitor(path, kernel)
+    v.visit(tree)
+    lines = source.splitlines()
+    return sorted((f for f in v.findings if not _is_suppressed(f, lines)),
+                  key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path)
+
+
+def run_lint(paths: list[str]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    files: list[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs.sort()
+                files += [os.path.join(root, n) for n in sorted(names)
+                          if n.endswith(".py")]
+        elif p.endswith(".py"):
+            files.append(p)
+        else:
+            raise ValueError(f"not a Python file or directory: {p!r}")
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    return findings

@@ -1,0 +1,168 @@
+"""Static model of a communication schedule.
+
+A :class:`Schedule` is the per-rank ordered list of communication events a
+program performed (or would perform): each rank's list is its program
+order, and matched receives point back at the send that satisfied them.
+Payloads are never stored — only ``(tag, nbytes)`` summaries — so a
+schedule is a pure communication skeleton the verifier can reason about
+without the cost model or the numerics.
+
+Receive *specs* keep the runtime's matching semantics
+(:meth:`repro.comm.simulator.RankCtx.recv`): ``src`` is a rank or ``ANY``,
+``tag`` is ``ANY``, an exact value, or a predicate callable.  Specs with a
+predicate tag are grouped by callable identity — each kernel instance's
+``tag_salt`` closure is its own group, which is exactly the scoping the
+salt exists to provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.comm.simulator import ANY
+
+
+@dataclass
+class SendEvent:
+    """One send: rank ``rank`` sent ``nbytes`` to ``dst`` under ``tag``."""
+
+    rank: int
+    pos: int           # index in the rank's event list (program order)
+    gidx: int          # global extraction-order index (a valid interleaving)
+    dst: int
+    tag: Hashable
+    nbytes: int
+    phase: str = ""
+    sync: str = ""
+    category: str = "comm"
+
+    kind = "send"
+
+    def describe(self) -> str:
+        return (f"rank {self.rank}[{self.pos}]: send(dst={self.dst}, "
+                f"tag={self.tag!r})")
+
+
+@dataclass
+class RecvEvent:
+    """One receive: the posted spec plus (when matched) its matching send."""
+
+    rank: int
+    pos: int
+    gidx: int
+    src_spec: Any      # a rank index or ANY
+    tag_spec: Any      # ANY, an exact value, or a predicate callable
+    phase: str = ""
+    sync: str = ""
+    category: str = "comm"
+    match: tuple[int, int] | None = None   # (src rank, send pos) once matched
+    matched_tag: Hashable | None = None
+
+    kind = "recv"
+
+    @property
+    def wildcard(self) -> bool:
+        """True when the source is not statically known."""
+        return self.src_spec is ANY
+
+    def describe(self) -> str:
+        return f"rank {self.rank}[{self.pos}]: recv({describe_spec(self)})"
+
+
+def tag_spec_key(tag_spec: Any) -> tuple:
+    """Hashable grouping key for a recv tag spec (predicates by identity)."""
+    if tag_spec is ANY:
+        return ("any",)
+    if callable(tag_spec):
+        return ("pred", id(tag_spec))
+    return ("val", tag_spec)
+
+
+def spec_key(ev: RecvEvent) -> tuple:
+    """Grouping key for a recv spec: same key == same (src, tag) filter."""
+    src = ("any",) if ev.src_spec is ANY else ("src", int(ev.src_spec))
+    return (src, tag_spec_key(ev.tag_spec))
+
+
+def describe_spec(ev: RecvEvent) -> str:
+    src = "ANY" if ev.src_spec is ANY else str(ev.src_spec)
+    if ev.tag_spec is ANY:
+        tag = "ANY"
+    elif callable(ev.tag_spec):
+        tag = f"<predicate {getattr(ev.tag_spec, '__name__', 'tag')}>"
+    else:
+        tag = repr(ev.tag_spec)
+    return f"src={src}, tag={tag}"
+
+
+def spec_matches(recv: RecvEvent, send: SendEvent) -> bool:
+    """Would ``send`` satisfy ``recv``'s spec?  Mirrors the simulator's
+    matching rule exactly (source, then ANY/predicate/exact tag)."""
+    if recv.src_spec is not ANY and int(recv.src_spec) != send.rank:
+        return False
+    t = recv.tag_spec
+    if t is ANY:
+        return True
+    if callable(t):
+        return bool(t(send.tag))
+    return send.tag == t
+
+
+@dataclass
+class Schedule:
+    """Per-rank ordered event lists plus extraction outcome flags.
+
+    ``complete`` is ``False`` when extraction stalled (some rank blocked
+    forever); the positions of the stuck operations are then listed in
+    ``blocked_recvs`` / ``blocked_sends`` as ``(rank, pos)`` pairs (the
+    events themselves are still present in ``events``, unmatched).
+    ``rendezvous`` records whether sends were modeled as synchronous
+    (blocking until a matching receive is posted) rather than the
+    runtime's eager buffered default.
+    """
+
+    nranks: int
+    events: list[list[SendEvent | RecvEvent]]
+    complete: bool = True
+    blocked_recvs: list[tuple[int, int]] = field(default_factory=list)
+    blocked_sends: list[tuple[int, int]] = field(default_factory=list)
+    rendezvous: bool = False
+    name: str = ""
+
+    def sends(self) -> list[SendEvent]:
+        return [e for evs in self.events for e in evs if e.kind == "send"]
+
+    def recvs(self) -> list[RecvEvent]:
+        return [e for evs in self.events for e in evs if e.kind == "recv"]
+
+    @property
+    def nevents(self) -> int:
+        return sum(len(evs) for evs in self.events)
+
+    def event_at(self, rank: int, pos: int) -> SendEvent | RecvEvent:
+        return self.events[rank][pos]
+
+    def sync_labels(self) -> list[str]:
+        """Distinct non-empty sync labels that carried traffic, in first-use
+        order.  Mirrors ``MetricsRegistry.nsyncs`` (a sync point only counts
+        when at least one message was sent under its label) — but computed
+        from the schedule alone, with no simulation."""
+        seen: dict[str, None] = {}
+        for e in sorted(self.sends(), key=lambda s: s.gidx):
+            if e.sync:
+                seen.setdefault(e.sync, None)
+        return list(seen)
+
+    @property
+    def nsyncs(self) -> int:
+        return len(self.sync_labels())
+
+    def summary(self) -> str:
+        status = "complete" if self.complete else (
+            f"STALLED ({len(self.blocked_recvs)} blocked recv(s), "
+            f"{len(self.blocked_sends)} blocked send(s))")
+        name = f"{self.name}: " if self.name else ""
+        return (f"{name}{self.nranks} ranks, {len(self.sends())} sends, "
+                f"{len(self.recvs())} recvs, {self.nsyncs} sync point(s) "
+                f"{self.sync_labels()!r}, {status}")

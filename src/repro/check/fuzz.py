@@ -18,6 +18,11 @@ every applicable path of the case and cross-checks them:
 - profiled runs report the paper's headline sync counts mechanically:
   one inter-grid sync point for the proposed algorithm, ``ceil(log2 Pz)``
   for the baseline, zero when ``Pz == 1``;
+- strict-match draws cross-check the dynamic and static ambiguity
+  detectors: a ``strict_match=True`` solve either completes bit-identical
+  to the normal run, or its :class:`AmbiguousRecvError` is corroborated
+  by :mod:`repro.analyze` finding a wildcard recv group with more than
+  one feasible sender;
 - every run passes the :mod:`repro.check.invariants` layer (time /
   message / metrics conservation), and serve cases additionally pass the
   serve-loop and cache conservation checks plus SLO-report replay
@@ -39,8 +44,10 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.analyze import solver_schedule, verify_schedule
 from repro.comm.costmodel import MACHINES
 from repro.comm.faults import FaultPlan
+from repro.comm.simulator import AmbiguousRecvError
 from repro.core.solver import Resilience, SpTRSVSolver
 from repro.matrices import (
     block_tridiagonal,
@@ -100,6 +107,7 @@ class FuzzCase:
     device: str = "cpu"
     machine: str = "cori-haswell"
     nrhs: int = 1
+    strict_match: bool = False
     drop: float = 0.0
     duplicate: float = 0.0
     delay: float = 0.0
@@ -132,6 +140,8 @@ class FuzzCase:
                     f"grid={self.px}x{self.py}x{self.pz}")
         extra = (f" faults(drop={self.drop:g},dup={self.duplicate:g},"
                  f"delay={self.delay:g})" if self.faulted else "")
+        if self.strict_match:
+            extra += " strict"
         return (f"solve[{self.index}] {self.generator}({self.size}) "
                 f"grid={self.px}x{self.py}x{self.pz} ord={self.ordering} "
                 f"sym={self.symbolic_mode} sup={self.max_supernode} "
@@ -222,6 +232,7 @@ def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
         dup = float(rng.choice((0.0, 0.02)))
         delay = float(rng.choice((0.0, 0.05)))
     machine = "cori-haswell"
+    strict = bool(rng.random() < 0.25)
     if device == "gpu":
         py = 1                      # multi-GPU grids require Py == 1
         machine = "perlmutter-gpu"
@@ -229,8 +240,9 @@ def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
     return FuzzCase(index=index, seed=seed, kind="solve", generator=gen,
                     size=size, px=px, py=py, pz=pz, ordering=ordering,
                     symbolic_mode=symbolic, max_supernode=sup, device=device,
-                    machine=machine, nrhs=nrhs, drop=drop, duplicate=dup,
-                    delay=delay, fault_seed=fault_seed)
+                    machine=machine, nrhs=nrhs, strict_match=strict,
+                    drop=drop, duplicate=dup, delay=delay,
+                    fault_seed=fault_seed)
 
 
 def _draw_serve(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
@@ -342,6 +354,29 @@ def _differential_solve(case, res, solver, A, b, algorithm, device,
     _check(res, nsyncs == expect,
            f"{what}: {nsyncs} inter-grid sync points, expected {expect} "
            f"for pz={case.pz}")
+
+    # Strict wildcard matching vs the static analyzer: a strict run either
+    # completes — and set-determinism must make it bit-identical to the
+    # normal run — or raises AmbiguousRecvError, in which case the static
+    # schedule must contain a wildcard recv group with >1 feasible sender
+    # (otherwise one of the two detectors is lying).
+    if case.strict_match and device == "cpu":
+        try:
+            sout = solver.solve(b, algorithm=algorithm, strict_match=True)
+        except AmbiguousRecvError:
+            rep = verify_schedule(solver_schedule(solver,
+                                                  algorithm=algorithm,
+                                                  nrhs=case.nrhs))
+            _check(res, any(g.nfeasible > 1 for g in rep.wildcard_groups)
+                   or not rep.match_deterministic,
+                   f"{what}: strict_match raised AmbiguousRecvError but "
+                   f"the static analyzer sees no ambiguous wildcard group")
+        else:
+            _check(res, bool(np.array_equal(out2.report.sim.clocks,
+                                            sout.report.sim.clocks))
+                   and bool(np.array_equal(out2.x, sout.x)),
+                   f"{what}: strict_match solve completed but is not "
+                   f"bit-identical to the normal solve")
 
     # The serving tier's batching contract: every column of a multi-RHS
     # solve is bit-identical to solving that column alone.

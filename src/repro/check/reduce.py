@@ -28,6 +28,8 @@ def _candidates(case: FuzzCase) -> list[FuzzCase]:
     if case.faulted:
         out.append(replace(case, drop=0.0, duplicate=0.0, delay=0.0))
     if case.kind == "solve":
+        if case.strict_match:
+            out.append(replace(case, strict_match=False))
         if case.device == "gpu":
             out.append(replace(case, device="cpu", machine="cori-haswell"))
         if case.nrhs > 1:

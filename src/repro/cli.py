@@ -289,6 +289,95 @@ def cmd_fuzz(args) -> int:
     return 1
 
 
+def cmd_analyze(args) -> int:
+    """Static schedule verification: extract, then certify or reject."""
+    from repro.analyze import (
+        allreduce_schedule,
+        expected_syncs,
+        gpu_schedules,
+        solver_schedule,
+        verify_schedule,
+    )
+
+    A = _load_matrix(args.matrix, args.scale)
+    machine = _machine(args.machine)
+
+    def check(sched, expect_syncs=None) -> bool:
+        rep = verify_schedule(sched)
+        ok = rep.ok
+        status = "certified" if ok else "REJECTED"
+        extra = ""
+        if expect_syncs is not None:
+            got = rep.nsyncs
+            if got != expect_syncs:
+                ok = False
+                status = "REJECTED"
+            extra = f", syncs {got} (expected {expect_syncs})"
+        print(f"  [{status}] {sched.name or 'schedule'}: "
+              f"{sched.nranks} ranks, {len(sched.sends())} msgs{extra}")
+        if not ok:
+            for line in rep.findings():
+                print(f"      {line}")
+        return ok
+
+    if args.sweep:
+        # Fig.-4-style sweep: the paper's algorithm pair across the Pz axis,
+        # plus the 2D solver, the standalone allreduce, and the GPU dataflow.
+        configs = [(2, 2, pz, alg)
+                   for pz in (1, 2, 4)
+                   for alg in ("new3d", "baseline3d")]
+        configs.append((2, 2, 1, "2d"))
+    else:
+        px, py, pz = _parse_grid(args.grid)
+        configs = [(px, py, pz, args.algorithm)]
+
+    bad = 0
+    for px, py, pz, alg in configs:
+        solver = SpTRSVSolver(A, px, py, pz, machine=machine,
+                              max_supernode=args.max_supernode,
+                              symbolic_mode=args.symbolic)
+        sched = solver_schedule(solver, algorithm=alg, nrhs=args.nrhs)
+        if not check(sched, expect_syncs=expected_syncs(alg, pz)):
+            bad += 1
+    if args.sweep:
+        solver = SpTRSVSolver(A, 2, 2, 4, machine=machine,
+                              max_supernode=args.max_supernode,
+                              symbolic_mode=args.symbolic)
+        if not check(allreduce_schedule(solver, nrhs=args.nrhs),
+                     expect_syncs=1):
+            bad += 1
+        gpu_solver = SpTRSVSolver(A, 2, 1, 2, machine=machine,
+                                  max_supernode=args.max_supernode,
+                                  symbolic_mode=args.symbolic)
+        for sched in gpu_schedules(gpu_solver, nrhs=args.nrhs).values():
+            if not check(sched):
+                bad += 1
+    if bad:
+        print(f"analyze: {bad} schedule(s) rejected")
+        return 1
+    print("analyze: all schedules certified deadlock-free and "
+          "match-deterministic")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """Custom AST lint over the runtime (rules RPR001-RPR005)."""
+    from repro.analyze import run_lint
+
+    try:
+        findings = run_lint(args.paths)
+    except ValueError as e:
+        raise SystemExit(f"error: {e}")
+    for f in findings:
+        print(f.describe())
+    if findings:
+        rules = sorted({f.rule for f in findings})
+        print(f"lint: {len(findings)} finding(s) [{', '.join(rules)}]")
+        return 1
+    print("lint: clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -387,6 +476,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the SLO report as JSON")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "analyze",
+        help="statically verify communication schedules (deadlock freedom, "
+             "match determinism, sync counts)")
+    p.add_argument("--matrix", default="s2D9pt2048",
+                   help="suite matrix name or MatrixMarket file")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "small", "medium"],
+                   help="suite matrix scale (ignored for files)")
+    p.add_argument("--machine", default="cori-haswell",
+                   help=f"one of: {', '.join(sorted(MACHINES))}")
+    p.add_argument("--nrhs", type=int, default=1)
+    p.add_argument("--max-supernode", type=int, default=16)
+    p.add_argument("--symbolic", default="detect",
+                   choices=["detect", "fixed"])
+    p.add_argument("--grid", default="2x2x4", help="PxxPyxPz, e.g. 2x2x4")
+    p.add_argument("--algorithm", default="new3d",
+                   choices=["new3d", "baseline3d", "2d"])
+    p.add_argument("--sweep", action="store_true",
+                   help="verify the standard sweep (both algorithms across "
+                        "Pz, the 2D solver, the standalone allreduce, and "
+                        "the GPU dataflow) instead of one config")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="custom AST lint over the runtime (rules RPR001-RPR005)")
+    p.add_argument("paths", nargs="+",
+                   help="Python files or directories to lint")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "fuzz",

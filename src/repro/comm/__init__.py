@@ -35,8 +35,8 @@ from repro.comm.faults import (
     ReliableTransport,
     StallError,
 )
-from repro.comm.simulator import (ANY, DeadlockError, RankCtx, SimResult,
-                                  Simulator, TraceEvent)
+from repro.comm.simulator import (ANY, AmbiguousRecvError, DeadlockError,
+                                  RankCtx, SimResult, Simulator, TraceEvent)
 from repro.comm.trees import CommTree, binary_tree, flat_tree
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "SimResult",
     "TraceEvent",
     "ANY",
+    "AmbiguousRecvError",
     "DeadlockError",
     "CommFaultError",
     "RecvTimeout",

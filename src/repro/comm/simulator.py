@@ -69,6 +69,29 @@ class DeadlockError(RuntimeError):
     """All live ranks are blocked on receives with no matching messages."""
 
 
+class AmbiguousRecvError(RuntimeError):
+    """Opt-in (``Simulator(strict_match=True)``): a wildcard receive was
+    about to complete while queued messages from two or more distinct
+    senders satisfied its spec, so which one it matches is a scheduling
+    accident.
+
+    This per-delivery check is sound but coarse: the static analyzer
+    (:mod:`repro.analyze`) refines it by proving receive *loops*
+    set-deterministic — every feasible send is matched by some receive of
+    the same loop, so the delivered set (and any canonical-order
+    accumulation over it) is independent of match order.
+    """
+
+    def __init__(self, rank: int, tag: Any, srcs: list[int]):
+        super().__init__(
+            f"ambiguous wildcard recv on rank {rank} (tag spec {tag!r}): "
+            f"queued messages from ranks {srcs} all match; which is "
+            f"delivered first is a scheduling accident")
+        self.rank = rank
+        self.tag = tag
+        self.srcs = srcs
+
+
 @dataclass
 class _Message:
     arrival: float
@@ -406,7 +429,8 @@ class Simulator:
                  reliable: bool | ReliableTransport = False,
                  checksums: bool = False,
                  watchdog_events: int | None = None,
-                 metrics=None, invariants: bool = False):
+                 metrics=None, invariants: bool = False,
+                 strict_match: bool = False):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
@@ -424,6 +448,7 @@ class Simulator:
             self.transport = None
         self.checksums = checksums
         self.watchdog_events = watchdog_events
+        self.strict_match = strict_match
 
     def run(self, rank_fn: Callable[[RankCtx], Iterable]) -> SimResult:
         """Execute ``rank_fn(ctx)`` as a generator on every rank.
@@ -776,9 +801,28 @@ class Simulator:
                 advance(r, None,
                         exc=RecvTimeout(r, spec.src, spec.tag, spec.timeout))
             else:
+                spec = pending_recv[r]
+                if self.strict_match and spec.src is ANY:
+                    srcs: set[int] = set()
+                    for m in mailbox[r]:
+                        if spec.tag is not ANY:
+                            if callable(spec.tag):
+                                if not spec.tag(m.tag):
+                                    continue
+                            elif m.tag != spec.tag:
+                                continue
+                        srcs.add(m.src)
+                    if len(srcs) >= 2:
+                        # The recv is withdrawn without consuming either
+                        # candidate (mirrors the ChecksumError flow).
+                        state[r] = _READY
+                        pending_recv[r] = None
+                        deadline[r] = None
+                        advance(r, None, exc=AmbiguousRecvError(
+                            r, spec.tag, sorted(srcs)))
+                        continue
                 m = mailbox[r].pop(best_msg_idx)
                 heapq.heapify(mailbox[r])
-                spec = pending_recv[r]
                 ctx = ctxs[r]
                 ro = net.recv_overhead
                 t0 = ctx.clock

@@ -59,29 +59,33 @@ class Subcomm:
         return (self.name, op, tag)
 
     def bcast(self, ctx: RankCtx, value: Any, root: int = 0, tag: Any = 0,
-              category: str = "comm"):
+              category: str = "comm", sync: str | None = None):
         """Broadcast from group rank ``root``."""
         return collectives.bcast(ctx, list(self.members),
                                  self.global_of(root), value,
-                                 tag=self._tag("b", tag), category=category)
+                                 tag=self._tag("b", tag), category=category,
+                                 sync=sync)
 
     def reduce(self, ctx: RankCtx, value: np.ndarray, root: int = 0,
-               op: Callable = np.add, tag: Any = 0, category: str = "comm"):
+               op: Callable = np.add, tag: Any = 0, category: str = "comm",
+               sync: str | None = None):
         return collectives.reduce(ctx, list(self.members),
                                   self.global_of(root), value, op=op,
-                                  tag=self._tag("r", tag), category=category)
+                                  tag=self._tag("r", tag), category=category,
+                                  sync=sync)
 
     def allreduce(self, ctx: RankCtx, value: np.ndarray,
                   op: Callable = np.add, tag: Any = 0,
-                  category: str = "comm"):
+                  category: str = "comm", sync: str | None = None):
         return collectives.allreduce(ctx, list(self.members), value, op=op,
                                      tag=self._tag("a", tag),
-                                     category=category)
+                                     category=category, sync=sync)
 
-    def barrier(self, ctx: RankCtx, tag: Any = 0, category: str = "comm"):
+    def barrier(self, ctx: RankCtx, tag: Any = 0, category: str = "comm",
+                sync: str | None = None):
         return collectives.barrier(ctx, list(self.members),
                                    tag=self._tag("bar", tag),
-                                   category=category)
+                                   category=category, sync=sync)
 
     def split(self, color_of: Callable[[int], int]) -> dict[int, "Subcomm"]:
         """MPI_Comm_split: partition members by color into sub-groups."""

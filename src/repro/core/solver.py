@@ -311,7 +311,8 @@ class SpTRSVSolver:
               allreduce_impl: str = "sparse",
               faults: FaultPlan | None = None,
               resilience: Resilience | None = None,
-              profile: bool = False, trace: bool = False) -> SolveOutcome:
+              profile: bool = False, trace: bool = False,
+              strict_match: bool = False) -> SolveOutcome:
         """Solve ``A x = b``; ``b`` may be ``(n,)`` or ``(n, nrhs)``.
 
         ``algorithm``: ``"new3d"`` (proposed; adaptive "auto" trees),
@@ -339,6 +340,14 @@ class SpTRSVSolver:
         either way.  Under ``resilience``, the registry describes the
         distributed attempt that produced the answer (``None`` when the
         sequential reference tier answered).
+
+        ``strict_match=True`` runs the CPU simulator in strict wildcard
+        matching mode: any ANY-source receive that could match queued
+        messages from two or more senders raises
+        :class:`~repro.comm.simulator.AmbiguousRecvError` instead of
+        picking one.  The static analyzer (``repro analyze``) proves the
+        solver kernels' receive loops set-deterministic, so a strict solve
+        that *does* complete is bit-identical to a normal one.
         """
         b2, was1d = as_2d_rhs(b)
         if b2.shape[0] != self.n:
@@ -347,11 +356,19 @@ class SpTRSVSolver:
         b_perm = b2[self.perm]
         machine = machine or self.machine
 
+        if device != "cpu" and strict_match:
+            raise ValueError(
+                "strict_match is a CPU message-passing runtime mode "
+                "(device='cpu')")
         if device != "cpu" and (faults is not None or resilience is not None):
             raise ValueError(
                 "fault injection / resilience are modeled on the CPU "
                 "message-passing runtime only (device='cpu')")
         metrics = MetricsRegistry() if profile else None
+        if resilience is not None and strict_match:
+            raise ValueError(
+                "strict_match is a debugging mode; combining it with "
+                "resilience would mask AmbiguousRecvError as a tier failure")
         if resilience is not None:
             return self._solve_resilient(b2, was1d, algorithm, tree_kind,
                                          machine, baseline_level_sync,
@@ -384,6 +401,8 @@ class SpTRSVSolver:
             sim_kwargs["metrics"] = metrics
         if trace:
             sim_kwargs["trace"] = True
+        if strict_match:
+            sim_kwargs["strict_match"] = True
         x, res = self._solve_cpu(b_perm, nrhs, algorithm, tree_kind,
                                  machine, baseline_level_sync,
                                  allreduce_impl, faults,

@@ -141,11 +141,10 @@ def naive_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
                    for zz in range(node.grid_lo, node.grid_hi)]
         # One rendezvous per tree node — the sync-point count the sparse
         # allreduce collapses to 1.
-        ctx.set_sync(f"node-{node.heap_id}")
         out = yield from allreduce(ctx, members, buf,
                                    tag=("nar", node.heap_id),
-                                   category=category)
-        ctx.set_sync("")
+                                   category=category,
+                                   sync=f"node-{node.heap_id}")
         ofs = 0
         for K in ks:
             w = values[K].shape[0]

@@ -177,7 +177,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
                                + grid.grid_ranks(pair_lo + stride))
                     yield from barrier(ctx, members,
                                        tag=("blbar", k, pair_lo),
-                                       category="z")
+                                       category="z", sync=f"level-{k}")
                 ctx.set_sync("")
         ctx.mark("l_end")
 
@@ -203,7 +203,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
             if level_sync:
                 members = (grid.grid_ranks(partner) + grid.grid_ranks(z))
                 yield from barrier(ctx, members, tag=("bubar", kmax, partner),
-                                   category="z")
+                                   category="z", sync=f"level-{kmax}")
             ctx.set_sync("")
         for k in range(kmax, -1, -1):
             node_sns, anc_sns, _, plan_u = zsteps[k]
@@ -233,7 +233,7 @@ def baseline3d_rank_fn(setup: Baseline3DSetup, b_perm: np.ndarray, nrhs: int,
                 if level_sync:
                     members = (grid.grid_ranks(z) + grid.grid_ranks(peer_z))
                     yield from barrier(ctx, members, tag=("bubar", k - 1, z),
-                                       category="z")
+                                       category="z", sync=f"level-{k - 1}")
                 ctx.set_sync("")
         ctx.mark("u_end")
         return x_all

@@ -1,5 +1,7 @@
 """Tests for repro.check: invariants, the fuzzer plumbing, the reducer."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -179,6 +181,25 @@ def test_run_case_reports_unknown_kind_as_failure():
     result = run_case(FuzzCase(index=0, seed=1, kind="bogus"))
     assert not result.ok
     assert "unknown" in result.mismatches[0]
+
+
+def test_old_corpus_json_without_strict_match_field_loads():
+    """PR 5 added strict_match; pre-existing corpus files must still parse."""
+    case = FuzzCase(index=0, seed=1, kind="solve")
+    doc = json.loads(case.to_json())
+    del doc["strict_match"]
+    again = FuzzCase.from_json(json.dumps(doc))
+    assert again.strict_match is False
+
+
+def test_strict_match_case_runs_clean():
+    """The strict-match draw cross-checks the dynamic detector against the
+    static analyzer: on the real kernels it must complete bit-identically."""
+    case = FuzzCase(index=0, seed=7, kind="solve", generator="poisson2d",
+                    size=10, px=2, py=2, pz=2, strict_match=True)
+    assert "strict" in case.describe()
+    result = run_case(case)
+    assert result.ok, result.summary()
 
 
 # -- the reducer -------------------------------------------------------------

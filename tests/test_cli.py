@@ -103,3 +103,44 @@ def test_error_paths():
     with pytest.raises(SystemExit, match="unknown machine"):
         main(["solve", "--matrix", "ldoor", "--scale", "tiny",
               "--grid", "1x1x1", "--machine", "summit"])
+
+
+def test_analyze_single_config(capsys):
+    rc = main(["analyze", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--grid", "2x1x2", "--algorithm", "new3d",
+               "--max-supernode", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[certified]" in out
+    assert "syncs 1 (expected 1)" in out
+    assert "all schedules certified" in out
+
+
+def test_analyze_sweep(capsys):
+    rc = main(["analyze", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--sweep", "--max-supernode", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "REJECTED" not in out
+    # Both algorithms, the 2D solver, the allreduce, and the GPU phases.
+    assert "baseline3d" in out and "2d[" in out
+    assert "sparse_allreduce" in out and "gpu-allreduce" in out
+
+
+def test_lint_clean_and_dirty(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x=None):\n    return x\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\ndef f(x=[]):\n    return time.time()\n")
+    rc = main(["lint", str(dirty)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    # Nonzero exit and the offending rule ids printed.
+    assert "RPR004" in out and "RPR005" in out
+
+
+def test_lint_src_tree_gate():
+    assert main(["lint", "src"]) == 0

@@ -279,3 +279,88 @@ def test_simulator_invariants_flag_mailbox_leak():
 
     res = Simulator(1, MACHINE, invariants=True).run(clean)
     assert res.clocks[0] == pytest.approx(1.0)
+
+
+# -- strict wildcard matching (AmbiguousRecvError) ---------------------------
+
+
+def test_strict_match_flags_ambiguous_wildcard_recv():
+    from repro.comm import AmbiguousRecvError
+
+    def racy(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(1.0)      # let both sends land first
+            _ = yield ctx.recv(src=ANY, tag="m")
+            _ = yield ctx.recv(src=ANY, tag="m")
+        else:
+            yield ctx.send(0, np.zeros(1), tag="m")
+
+    # Non-strict: the scheduler picks one order and completes.
+    run(3, racy)
+    with pytest.raises(AmbiguousRecvError) as ei:
+        Simulator(3, MACHINE, strict_match=True).run(racy)
+    assert ei.value.rank == 0
+    assert ei.value.srcs == [1, 2]
+
+
+def test_strict_match_respects_tag_filters():
+    """Distinct tags disambiguate: strict mode must not raise."""
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(1.0)
+            for t in ("a", "b"):
+                src, tag, _ = yield ctx.recv(src=ANY, tag=t)
+                assert tag == t
+        else:
+            yield ctx.send(0, np.zeros(1), tag="a" if ctx.rank == 1 else "b")
+
+    res = Simulator(3, MACHINE, strict_match=True).run(fn)
+    assert res.clocks[0] > 0
+
+
+def test_strict_match_exact_src_never_raises():
+    def fn(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(1.0)
+            for s in (1, 2):
+                _ = yield ctx.recv(src=s, tag="m")
+        else:
+            yield ctx.send(0, np.zeros(1), tag="m")
+
+    Simulator(3, MACHINE, strict_match=True).run(fn)
+
+
+def test_strict_match_completion_is_bit_identical():
+    """When strict mode completes, it observed the same execution."""
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            total = np.zeros(1)
+            for t in ("m1", "m2"):
+                _, _, v = yield ctx.recv(src=ANY, tag=t)
+                total += v
+            return float(total[0])
+        yield ctx.compute(0.1 * ctx.rank)
+        yield ctx.send(0, np.full(1, float(ctx.rank)), tag=f"m{ctx.rank}")
+        return None
+
+    plain = run(3, fn)
+    strict = Simulator(3, MACHINE, strict_match=True).run(fn)
+    assert np.array_equal(plain.clocks, strict.clocks)
+    assert plain.results == strict.results
+
+
+def test_solver_strict_match_kwarg():
+    from repro.core.solver import SpTRSVSolver
+    from repro.matrices import poisson2d
+
+    A = poisson2d(10, stencil=9, seed=3)
+    solver = SpTRSVSolver(A, 2, 2, 2)
+    b = np.arange(A.shape[0], dtype=float)
+    out = solver.solve(b, strict_match=True)
+    ref = solver.solve(b)
+    assert np.array_equal(out.x, ref.x)
+    assert np.array_equal(out.report.sim.clocks, ref.report.sim.clocks)
+    with pytest.raises(ValueError, match="strict_match"):
+        solver.solve(b, device="gpu", strict_match=True)
