@@ -1,6 +1,6 @@
 """Custom AST lint over the runtime source (``repro lint``).
 
-Five rules, each catching a pattern that has already bitten this codebase
+Six rules, each catching a pattern that has already bitten this codebase
 (see ``docs/ANALYSIS.md`` for the catalog with examples):
 
 - **RPR001** ``untagged-wildcard-recv`` — ``recv(src=ANY)`` with no tag
@@ -23,6 +23,13 @@ Five rules, each catching a pattern that has already bitten this codebase
   make replays diverge.
 - **RPR005** ``mutable-default-arg`` — list/dict/set literals (or
   constructor calls) as parameter defaults; the shared-instance trap.
+- **RPR006** ``hardcoded-scenario-seed`` — a literal constant seed fed to
+  workload / fault / RNG construction inside a ``scenarios/`` module.
+  The scenario subsystem's replay contract is that the *only* randomness
+  root is ``Scenario.seed``; a literal anywhere downstream silently forks
+  the replay coordinate, so two runs that claim the same scenario+seed
+  can diverge.  (``Scenario(seed=...)`` itself — the declared spec — is
+  exactly where the literal belongs and is not flagged.)
 
 Suppression: a ``# repro: allow[RPR003]`` comment on the flagged line or
 the line directly above silences that rule there (comma-separate several
@@ -66,6 +73,13 @@ RULES: dict[str, tuple[str, str]] = {
         "default to None and initialize inside the function body; a "
         "mutable default is one shared instance across all calls",
     ),
+    "RPR006": (
+        "hardcoded-scenario-seed",
+        "derive every seed in a scenario module from the Scenario's "
+        "declared seed (e.g. np.random.default_rng([scenario.seed, "
+        "phase_index])); a literal here forks the replay coordinate so "
+        "scenario+seed no longer pins the run",
+    ),
 }
 
 #: Modules under the RPR003 contract: RHS panels flow through these, so any
@@ -79,6 +93,19 @@ KERNEL_MODULE_SUFFIXES = (
     "gpu/solver3d.py",
     "numfact/lu.py",
 )
+
+#: Call targets under the RPR006 contract: inside ``scenarios/`` modules,
+#: these constructors/draws must receive seeds derived from
+#: ``Scenario.seed``, never literal constants.  ``Scenario(...)`` itself is
+#: deliberately absent — the declared spec is where the literal lives.
+SEEDED_SCENARIO_CALLS = {
+    "WorkloadSpec",
+    "generate_workload",
+    "FaultPlan",
+    "uniform",
+    "make_rhs",
+    "default_rng",
+}
 
 _COLLECTIVES = {"bcast", "reduce", "allreduce", "barrier"}
 #: Attribute bases whose methods merely share a collective's name
@@ -147,10 +174,25 @@ def _is_any(node: ast.AST | None) -> bool:
     return node is not None and _name_of(node) == "ANY"
 
 
+def _literal_seed(node: ast.AST | None) -> bool:
+    """True when ``node`` is a compile-time numeric seed (incl. -N and
+    list/tuple of such, the ``default_rng([a, b])`` spawn-key form)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _literal_seed(node.operand)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return bool(node.elts) and all(_literal_seed(e) for e in node.elts)
+    return False
+
+
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, kernel_module: bool):
+    def __init__(self, path: str, kernel_module: bool,
+                 scenario_module: bool = False):
         self.path = path
         self.kernel_module = kernel_module
+        self.scenario_module = scenario_module
         self.findings: list[Finding] = []
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
@@ -182,6 +224,15 @@ class _Visitor(ast.NodeVisitor):
                       f"collective {name}() called without a sync= label")
 
         self._check_rng(node, name)
+        if self.scenario_module and name in SEEDED_SCENARIO_CALLS:
+            seed = next((kw.value for kw in node.keywords
+                         if kw.arg == "seed"), None)
+            if seed is None and name == "default_rng" and node.args:
+                seed = node.args[0]
+            if _literal_seed(seed):
+                self._add(seed, "RPR006",
+                          f"literal seed passed to {name}() in a scenario "
+                          "module; only Scenario.seed may root randomness")
         if self.kernel_module and name == "dot":
             self._add(node, "RPR003",
                       ".dot() in a kernel module bypasses the canonical "
@@ -249,8 +300,9 @@ def lint_source(source: str, path: str) -> list[Finding]:
     """Lint one module's source text; returns unsuppressed findings."""
     norm = path.replace(os.sep, "/")
     kernel = any(norm.endswith(sfx) for sfx in KERNEL_MODULE_SUFFIXES)
+    scenario = "scenarios/" in norm or norm.endswith("scenarios.py")
     tree = ast.parse(source, filename=path)
-    v = _Visitor(path, kernel)
+    v = _Visitor(path, kernel, scenario)
     v.visit(tree)
     lines = source.splitlines()
     return sorted((f for f in v.findings if not _is_suppressed(f, lines)),

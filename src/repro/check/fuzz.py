@@ -94,7 +94,7 @@ class FuzzCase:
 
     index: int
     seed: int
-    kind: str = "solve"            # "solve" | "serve"
+    kind: str = "solve"            # "solve" | "serve" | "scenario"
     # -- solve cases --------------------------------------------------------
     generator: str = "poisson2d"
     size: int = 10
@@ -120,6 +120,8 @@ class FuzzCase:
     max_batch: int = 4
     max_wait: float = 1e-3
     queue_bound: int = 256
+    # -- scenario cases -----------------------------------------------------
+    scenario: str = ""             # catalog name; run at this case's seed
 
     @property
     def faulted(self) -> bool:
@@ -132,6 +134,9 @@ class FuzzCase:
                                  duplicate=self.duplicate, delay=self.delay)
 
     def describe(self) -> str:
+        if self.kind == "scenario":
+            return (f"scenario[{self.index}] {self.scenario} "
+                    f"seed={self.seed}")
         if self.kind == "serve":
             return (f"serve[{self.index}] mix={','.join(self.matrices)} "
                     f"n={self.n_requests} rate={self.rate:g} "
@@ -213,8 +218,11 @@ class FuzzReport:
 def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
     """Draw one case; consumes a fixed draw pattern so streams replay."""
     seed = int(rng.integers(0, 2**31 - 1))
-    if rng.random() < 0.2:
+    r = rng.random()
+    if r < 0.2:
         return _draw_serve(rng, index, seed)
+    if r < 0.32:
+        return _draw_scenario(rng, index, seed)
     gen = str(rng.choice(sorted(GENERATORS)))
     size = int(rng.choice(GENERATORS[gen][1]))
     pz = int(rng.choice((1, 2, 4)))
@@ -245,6 +253,21 @@ def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
                     fault_seed=fault_seed)
 
 
+def _draw_scenario(rng: np.random.Generator, index: int,
+                   seed: int) -> FuzzCase:
+    """An adversarial-scenario case: a catalog entry at a fresh seed.
+
+    Random seeds stress the *hard* tier of the degradation contract
+    (typed sheds, zero corrupted answers, no untyped escape) plus
+    replay determinism; soft SLO bounds stay calibrated to the declared
+    catalog seed and are not enforced here.
+    """
+    from repro.scenarios import scenario_names
+
+    name = str(rng.choice(scenario_names()))
+    return FuzzCase(index=index, seed=seed, kind="scenario", scenario=name)
+
+
 def _draw_serve(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
     k = int(rng.integers(1, len(SERVE_MATRICES) + 1))
     mix = tuple(sorted(rng.choice(SERVE_MATRICES, size=k, replace=False)))
@@ -270,6 +293,8 @@ def run_case(case: FuzzCase) -> CaseResult:
     try:
         if case.kind == "serve":
             _run_serve_case(case, res)
+        elif case.kind == "scenario":
+            _run_scenario_case(case, res)
         elif case.kind == "solve":
             _run_solve_case(case, res)
         else:
@@ -460,6 +485,29 @@ def _run_serve_case(case: FuzzCase, res: CaseResult) -> None:
         _check(res, bool(np.array_equal(r1.solutions[i], x.ravel())),
                f"serve: request {i} answer differs from its cold "
                f"single-RHS solve")
+
+
+def _run_scenario_case(case: FuzzCase, res: CaseResult) -> None:
+    """Replay a catalog scenario at this case's (random) seed.
+
+    Checks the hard degradation tier — soft SLO bounds are seed-specific
+    calibrations, hard guarantees are not allowed to depend on the seed —
+    and that the ScenarioReport is bit-identical across two runs.
+    """
+    from repro.scenarios import get_scenario, run_scenario
+
+    sc = get_scenario(case.scenario)
+    r1 = run_scenario(sc, seed=case.seed)
+    res.checks += len(r1.checks)
+    bad = [f"{c['check']}: {c['detail']}"
+           for c in r1.checks if c["hard"] and not c["passed"]]
+    _check(res, r1.hard_ok,
+           f"scenario {case.scenario} @ seed {case.seed}: hard degradation "
+           f"guarantee(s) violated — " + ("; ".join(bad) or r1.error))
+    r2 = run_scenario(sc, seed=case.seed)
+    _check(res, r1.to_json() == r2.to_json(),
+           f"scenario {case.scenario} @ seed {case.seed}: ScenarioReport "
+           f"not bit-identical across replays")
 
 
 # ---------------------------------------------------------------------------

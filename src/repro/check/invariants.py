@@ -259,11 +259,26 @@ def check_serve(workload, result, service=None) -> int:
                     f"t={rej.time!r} <= its deadline "
                     f"{rej.request.deadline!r} (convention: deadline < t "
                     f"sheds)")
+        if rej.reason is RejectReason.POISON_INPUT:
+            checks += 1
+            _ensure(bool(rej.detail), "serve.poison-typed",
+                    f"poison-input shed of request {rej.request.id} carries "
+                    f"no validation slug in Rejection.detail")
     batched_ids = [i for b in result.batches for i in b.request_ids]
     checks += 1
     _ensure(sorted(batched_ids) == sorted(done), "serve.batch-conservation",
             f"batched request ids != completed request ids "
             f"({len(batched_ids)} batched vs {len(done)} completed)")
+    coalesced = sum(len(b.request_ids) - b.size for b in result.batches)
+    checks += 1
+    _ensure(result.deduped == coalesced, "serve.dedup-accounting",
+            f"result.deduped {result.deduped} != sum over batches of "
+            f"(requests - solved columns) {coalesced}")
+    for b in result.batches:
+        checks += 1
+        _ensure(len(b.request_ids) >= b.size >= 1, "serve.dedup-width",
+                f"batch {b.batch_id} solved {b.size} columns for "
+                f"{len(b.request_ids)} requests")
     slo = result.slo
     checks += 1
     _ensure(slo.n_requests == len(all_ids)
@@ -279,6 +294,15 @@ def check_serve(workload, result, service=None) -> int:
             "serve.shed-by-reason",
             f"shed_by_reason sums to {sum(slo.shed_by_reason.values())}, "
             f"n_shed is {slo.n_shed}")
+    checks += 1
+    _ensure(slo.deduped == result.deduped
+            and slo.n_verified == result.n_verified
+            and slo.n_integrity_failures == len(result.integrity_failures),
+            "serve.hardening-counters",
+            f"SLO dedup/verify counters ({slo.deduped}/{slo.n_verified}/"
+            f"{slo.n_integrity_failures}) disagree with the raw records "
+            f"({result.deduped}/{result.n_verified}/"
+            f"{len(result.integrity_failures)})")
     if result.solutions:
         checks += 1
         _ensure(set(result.solutions) == set(done), "serve.solution-coverage",

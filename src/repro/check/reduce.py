@@ -56,6 +56,8 @@ def _candidates(case: FuzzCase) -> list[FuzzCase]:
             out.append(replace(case, pz=case.pz // 2))
         if case.max_batch > 1:
             out.append(replace(case, max_batch=1))
+    # A scenario case is already minimal — (catalog name, seed) is the
+    # whole coordinate; the declarative Scenario is not shrinkable here.
     return out
 
 

@@ -36,6 +36,13 @@ failures are shrunk and written to tests/corpus/)::
 
     python -m repro fuzz --cases 50 --seed 0
     python -m repro fuzz --replay tests/corpus/case-0123456789ab.json
+
+Run the adversarial-scenario suite and check every degradation contract
+(reports are deterministic; CI diffs two runs for bit-equality)::
+
+    python -m repro scenarios --list
+    python -m repro scenarios --run flash-crowd
+    python -m repro scenarios --sweep --json
 """
 
 from __future__ import annotations
@@ -289,6 +296,52 @@ def cmd_fuzz(args) -> int:
     return 1
 
 
+def cmd_scenarios(args) -> int:
+    """Adversarial scenarios: list, run one, or sweep the catalog."""
+    import json as _json
+
+    from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+    if args.list:
+        from repro.scenarios import CATALOG
+
+        for name, sc in CATALOG.items():
+            tags = f" [{', '.join(sc.tags)}]" if sc.tags else ""
+            print(f"{name:<20s} seed={sc.seed:<6d}{tags}\n"
+                  f"    {sc.summary}")
+        return 0
+
+    names = [args.run] if args.run else scenario_names()
+    reports = {n: run_scenario(get_scenario(n), seed=args.seed)
+               for n in names}
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name, rep in reports.items():
+            path = os.path.join(args.out, f"scenario-{name}.json")
+            with open(path, "w") as f:
+                f.write(rep.to_json() + "\n")
+        print(f"wrote {len(reports)} ScenarioReport file(s) to {args.out}")
+    if args.json:
+        print(_json.dumps(
+            {n: _json.loads(r.to_json()) for n, r in reports.items()},
+            indent=1, sort_keys=True))
+    else:
+        for rep in reports.values():
+            print(rep.summary_line())
+            for c in rep.checks:
+                if not c["passed"]:
+                    print(f"    FAIL {c['check']}: {c['detail']}")
+            if rep.error:
+                print(f"    ERROR {rep.error}")
+    failed = [n for n, r in reports.items() if not r.passed]
+    if failed:
+        print(f"scenarios: {len(failed)} contract(s) violated: "
+              f"{', '.join(failed)}")
+        return 1
+    print(f"scenarios: {len(reports)} degradation contract(s) hold")
+    return 0
+
+
 def cmd_analyze(args) -> int:
     """Static schedule verification: extract, then certify or reject."""
     from repro.analyze import (
@@ -361,7 +414,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Custom AST lint over the runtime (rules RPR001-RPR005)."""
+    """Custom AST lint over the runtime (rules RPR001-RPR006)."""
     from repro.analyze import run_lint
 
     try:
@@ -478,6 +531,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
+        "scenarios",
+        help="run seeded adversarial scenarios against the solve service "
+             "and check their degradation contracts")
+    p.add_argument("--list", action="store_true",
+                   help="list the catalog and exit")
+    p.add_argument("--run", default=None, metavar="NAME",
+                   help="run one named scenario instead of the full sweep")
+    p.add_argument("--sweep", action="store_true",
+                   help="run every catalog scenario (the default when "
+                        "neither --list nor --run is given)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the declared seed (soft SLO bounds are "
+                        "calibrated to the declared seed; hard guarantees "
+                        "must hold at any)")
+    p.add_argument("--json", action="store_true",
+                   help="print ScenarioReports as one JSON document")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="also write one ScenarioReport JSON file per "
+                        "scenario into DIR")
+    p.set_defaults(func=cmd_scenarios)
+
+    p = sub.add_parser(
         "analyze",
         help="statically verify communication schedules (deadlock freedom, "
              "match determinism, sync counts)")
@@ -503,7 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="custom AST lint over the runtime (rules RPR001-RPR005)")
+        help="custom AST lint over the runtime (rules RPR001-RPR006)")
     p.add_argument("paths", nargs="+",
                    help="Python files or directories to lint")
     p.set_defaults(func=cmd_lint)

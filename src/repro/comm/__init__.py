@@ -30,6 +30,7 @@ from repro.comm.faults import (
     CommFaultError,
     FaultEvent,
     FaultPlan,
+    FaultSchedule,
     FaultRule,
     RecvTimeout,
     ReliableTransport,
@@ -52,6 +53,7 @@ __all__ = [
     "ChecksumError",
     "StallError",
     "FaultPlan",
+    "FaultSchedule",
     "FaultRule",
     "FaultEvent",
     "ReliableTransport",

@@ -108,9 +108,17 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _plan_for(kind: str, rate: float, seed: int, nranks: int,
-              makespan: float) -> FaultPlan | None:
-    """Fault plan for one sweep cell (None for a lossless cell)."""
+def plan_for(kind: str, rate: float, seed: int, nranks: int,
+             makespan: float) -> FaultPlan | None:
+    """Deterministic fault plan for one chaos cell (None when lossless).
+
+    Public entry point shared by the solver-level sweep below and the
+    service-level adversarial scenarios (``repro.scenarios`` builds its
+    :class:`~repro.comm.faults.FaultSchedule` phases through here), so
+    both tiers speak the same ``(kind, rate, seed)`` coordinates.
+    ``makespan`` scales the time-valued faults: crash instants are placed
+    inside it, delay spikes are ~10% of it.
+    """
     if rate <= 0.0:
         return None
     if kind == "crash":
@@ -130,6 +138,9 @@ def _plan_for(kind: str, rate: float, seed: int, nranks: int,
     if kind in ("drop", "duplicate", "corrupt", "reorder"):
         return FaultPlan.uniform(seed=seed, **{kind: rate})
     raise ValueError(f"unknown fault kind {kind!r}")
+
+
+_plan_for = plan_for  # compatibility alias for pre-scenario callers
 
 
 def _classify(out, requested: str, residual: float, tol: float) -> ChaosRun:
@@ -191,8 +202,8 @@ def chaos_sweep(solvers: dict[str, SpTRSVSolver],
                     # same cell gets the same plan in every process.
                     cell_seed = (seed * 7919
                                  + zlib.crc32(f"{alg}/{kind}".encode()) % 1000)
-                    plan = _plan_for(kind, rate, cell_seed,
-                                     solver.grid.nranks, makespan)
+                    plan = plan_for(kind, rate, cell_seed,
+                                    solver.grid.nranks, makespan)
                     try:
                         out = solver.solve(rhs, algorithm=alg, faults=plan,
                                            resilience=resilience)
@@ -210,3 +221,18 @@ def chaos_sweep(solvers: dict[str, SpTRSVSolver],
                     run.algorithm = alg
                     runs.append(run)
     return ChaosReport(runs=runs, residual_tol=tol)
+
+
+def scenario_sweep(names=None, seed: int | None = None):
+    """Service-level chaos: run the named adversarial scenarios.
+
+    Generalizes the solver-level sweep above to the serving tier — each
+    scenario drives a full :class:`~repro.serve.SolveService` run through
+    a declared attack or degradation and checks its degradation contract.
+    Returns ``{scenario name: ScenarioReport}``.  Thin bridge over
+    :func:`repro.scenarios.run_all` (lazy import keeps this module free
+    of the serving stack for solver-only callers).
+    """
+    from repro.scenarios import run_all
+
+    return run_all(names=names, seed=seed)

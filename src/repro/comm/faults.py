@@ -273,6 +273,41 @@ class FaultPlan:
         return FaultState(self)
 
 
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A virtual-time sequence of fault plans — escalation mid-run.
+
+    ``phases`` is a tuple of ``(t0, t1, plan)`` windows in virtual time;
+    :meth:`plan_at` returns the plan of the first window containing ``t``
+    (``None`` outside every window = lossless fabric).  The serving tier
+    (``SolveService(fault_schedule=...)``) consults this at each batch's
+    dispatch instant, so a schedule models a fabric that degrades, gets
+    byzantine, and heals while the service keeps running — the
+    degraded-mode axis the adversarial scenarios sweep.
+
+    Determinism: each phase holds an ordinary seeded :class:`FaultPlan`;
+    the consumer forks it per batch exactly as it would a static plan.
+    """
+
+    phases: tuple = ()     # ((t0, t1, FaultPlan | None), ...)
+
+    def __post_init__(self):
+        for t0, t1, _plan in self.phases:
+            if not t0 < t1:
+                raise ValueError(f"fault phase window [{t0}, {t1}) is empty")
+
+    def plan_at(self, t: float) -> "FaultPlan | None":
+        for t0, t1, plan in self.phases:
+            if t0 <= t < t1:
+                return plan
+        return None
+
+    @property
+    def end(self) -> float:
+        """Virtual end of the last disturbance window (0.0 when empty)."""
+        return max((t1 for _t0, t1, _p in self.phases), default=0.0)
+
+
 class FaultState:
     """Mutable per-run state: the RNG stream, fired crashes, event log."""
 

@@ -31,6 +31,7 @@ from repro.core.sptrsv3d_new import (
     new3d_rank_fn,
 )
 from repro.grids.grid3d import Grid3D
+from repro.matrices.validate import validate_matrix, validate_rhs
 from repro.numfact.lu import lu_factorize
 from repro.obs.metrics import MetricsRegistry
 from repro.ordering.layout import build_layout_tree
@@ -200,6 +201,7 @@ class SpTRSVSolver:
                  machine: Machine = CORI_HASWELL, max_supernode: int = 16,
                  symbolic_mode: str = "detect", leaf_size: int | None = None,
                  ordering: str = "nd"):
+        validate_matrix(A)
         A = sp.csr_matrix(A)
         n = A.shape[0]
         self.A = A
@@ -349,9 +351,8 @@ class SpTRSVSolver:
         solver kernels' receive loops set-deterministic, so a strict solve
         that *does* complete is bit-identical to a normal one.
         """
+        validate_rhs(self.n, b)
         b2, was1d = as_2d_rhs(b)
-        if b2.shape[0] != self.n:
-            raise ValueError(f"b has {b2.shape[0]} rows, expected {self.n}")
         nrhs = b2.shape[1]
         b_perm = b2[self.perm]
         machine = machine or self.machine

@@ -23,8 +23,20 @@ from repro.matrices.generators import (
     random_spd_like,
 )
 from repro.matrices.io import load_matrix_market, save_matrix_market
+from repro.matrices.poison import (
+    POISON_MATRICES,
+    POISON_RHS_KINDS,
+    make_poison_rhs,
+    resolve_matrix,
+)
 from repro.matrices.rhs import make_rhs
 from repro.matrices.suite import PAPER_MATRICES, MatrixSpec, get_matrix
+from repro.matrices.validate import (
+    InvalidMatrixError,
+    InvalidRhsError,
+    validate_matrix,
+    validate_rhs,
+)
 
 __all__ = [
     "matrix_stats",
@@ -49,4 +61,12 @@ __all__ = [
     "PAPER_MATRICES",
     "MatrixSpec",
     "get_matrix",
+    "POISON_MATRICES",
+    "POISON_RHS_KINDS",
+    "make_poison_rhs",
+    "resolve_matrix",
+    "InvalidMatrixError",
+    "InvalidRhsError",
+    "validate_matrix",
+    "validate_rhs",
 ]

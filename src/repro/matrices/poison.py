@@ -1,0 +1,156 @@
+"""Poison-input generators: adversarial matrices and right-hand sides.
+
+These are the inputs a hostile (or merely buggy) client would hand the
+serving tier: structurally singular matrices, NaN/Inf payloads, wrong
+shapes, numerically hopeless systems and resource-exhaustion-sized
+problems.  Every generator is deterministic in its arguments, so the
+adversarial scenarios built on top of them (``repro.scenarios``) replay
+bit-for-bit.
+
+Two registries:
+
+- :data:`POISON_MATRICES` — matrix name -> ``factory(scale)``; names all
+  start with ``poison-`` so they can ride through the serving tier's
+  workload plumbing next to the legitimate suite names.
+  :func:`resolve_matrix` is a drop-in matrix provider (``SolveService
+  (matrix_provider=resolve_matrix)``) that serves poison names from here
+  and everything else from the paper suite.
+- :func:`make_poison_rhs` — right-hand side kinds (``poison-nan``,
+  ``poison-inf``, ``poison-shape``, ``poison-empty``) used by
+  ``Request.rhs_kind``.
+
+None of these pass ``repro.matrices.validate``; that is the point.  The
+hardened ingestion layer must shed them with typed errors instead of
+crashing or silently propagating NaNs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.matrices.generators import poisson2d
+from repro.matrices.suite import get_matrix
+
+#: Preset sizes per scale, matching the suite's tiny/small/medium idea.
+_SIZES = {"tiny": 12, "small": 24, "medium": 48}
+
+
+def _grid(scale: str) -> int:
+    try:
+        return _SIZES[scale]
+    except KeyError:
+        raise ValueError(f"scale must be one of {sorted(_SIZES)}, "
+                         f"got {scale!r}")
+
+
+def singular_matrix(scale: str = "tiny") -> sp.csr_matrix:
+    """A well-formed Poisson matrix with one diagonal entry zeroed out —
+    structurally singular under the no-pivoting factorization."""
+    A = sp.lil_matrix(poisson2d(_grid(scale), stencil=5, seed=11))
+    k = A.shape[0] // 2
+    A[k, k] = 0.0
+    return sp.csr_matrix(A)
+
+
+def nan_matrix(scale: str = "tiny") -> sp.csr_matrix:
+    """A Poisson matrix with a NaN planted in an off-diagonal entry."""
+    A = sp.csr_matrix(poisson2d(_grid(scale), stencil=5, seed=12))
+    off = np.flatnonzero(A.tocoo().row != A.tocoo().col)
+    A.data[off[len(off) // 2]] = np.nan
+    return A
+
+
+def inf_matrix(scale: str = "tiny") -> sp.csr_matrix:
+    """A Poisson matrix with an Inf planted in an off-diagonal entry."""
+    A = sp.csr_matrix(poisson2d(_grid(scale), stencil=5, seed=13))
+    off = np.flatnonzero(A.tocoo().row != A.tocoo().col)
+    A.data[off[len(off) // 3]] = np.inf
+    return A
+
+
+def nonsquare_matrix(scale: str = "tiny") -> sp.csr_matrix:
+    """A rectangular matrix: drop the last row of a Poisson system."""
+    A = sp.csr_matrix(poisson2d(_grid(scale), stencil=5, seed=14))
+    return sp.csr_matrix(A[:-1, :])
+
+
+def illconditioned_matrix(scale: str = "tiny") -> sp.csr_matrix:
+    """A matrix that *factors* but with catastrophic element growth.
+
+    The diagonal is scaled down to ~1e-14 of the off-diagonal magnitude on
+    a contiguous block, so the no-pivoting LU survives structurally but
+    the growth factor explodes — the numeric poison the service's
+    stability gate must catch (a pure structural check cannot).
+    """
+    A = sp.lil_matrix(poisson2d(_grid(scale), stencil=5, seed=15))
+    n = A.shape[0]
+    for k in range(n // 4, n // 4 + max(2, n // 8)):
+        A[k, k] = 1e-14
+    return sp.csr_matrix(A)
+
+
+def huge_matrix(scale: str = "tiny") -> sp.csr_matrix:
+    """A resource-exhaustion probe: cheap to *construct* (diagonal + one
+    off-diagonal band) but far above any sane serving admission bound, so
+    the service must reject it on size before attempting the O(n^~1.5)
+    preprocessing pipeline."""
+    n = 200_000
+    main = np.full(n, 4.0)
+    off = np.full(n - 1, -1.0)
+    return sp.csr_matrix(sp.diags([off, main, off], [-1, 0, 1]))
+
+
+#: name -> factory(scale).  Names deliberately look like suite names so
+#: workloads can mix them in; none of them validate.
+POISON_MATRICES = {
+    "poison-singular": singular_matrix,
+    "poison-nan": nan_matrix,
+    "poison-inf": inf_matrix,
+    "poison-nonsquare": nonsquare_matrix,
+    "poison-illcond": illconditioned_matrix,
+    "poison-huge": huge_matrix,
+}
+
+
+def resolve_matrix(name: str, scale: str = "tiny") -> sp.csr_matrix:
+    """Matrix provider serving poison names and suite names alike.
+
+    Drop-in for :class:`repro.serve.SolveService`'s ``matrix_provider``
+    hook — adversarial scenarios route requests at matrices named
+    ``poison-*`` through the registry above and everything else through
+    :func:`repro.matrices.get_matrix`.
+    """
+    factory = POISON_MATRICES.get(name)
+    if factory is not None:
+        return factory(scale)
+    return get_matrix(name, scale)
+
+
+#: Right-hand-side poison kinds understood by make_poison_rhs.
+POISON_RHS_KINDS = ("poison-nan", "poison-inf", "poison-shape",
+                    "poison-empty")
+
+
+def make_poison_rhs(n: int, kind: str, seed: int = 0) -> np.ndarray:
+    """Build a single malformed ``(?, 1)`` right-hand side.
+
+    ``poison-nan``/``poison-inf`` plant non-finite entries in an otherwise
+    normal vector; ``poison-shape`` returns the wrong number of rows;
+    ``poison-empty`` returns zero rows.  Deterministic in ``seed``.
+    """
+    rng = np.random.default_rng([seed, 0xBAD])
+    if kind == "poison-nan":
+        b = rng.standard_normal((n, 1))
+        b[int(rng.integers(n)), 0] = np.nan
+        return b
+    if kind == "poison-inf":
+        b = rng.standard_normal((n, 1))
+        b[int(rng.integers(n)), 0] = np.inf
+        return b
+    if kind == "poison-shape":
+        return rng.standard_normal((n + 1 + int(rng.integers(4)), 1))
+    if kind == "poison-empty":
+        return np.empty((0, 1))
+    raise ValueError(f"unknown poison RHS kind {kind!r} "
+                     f"(have {', '.join(POISON_RHS_KINDS)})")

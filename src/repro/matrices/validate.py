@@ -1,0 +1,99 @@
+"""Hardened ingestion: typed validation of matrices and right-hand sides.
+
+The solver pipeline factors without pivoting and assumes well-formed
+inputs; before this module existed, a malformed matrix (non-square,
+NaN/Inf entries, a structurally or numerically missing diagonal) or a bad
+right-hand side crashed deep inside the numeric kernels — or worse,
+propagated NaNs into a "successful" answer.  Ingestion now fails at the
+boundary with a *typed* error naming the violated requirement:
+
+- :class:`InvalidMatrixError` — the matrix cannot enter the pipeline
+  (``reason`` is a stable machine-readable slug);
+- :class:`InvalidRhsError` — the right-hand side cannot be solved against
+  a given matrix.
+
+Both subclass :class:`ValueError`, so existing callers that guarded with
+``except ValueError`` keep working; the serving tier maps them to typed
+``Rejection(reason="poison-input")`` sheds (see ``repro.serve.service``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class InvalidMatrixError(ValueError):
+    """A matrix failed ingestion validation; ``reason`` names the check."""
+
+    def __init__(self, reason: str, detail: str):
+        self.reason = reason
+        super().__init__(f"invalid matrix [{reason}]: {detail}")
+
+
+class InvalidRhsError(ValueError):
+    """A right-hand side failed validation; ``reason`` names the check."""
+
+    def __init__(self, reason: str, detail: str):
+        self.reason = reason
+        super().__init__(f"invalid right-hand side [{reason}]: {detail}")
+
+
+def validate_matrix(A) -> None:
+    """Reject matrices the no-pivoting pipeline cannot safely factor.
+
+    Checks, in order: two-dimensional and square; finite entries (NaN/Inf
+    data would silently propagate through the triangular sweeps); no zero
+    or structurally missing diagonal entry (a zero pivot makes the
+    factorization divide by zero — the structural-singularity proxy under
+    no-pivoting).  Raises :class:`InvalidMatrixError` on the first
+    violation; returns ``None`` for acceptable matrices.
+    """
+    shape = getattr(A, "shape", None)
+    if shape is None or len(shape) != 2:
+        raise InvalidMatrixError(
+            "not-a-matrix", f"expected a 2-D sparse matrix, got shape "
+            f"{shape!r}")
+    if shape[0] != shape[1]:
+        raise InvalidMatrixError(
+            "non-square", f"matrix is {shape[0]}x{shape[1]}; the solver "
+            f"pipeline requires a square system")
+    if shape[0] == 0:
+        raise InvalidMatrixError("empty", "matrix has zero rows")
+    if not sp.issparse(A):
+        raise InvalidMatrixError(
+            "not-sparse", f"expected a scipy sparse matrix, got "
+            f"{type(A).__name__}")
+    data = A.tocoo(copy=False).data if A.nnz else np.empty(0)
+    if data.size and not np.isfinite(data).all():
+        bad = int(np.count_nonzero(~np.isfinite(data)))
+        raise InvalidMatrixError(
+            "non-finite", f"matrix holds {bad} NaN/Inf entr"
+            f"{'y' if bad == 1 else 'ies'}")
+    diag = A.diagonal()
+    if (diag == 0).any():
+        nzero = int(np.count_nonzero(diag == 0))
+        raise InvalidMatrixError(
+            "singular-diagonal",
+            f"{nzero} zero/missing diagonal entr"
+            f"{'y' if nzero == 1 else 'ies'}: structurally singular under "
+            f"the no-pivoting factorization")
+
+
+def validate_rhs(n: int, b) -> None:
+    """Reject right-hand sides that cannot be solved against an ``n``-row
+    matrix: wrong dimensionality, wrong row count, or NaN/Inf entries.
+    Raises :class:`InvalidRhsError`; returns ``None`` when acceptable.
+    """
+    arr = np.asarray(b)
+    if arr.ndim not in (1, 2):
+        raise InvalidRhsError(
+            "bad-ndim", f"RHS must be 1-D or 2-D, got ndim={arr.ndim}")
+    if arr.shape[0] != n:
+        raise InvalidRhsError(
+            "shape-mismatch", f"b has {arr.shape[0]} rows, expected {n}")
+    if arr.size and not np.isfinite(arr).all():
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise InvalidRhsError(
+            "non-finite", f"RHS holds {bad} NaN/Inf entr"
+            f"{'y' if bad == 1 else 'ies'}")

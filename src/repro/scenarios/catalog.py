@@ -1,0 +1,247 @@
+"""The named adversarial-scenario catalog.
+
+Each entry is a fully declarative :class:`~repro.scenarios.spec.Scenario`
+— attack shape, service knobs, degradation contract and ONE seed.  Per
+the scenario determinism convention (lint rule RPR006), no workload or
+fault-plan constructor in this package takes a literal seed: every
+stream derives from ``Scenario.seed``, so a catalog entry is replayable
+bit-for-bit from its name alone.
+
+The catalog spans the attack classes the serving tier must degrade
+gracefully under:
+
+- **flash-crowd** — a 25x arrival burst against a bounded queue;
+- **hot-key-flip** — popularity flips between two matrices with a
+  single-entry factorization cache (worst-case thrash);
+- **slow-loris** — a trickle of far-deadline requests squatting queue
+  slots until a high-priority burst displaces them;
+- **poison-rhs** / **poison-matrix** — malformed right-hand sides and
+  singular/NaN/ill-conditioned/oversized matrices mixed into legitimate
+  traffic;
+- **duplicate-storm** — every request replayed several times (retry
+  storm); the scheduler must coalesce, not amplify;
+- **byzantine-fabric** — the fabric degrades mid-run (corrupt, then
+  crash, then heals) under the resilience envelope;
+- **displacement-flood** — a high-priority flood displacing queued
+  low-priority work at admission;
+- **cache-thrash** — a wide matrix mix against a two-entry cache.
+
+Calibration note: virtual single-batch solves on the tiny suite run
+~0.2–1.2 ms, so rates around 2 000 req/s are sustainable baseline load
+and 50 000 req/s is a flood; deadlines are tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import (
+    DegradationContract,
+    FaultPhaseSpec,
+    PhaseSpec,
+    Scenario,
+)
+
+_M1 = ("s2D9pt2048", "tiny", 1.0)
+_M2 = ("nlpkkt80", "tiny", 1.0)
+_M3 = ("ldoor", "tiny", 1.0)
+_M4 = ("Ga19As19H42", "tiny", 1.0)
+
+
+def _catalog() -> tuple:
+    return (
+        Scenario(
+            name="flash-crowd",
+            summary="25x arrival burst against a bounded queue; shed "
+                    "typed, recover p95 and drain after the spike",
+            seed=101,
+            queue_bound=24,
+            phases=(
+                PhaseSpec(label="baseline", n_requests=10, rate=2000.0,
+                          deadline=0.03),
+                PhaseSpec(label="burst", n_requests=60, rate=50000.0,
+                          deadline=0.03, disturbance=True, gap_after=0.05),
+                PhaseSpec(label="recovery", n_requests=10, rate=2000.0,
+                          deadline=0.03),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.3,
+                require_sheds=("queue-full",),
+                forbid_sheds=("poison-input",),
+                recovery_p95_factor=3.0,
+                max_drain_time=0.06,
+            ),
+            tags=("overload", "cheap"),
+        ),
+        Scenario(
+            name="hot-key-flip",
+            summary="popularity flips between two matrices with a "
+                    "single-entry factorization cache",
+            seed=202,
+            cache_entries=1,
+            phases=(
+                PhaseSpec(label="hot-A", n_requests=12, rate=2000.0,
+                          mix=(_M1,), deadline=0.06),
+                PhaseSpec(label="flip-to-B", n_requests=12, rate=2000.0,
+                          mix=(_M2,), deadline=0.06, disturbance=True),
+                PhaseSpec(label="flip-back", n_requests=12, rate=2000.0,
+                          mix=(_M1,), deadline=0.06),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.9,
+                min_cache_evictions=2,
+                min_deadline_met_rate=0.8,
+            ),
+            tags=("cache",),
+        ),
+        Scenario(
+            name="slow-loris",
+            summary="far-deadline trickle squats queue slots until a "
+                    "high-priority burst displaces it",
+            seed=303,
+            queue_bound=16,
+            phases=(
+                PhaseSpec(label="loris", n_requests=20, rate=800.0,
+                          deadline=5.0, priorities=((0, 1.0),)),
+                PhaseSpec(label="victims", n_requests=30, rate=20000.0,
+                          deadline=0.03, priorities=((1, 1.0),),
+                          disturbance=True),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.5,
+                require_sheds=("displaced",),
+            ),
+            tags=("overload", "priority"),
+        ),
+        Scenario(
+            name="poison-rhs",
+            summary="a third of requests carry NaN/Inf/misshapen "
+                    "right-hand sides; shed them typed, solve the rest",
+            seed=404,
+            phases=(
+                PhaseSpec(label="mixed", n_requests=32, rate=2000.0,
+                          deadline=0.05, poison_rhs_fraction=0.3,
+                          poison_rhs_kinds=("poison-nan", "poison-inf",
+                                            "poison-shape",
+                                            "poison-empty")),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.5,
+                min_deadline_met_rate=0.9,
+                require_sheds=("poison-input",),
+            ),
+            tags=("poison", "cheap"),
+        ),
+        Scenario(
+            name="poison-matrix",
+            summary="singular/NaN/ill-conditioned/oversized matrices mixed "
+                    "into legitimate traffic",
+            seed=505,
+            phases=(
+                PhaseSpec(label="mixed", n_requests=28, rate=2000.0,
+                          deadline=0.06,
+                          mix=(("s2D9pt2048", "tiny", 2.0),
+                               ("poison-singular", "tiny", 0.5),
+                               ("poison-nan", "tiny", 0.5),
+                               ("poison-illcond", "tiny", 0.5),
+                               ("poison-huge", "tiny", 0.5))),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.35,
+                require_sheds=("poison-input",),
+            ),
+            tags=("poison",),
+        ),
+        Scenario(
+            name="duplicate-storm",
+            summary="every request replayed 5x (retry storm); coalesce "
+                    "into single solves, never amplify",
+            seed=606,
+            phases=(
+                PhaseSpec(label="storm", n_requests=10, rate=5000.0,
+                          deadline=0.03, dup_factor=5),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=1.0,
+                min_deduped=30,
+                min_deadline_met_rate=0.95,
+            ),
+            tags=("dedup", "cheap"),
+        ),
+        Scenario(
+            name="byzantine-fabric",
+            summary="the fabric corrupts, then crashes ranks, then heals "
+                    "mid-run; the resilience envelope must hold integrity",
+            seed=707,
+            resilience=True,
+            phases=(
+                PhaseSpec(label="calm", n_requests=8, rate=2000.0,
+                          deadline=0.08),
+                PhaseSpec(label="storm", n_requests=16, rate=2000.0,
+                          deadline=0.08, disturbance=True),
+                PhaseSpec(label="healed", n_requests=8, rate=2000.0,
+                          deadline=0.08),
+            ),
+            fault_phases=(
+                FaultPhaseSpec(t0=0.004, t1=0.010, kind="corrupt",
+                               rate=0.05),
+                FaultPhaseSpec(t0=0.010, t1=0.016, kind="crash", rate=0.3),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.9,
+                recovery_p95_factor=4.0,
+                max_drain_time=0.1,
+            ),
+            tags=("faults",),
+        ),
+        Scenario(
+            name="displacement-flood",
+            summary="a high-priority flood displaces queued low-priority "
+                    "work at admission",
+            seed=808,
+            queue_bound=12,
+            phases=(
+                PhaseSpec(label="low-pri", n_requests=16, rate=10000.0,
+                          deadline=0.1, priorities=((0, 1.0),)),
+                PhaseSpec(label="flood", n_requests=24, rate=50000.0,
+                          deadline=0.03, priorities=((1, 1.0),),
+                          disturbance=True),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.2,
+                require_sheds=("displaced", "queue-full"),
+            ),
+            tags=("overload", "priority"),
+        ),
+        Scenario(
+            name="cache-thrash",
+            summary="a four-matrix mix against a two-entry cache; evict "
+                    "and refactor without losing completions",
+            seed=909,
+            cache_entries=2,
+            phases=(
+                PhaseSpec(label="thrash", n_requests=32, rate=1500.0,
+                          deadline=0.1,
+                          mix=(_M1, _M2, _M3, _M4)),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.9,
+                min_cache_evictions=4,
+            ),
+            tags=("cache",),
+        ),
+    )
+
+
+CATALOG: dict = {sc.name: sc for sc in _catalog()}
+
+
+def scenario_names() -> list:
+    """Catalog names, in declaration order."""
+    return list(CATALOG)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r} "
+                         f"(have {', '.join(CATALOG)})") from None

@@ -22,6 +22,7 @@ from repro.serve.scheduler import (
     BatchPolicy,
     Rejection,
     RejectReason,
+    dedup_key,
 )
 from repro.serve.service import (
     BatchRecord,
@@ -56,6 +57,7 @@ __all__ = [
     "Workload",
     "WorkloadSpec",
     "build_slo",
+    "dedup_key",
     "format_slo",
     "generate_workload",
 ]

@@ -51,6 +51,7 @@ class RejectReason(enum.Enum):
     QUEUE_FULL = "queue-full"        # backpressure at admission
     DISPLACED = "displaced"          # evicted by a higher-priority arrival
     DEADLINE_PASSED = "deadline-passed"  # expired while queued
+    POISON_INPUT = "poison-input"    # malformed matrix/RHS shed at dispatch
 
     def __str__(self) -> str:  # stable text for SLO reports
         return self.value
@@ -63,6 +64,7 @@ class Rejection:
     request: Request
     reason: RejectReason
     time: float          # virtual time of the shed decision
+    detail: str = ""     # e.g. the validation slug behind a poison shed
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,18 @@ class BatchPolicy:
 def _queue_order(r: Request) -> tuple:
     """In-queue service order: priority first, then EDF, then FIFO."""
     return (-r.priority, r.deadline, r.arrival, r.id)
+
+
+def dedup_key(r: Request) -> tuple:
+    """Identity of the *solve* a request asks for, within a matrix group.
+
+    Two queued requests for the same (matrix, scale) with equal dedup keys
+    want the same answer by the same time: one solve serves both (the
+    matrix/scale part of the identity is the group key itself).  Priority
+    is deliberately excluded — a duplicate coalesces regardless of who
+    asked louder.
+    """
+    return (r.rhs_seed, r.rhs_kind, r.deadline)
 
 
 @dataclass
@@ -197,21 +211,33 @@ class BatchingScheduler:
 
     def pop_batch(self, key: tuple, t: float
                   ) -> tuple[list[Request], list[Rejection]]:
-        """Take up to ``max_batch`` requests of group ``key`` for dispatch.
+        """Take up to ``max_batch`` *distinct solves* of group ``key``.
 
         Requests whose deadline passed while queued (``deadline < t``; a
         pop exactly at the deadline still solves, matching the
         ``t_complete <= deadline`` completion convention) are shed
         (typed), not solved; they do not consume batch slots.
+
+        Duplicate requests — identical :func:`dedup_key` within the group,
+        i.e. the same RHS and the same deadline — coalesce: they ride
+        along in the returned batch but do not consume batch slots, since
+        the service solves each distinct key once and fans the one
+        solution out to every caller (the ``deduped`` SLO counter).
         """
         q = self._queues.pop(key)
         batch: list[Request] = []
+        keys: set[tuple] = set()
         shed: list[Rejection] = []
         rest: list[Request] = []
         for r in q:  # q is kept sorted by _queue_order
             if r.deadline < t:
                 shed.append(Rejection(r, RejectReason.DEADLINE_PASSED, t))
-            elif len(batch) < self.policy.max_batch:
+                continue
+            k = dedup_key(r)
+            if k in keys:
+                batch.append(r)       # coalesced: rides along for free
+            elif len(keys) < self.policy.max_batch:
+                keys.add(k)
                 batch.append(r)
             else:
                 rest.append(r)

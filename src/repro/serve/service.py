@@ -32,19 +32,39 @@ over a lossy fabric (each batch gets an independent fork of the plan) with
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.comm.costmodel import MACHINES
-from repro.comm.faults import FaultPlan
+from repro.comm.faults import FaultPlan, FaultSchedule
 from repro.core.solver import Resilience, SpTRSVSolver
-from repro.matrices import get_matrix, matrix_fingerprint
+from repro.matrices import (
+    InvalidMatrixError,
+    InvalidRhsError,
+    get_matrix,
+    matrix_fingerprint,
+    validate_matrix,
+    validate_rhs,
+)
+from repro.numfact import solve_residual, stability_report
 from repro.obs.metrics import PhaseStats
 from repro.serve.cache import CacheKey, FactorizationCache
-from repro.serve.scheduler import BatchingScheduler, BatchPolicy, Rejection
+from repro.serve.scheduler import (
+    BatchingScheduler,
+    BatchPolicy,
+    Rejection,
+    RejectReason,
+    dedup_key,
+)
 from repro.serve.slo import SLOReport, build_slo
 from repro.serve.workload import Request, Workload
+
+#: Relative solve-residual bound for sampled integrity verification; an
+#: accepted completion above this is a *corrupted answer*, the one thing
+#: the degradation contracts forbid outright.
+INTEGRITY_TOL = 1e-8
 
 
 @dataclass(frozen=True)
@@ -60,11 +80,19 @@ class ServiceConfig:
     max_supernode: int = 16
     symbolic_mode: str = "detect"
     ordering: str = "nd"
+    # Admission hardening: matrices above this row count are rejected
+    # before any preprocessing (resource-exhaustion poison); matrices
+    # whose no-pivoting factorization shows catastrophic element growth
+    # are rejected after factoring (numeric poison) when the gate is on.
+    max_matrix_n: int = 100_000
+    stability_gate: bool = True
 
     def __post_init__(self):
         if self.machine not in MACHINES:
             raise ValueError(f"unknown machine {self.machine!r} "
                              f"(have {sorted(MACHINES)})")
+        if self.max_matrix_n < 1:
+            raise ValueError("max_matrix_n must be >= 1")
 
 
 @dataclass
@@ -110,6 +138,9 @@ class ServeResult:
     queue_samples: list[int]
     solutions: dict = field(default_factory=dict)   # request id -> (n,) x
     slo: SLOReport = field(default_factory=SLOReport)
+    deduped: int = 0                 # duplicates coalesced across all batches
+    n_verified: int = 0              # completions sampled for integrity
+    integrity_failures: list = field(default_factory=list)  # audit records
 
 
 class _QueueDepthIntegral:
@@ -147,7 +178,22 @@ class SolveService:
                  resilience: Resilience | None = None,
                  profile: bool = False,
                  keep_solutions: bool = True,
-                 invariants: bool = False):
+                 invariants: bool = False,
+                 matrix_provider=None,
+                 fault_schedule: FaultSchedule | None = None,
+                 verify_fraction: float = 0.0,
+                 verify_seed: int = 0):
+        """``matrix_provider`` overrides matrix resolution (``(name,
+        scale) -> sparse matrix``; default the paper suite) — adversarial
+        scenarios route ``poison-*`` names through it.  ``fault_schedule``
+        swaps the fabric's fault plan per dispatch instant (mid-run
+        escalation); it takes precedence over the static ``faults`` plan.
+        ``verify_fraction`` samples that fraction of completions for
+        integrity verification (residual bound, plus bit-equality against
+        a fresh single-RHS solve on fault-free batches), deterministic in
+        ``verify_seed``; verification is an observer — it charges no
+        virtual time.
+        """
         self.config = config or ServiceConfig()
         self.policy = policy or BatchPolicy()
         self.cache = cache if cache is not None else FactorizationCache()
@@ -156,16 +202,39 @@ class SolveService:
         self.profile = profile
         self.keep_solutions = keep_solutions
         self.invariants = invariants
+        self.matrix_provider = matrix_provider
+        self.fault_schedule = fault_schedule
+        if not 0.0 <= verify_fraction <= 1.0:
+            raise ValueError("verify_fraction must be in [0, 1]")
+        self.verify_fraction = verify_fraction
+        self.verify_seed = verify_seed
         # (matrix, scale) -> (A, fingerprint hexdigest); fingerprints are
         # content hashes, so computing one per distinct matrix suffices.
         self._matrices: dict = {}
+        # (matrix, scale) -> InvalidMatrixError: matrices that already
+        # failed ingestion; later batches shed without re-validating.
+        self._poison: dict = {}
 
     # -- solver construction --------------------------------------------------
 
     def _matrix(self, name: str, scale: str):
         key = (name, scale)
+        known_bad = self._poison.get(key)
+        if known_bad is not None:
+            raise known_bad
         if key not in self._matrices:
-            A = get_matrix(name, scale)
+            provider = self.matrix_provider or get_matrix
+            try:
+                A = provider(name, scale)
+                validate_matrix(A)
+                if A.shape[0] > self.config.max_matrix_n:
+                    raise InvalidMatrixError(
+                        "too-large",
+                        f"matrix has {A.shape[0]} rows, above the service "
+                        f"admission bound {self.config.max_matrix_n}")
+            except InvalidMatrixError as err:
+                self._poison[key] = err
+                raise
             self._matrices[key] = (A, matrix_fingerprint(A).hexdigest)
         return self._matrices[key]
 
@@ -179,11 +248,20 @@ class SolveService:
     def _build_solver(self, name: str, scale: str) -> SpTRSVSolver:
         A, _ = self._matrix(name, scale)
         c = self.config
-        return SpTRSVSolver(A, px=c.px, py=c.py, pz=c.pz,
-                            machine=MACHINES[c.machine],
-                            max_supernode=c.max_supernode,
-                            symbolic_mode=c.symbolic_mode,
-                            ordering=c.ordering)
+        solver = SpTRSVSolver(A, px=c.px, py=c.py, pz=c.pz,
+                              machine=MACHINES[c.machine],
+                              max_supernode=c.max_supernode,
+                              symbolic_mode=c.symbolic_mode,
+                              ordering=c.ordering)
+        if c.stability_gate:
+            stab = stability_report(solver.A_perm, solver.lu)
+            if not stab.is_stable():
+                raise InvalidMatrixError(
+                    "unstable-factorization",
+                    f"element growth {stab.growth_factor:.3g} / pivot "
+                    f"ratio {stab.pivot_ratio:.3g} outside the no-pivoting "
+                    f"stability envelope")
+        return solver
 
     # -- the service loop -----------------------------------------------------
 
@@ -233,9 +311,11 @@ class SolveService:
             qdepth.record(t, sched.depth())
             if not batch:
                 continue
+            nb = len(res.batches)
             t = self._dispatch(batch, t, res, comm)
-            setup_total += res.batches[-1].setup_time
-            solve_total += res.batches[-1].solve_time
+            if len(res.batches) > nb:  # batch may shed entirely (poison)
+                setup_total += res.batches[-1].setup_time
+                solve_total += res.batches[-1].solve_time
 
         qdepth.record(t, sched.depth())
         res.slo = build_slo(
@@ -249,7 +329,8 @@ class SolveService:
             cache_stats=self.cache.stats,
             setup_time=setup_total, solve_time=solve_total,
             makespan=max((c.t_complete for c in res.completions), default=t),
-            comm=comm)
+            comm=comm, deduped=res.deduped, n_verified=res.n_verified,
+            n_integrity_failures=len(res.integrity_failures))
         if self.invariants:
             from repro.check.invariants import check_serve
 
@@ -258,17 +339,61 @@ class SolveService:
 
     def _dispatch(self, batch: list[Request], t: float, res: ServeResult,
                   comm: PhaseStats | None) -> float:
-        """Run one batched solve; returns the server's new free time."""
-        name, scale = batch[0].matrix, batch[0].scale
-        solver, setup, hit = self.cache.get_or_build(
-            self.cache_key(name, scale),
-            lambda: self._build_solver(name, scale))
+        """Run one batched solve; returns the server's new free time.
 
-        B = np.hstack([r.rhs(solver.n) for r in batch])
+        Hardened against poison inputs: a matrix that fails ingestion (or
+        the stability gate) sheds the whole batch with typed
+        ``poison-input`` rejections; a malformed right-hand side sheds
+        only its request.  Duplicate requests (equal
+        :func:`~repro.serve.scheduler.dedup_key`) share one solved column
+        fanned out to every caller.  Shedding charges no virtual time —
+        rejecting is the cheap path by design.
+        """
+        name, scale = batch[0].matrix, batch[0].scale
+        try:
+            solver, setup, hit = self.cache.get_or_build(
+                self.cache_key(name, scale),
+                lambda: self._build_solver(name, scale))
+        except InvalidMatrixError as err:
+            self._poison[(name, scale)] = err
+            res.rejections.extend(
+                Rejection(r, RejectReason.POISON_INPUT, t, detail=err.reason)
+                for r in batch)
+            return t
+
+        # One column per distinct dedup key; malformed RHS sheds its
+        # request (and, transitively, its duplicates — identical bits).
+        live: list[Request] = []
+        columns: list[np.ndarray] = []
+        col_of: dict = {}
+        for r in batch:
+            k = dedup_key(r)
+            if k in col_of:
+                live.append(r)          # duplicate: column already built
+                continue
+            try:
+                b = r.rhs(solver.n)
+                validate_rhs(solver.n, b)
+            except InvalidRhsError as err:
+                res.rejections.append(Rejection(
+                    r, RejectReason.POISON_INPUT, t, detail=err.reason))
+                continue
+            col_of[k] = len(columns)
+            columns.append(b if b.ndim == 2 else b[:, None])
+            live.append(r)
+        if not columns:
+            return t
+        res.deduped += len(live) - len(columns)
+
+        B = np.hstack(columns)
         batch_id = len(res.batches)
         kw: dict = dict(algorithm=self.config.algorithm,
                         device=self.config.device, profile=self.profile)
-        if self.faults is not None:
+        if self.fault_schedule is not None:
+            plan = self.fault_schedule.plan_at(t)
+            if plan is not None:
+                kw["faults"] = plan.fork(batch_id)
+        elif self.faults is not None:
             kw["faults"] = self.faults.fork(batch_id)
         if self.resilience is not None:
             kw["resilience"] = self.resilience
@@ -280,14 +405,64 @@ class SolveService:
 
         t_done = t + setup + solve_time
         X = out.x if out.x.ndim == 2 else out.x[:, None]
-        for j, r in enumerate(batch):
+        for r in live:
             res.completions.append(Completion(request=r, t_complete=t_done,
                                               batch_id=batch_id))
             if self.keep_solutions:
-                res.solutions[r.id] = X[:, j].copy()
+                res.solutions[r.id] = X[:, col_of[dedup_key(r)]].copy()
         res.batches.append(BatchRecord(
-            batch_id=batch_id, matrix=name, scale=scale, size=len(batch),
-            request_ids=[r.id for r in batch], t_dispatch=t,
+            batch_id=batch_id, matrix=name, scale=scale, size=len(columns),
+            request_ids=[r.id for r in live], t_dispatch=t,
             t_complete=t_done, cache_hit=hit, setup_time=setup,
             solve_time=solve_time))
+        if self.verify_fraction > 0.0:
+            self._verify_batch(solver, live, columns, col_of, X, res,
+                               batch_id, faulted="faults" in kw)
         return t_done
+
+    # -- sampled integrity verification ---------------------------------------
+
+    def _sampled(self, request_id: int) -> bool:
+        """Deterministic per-request sampling decision (seeded hash)."""
+        h = zlib.crc32(f"{self.verify_seed}:{request_id}".encode())
+        return (h % 1_000_000) < self.verify_fraction * 1_000_000
+
+    def _verify_batch(self, solver: SpTRSVSolver, live: list[Request],
+                      columns: list[np.ndarray], col_of: dict,
+                      X: np.ndarray, res: ServeResult, batch_id: int,
+                      faulted: bool) -> None:
+        """Re-check sampled completions of one batch (host-time observer).
+
+        Every sampled answer must meet the residual bound; on fault-free
+        batches it must additionally be bit-identical to a fresh
+        single-RHS solve on the same cached factorization (the batching
+        contract).  Faulted batches may have legitimately degraded to a
+        fallback tier whose bits differ, so only the residual applies.
+        Failures are recorded — never silently dropped — and surface as
+        ``n_integrity_failures`` in the SLO report, where the degradation
+        contracts pin them to zero.
+        """
+        checked: set = set()
+        for r in live:
+            if not self._sampled(r.id):
+                continue
+            col = col_of[dedup_key(r)]
+            res.n_verified += 1
+            if col in checked:
+                continue            # duplicate shares the verified column
+            checked.add(col)
+            x = X[:, col]
+            b = columns[col]
+            rel = solve_residual(solver.A, x[:, None], b)
+            if rel > INTEGRITY_TOL:
+                res.integrity_failures.append(
+                    {"request_id": r.id, "batch_id": batch_id,
+                     "kind": "residual", "value": float(rel)})
+                continue
+            if not faulted:
+                ref = solver.solve(b[:, 0], algorithm=self.config.algorithm,
+                                   device=self.config.device).x
+                if not np.array_equal(x, ref):
+                    res.integrity_failures.append(
+                        {"request_id": r.id, "batch_id": batch_id,
+                         "kind": "bit-mismatch", "value": 0.0})

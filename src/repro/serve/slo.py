@@ -53,6 +53,11 @@ class SLOReport:
     n_batches: int = 0
     batch_hist: dict = field(default_factory=dict)       # size -> count
     batch_mean: float = 0.0
+    deduped: int = 0               # duplicate requests coalesced into solves
+
+    # sampled per-request integrity verification (scenario hardening)
+    n_verified: int = 0            # completions re-checked against contract
+    n_integrity_failures: int = 0  # MUST stay 0: corrupted accepted answers
 
     # queueing
     queue_depth_max: int = 0
@@ -93,7 +98,9 @@ def build_slo(*, n_requests: int, latencies: list[float],
               batch_sizes: list[int], queue_samples: list[int],
               cache_stats, setup_time: float, solve_time: float,
               makespan: float, comm=None,
-              queue_time_mean: float | None = None) -> SLOReport:
+              queue_time_mean: float | None = None, deduped: int = 0,
+              n_verified: int = 0,
+              n_integrity_failures: int = 0) -> SLOReport:
     """Fold raw service-loop records into an :class:`SLOReport`.
 
     ``cache_stats`` is a :class:`~repro.serve.cache.CacheStats`; ``comm``
@@ -130,6 +137,9 @@ def build_slo(*, n_requests: int, latencies: list[float],
         cache_peak_bytes=cache_stats.peak_bytes,
         setup_time=setup_time,
         solve_time=solve_time,
+        deduped=deduped,
+        n_verified=n_verified,
+        n_integrity_failures=n_integrity_failures,
     )
     for r in shed_reasons:
         rep.shed_by_reason[r] = rep.shed_by_reason.get(r, 0) + 1
@@ -164,6 +174,12 @@ def format_slo(rep: SLOReport, title: str = "SLO report") -> str:
     hist = ", ".join(f"{k}x{v}" for k, v in sorted(rep.batch_hist.items()))
     lines.append(f"batches             {rep.n_batches}  "
                  f"(mean width {rep.batch_mean:.2f}; {hist})")
+    if rep.deduped:
+        lines.append(f"  deduped           {rep.deduped} duplicate requests "
+                     f"coalesced")
+    if rep.n_verified:
+        lines.append(f"integrity           {rep.n_verified} sampled, "
+                     f"{rep.n_integrity_failures} failures")
     lines.append(f"queue depth         max {rep.queue_depth_max}, "
                  f"mean {rep.queue_depth_mean:.2f}")
     lines.append(f"cache               {rep.cache_hits} hits / "

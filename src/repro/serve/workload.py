@@ -39,12 +39,22 @@ class Request:
     rhs_seed: int         # seed for make_rhs(n, 1, "random", seed=rhs_seed)
     deadline: float       # ABSOLUTE virtual completion deadline
     priority: int = 0     # higher serves first within a batch queue
+    rhs_kind: str = "random"  # "random", or a poison-* kind (adversarial)
 
     def rhs(self, n: int) -> np.ndarray:
-        """Materialize this request's ``(n, 1)`` right-hand side."""
+        """Materialize this request's ``(n, 1)`` right-hand side.
+
+        ``poison-*`` kinds (see :data:`repro.matrices.POISON_RHS_KINDS`)
+        produce deliberately malformed vectors for adversarial scenarios;
+        the serving tier validates and sheds them at dispatch.
+        """
+        if self.rhs_kind.startswith("poison-"):
+            from repro.matrices import make_poison_rhs
+
+            return make_poison_rhs(n, self.rhs_kind, seed=self.rhs_seed)
         from repro.matrices import make_rhs
 
-        return make_rhs(n, 1, kind="random", seed=self.rhs_seed)
+        return make_rhs(n, 1, kind=self.rhs_kind, seed=self.rhs_seed)
 
 
 @dataclass(frozen=True)

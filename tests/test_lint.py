@@ -1,4 +1,4 @@
-"""Tests for the custom AST lint (repro lint, rules RPR001-RPR005)."""
+"""Tests for the custom AST lint (repro lint, rules RPR001-RPR006)."""
 
 from __future__ import annotations
 
@@ -62,6 +62,30 @@ def test_rpr005_mutable_default():
     assert _rules("def f(*, x=list()):\n    pass") == ["RPR005"]
     assert _rules("def f(x=None):\n    pass") == []
     assert _rules("def f(x=()):\n    pass") == []
+
+
+def test_rpr006_literal_seed_scoped_to_scenario_modules():
+    sc = "src/repro/scenarios/custom.py"
+    assert _rules("rng = np.random.default_rng(1234)", path=sc) == ["RPR006"]
+    assert _rules("w = generate_workload(spec, seed=7)", path=sc) == ["RPR006"]
+    assert _rules("f = FaultPlan(drop=0.1, seed=-3)", path=sc) == ["RPR006"]
+    assert _rules("b = make_rhs(n, 1, seed=99)", path=sc) == ["RPR006"]
+    # Spawn-key form with all-literal elements is still a literal seed.
+    assert _rules("rng = np.random.default_rng([1, 2])", path=sc) == ["RPR006"]
+    # Seeds derived from the scenario's declared seed are the contract.
+    assert _rules("rng = np.random.default_rng([seed, i])", path=sc) == []
+    assert _rules("w = generate_workload(spec, seed=sc.seed)", path=sc) == []
+    # The Scenario spec itself is where the literal belongs.
+    assert _rules("s = Scenario(name='x', seed=101)", path=sc) == []
+    # Outside scenarios/ the same code is not RPR006's business.
+    assert _rules("rng = np.random.default_rng(1234)",
+                  path="src/repro/serve/workload.py") == []
+
+
+def test_rpr006_suppression():
+    sc = "src/repro/scenarios/custom.py"
+    src = "w = generate_workload(spec, seed=7)  # repro: allow[RPR006]"
+    assert _rules(src, path=sc) == []
 
 
 # ---------------------------------------------------------------------------

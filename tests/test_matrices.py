@@ -188,3 +188,91 @@ def test_matrix_market_rejects_garbage(tmp_path):
         f.write("not a matrix\n")
     with pytest.raises(ValueError):
         load_matrix_market(path)
+
+
+# -- hardened ingestion: typed validation (repro.matrices.validate) ----------
+
+def test_validate_matrix_typed_errors():
+    from repro.matrices import InvalidMatrixError, validate_matrix
+
+    def reason(A):
+        with pytest.raises(InvalidMatrixError) as ei:
+            validate_matrix(A)
+        assert isinstance(ei.value, ValueError)   # old callers keep working
+        return ei.value.reason
+
+    assert reason("nope") == "not-a-matrix"
+    assert reason(sp.random(4, 5, density=0.5, format="csr")) == "non-square"
+    assert reason(sp.csr_matrix((0, 0))) == "empty"
+    bad = sp.eye(4, format="csr") * 1.0
+    bad.data[0] = np.nan
+    assert reason(bad) == "non-finite"
+    inf = sp.eye(4, format="csr") * 1.0
+    inf.data[1] = np.inf
+    assert reason(inf) == "non-finite"
+    singular = sp.csr_matrix(np.triu(np.ones((4, 4))) - np.eye(4))
+    assert reason(singular) == "singular-diagonal"
+    # A healthy matrix validates silently.
+    validate_matrix(poisson2d(6, stencil=5))
+
+
+def test_validate_rhs_typed_errors():
+    from repro.matrices import InvalidRhsError, validate_rhs
+
+    def reason(n, b):
+        with pytest.raises(InvalidRhsError) as ei:
+            validate_rhs(n, b)
+        assert isinstance(ei.value, ValueError)
+        return ei.value.reason
+
+    assert reason(4, np.ones((2, 2, 2))) == "bad-ndim"
+    assert reason(4, np.ones(3)) == "shape-mismatch"
+    nb = np.ones(4)
+    nb[2] = np.nan
+    assert reason(4, nb) == "non-finite"
+    validate_rhs(4, np.ones(4))
+    validate_rhs(4, np.ones((4, 2)))
+
+
+def test_poison_registry_and_provider():
+    from repro.matrices import (
+        POISON_MATRICES,
+        POISON_RHS_KINDS,
+        InvalidMatrixError,
+        make_poison_rhs,
+        resolve_matrix,
+    )
+
+    assert len(POISON_MATRICES) >= 5
+    # The provider resolves suite names transparently...
+    A = resolve_matrix("s2D9pt2048", "tiny")
+    assert sp.issparse(A)
+    # ...and poison names yield matrices that validate_matrix rejects.
+    # Two are caught later: poison-huge by the service's size bound,
+    # poison-illcond by the stability gate at factorization time (see
+    # test_serve.test_service_sheds_poison_matrix_typed for both).
+    from repro.matrices import validate_matrix
+    for name in POISON_MATRICES:
+        if name in ("poison-huge", "poison-illcond"):
+            continue
+        with pytest.raises(InvalidMatrixError):
+            validate_matrix(resolve_matrix(name, "tiny"))
+    # Poison RHS kinds are deterministic in seed and genuinely malformed.
+    from repro.matrices import InvalidRhsError, validate_rhs
+    for kind in POISON_RHS_KINDS:
+        b1, b2 = make_poison_rhs(8, kind, 3), make_poison_rhs(8, kind, 3)
+        assert np.array_equal(b1, b2, equal_nan=True)
+        with pytest.raises(InvalidRhsError):
+            validate_rhs(8, b1)
+
+
+def test_solver_rejects_invalid_inputs():
+    from repro.core.solver import SpTRSVSolver
+    from repro.matrices import InvalidMatrixError, InvalidRhsError
+
+    with pytest.raises(InvalidMatrixError):
+        SpTRSVSolver(sp.random(4, 5, density=0.5, format="csr"),
+                     px=1, py=1, pz=1)
+    s = SpTRSVSolver(poisson2d(6, stencil=5), px=1, py=1, pz=2)
+    with pytest.raises(InvalidRhsError):
+        s.solve(np.ones(s.n - 1))

@@ -1,0 +1,230 @@
+"""Tests for the adversarial scenario suite (repro.scenarios)."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    CATALOG,
+    DegradationContract,
+    FaultPhaseSpec,
+    PhaseSpec,
+    Scenario,
+    ScenarioReport,
+    build_fault_schedule,
+    build_workload,
+    get_scenario,
+    run_all,
+    run_scenario,
+    scenario_names,
+)
+from repro.serve import dedup_key
+
+CHEAP = [n for n, sc in CATALOG.items() if "cheap" in sc.tags]
+
+
+# -- spec validation ---------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        PhaseSpec(label="x", n_requests=0, rate=1.0)
+    with pytest.raises(ValueError):
+        PhaseSpec(label="x", n_requests=1, rate=-1.0)
+    with pytest.raises(ValueError):
+        PhaseSpec(label="x", n_requests=1, rate=1.0, dup_factor=0)
+    with pytest.raises(ValueError):
+        PhaseSpec(label="x", n_requests=1, rate=1.0, poison_rhs_fraction=2.0)
+    with pytest.raises(ValueError):
+        FaultPhaseSpec(t0=1.0, t1=1.0, kind="drop", rate=0.1)
+    with pytest.raises(ValueError):
+        Scenario(name="x", summary="s", seed=1, phases=())
+    with pytest.raises(ValueError):
+        Scenario(name="x", summary="s", seed=1,
+                 phases=(PhaseSpec(label="p", n_requests=1, rate=1.0),),
+                 verify_fraction=2.0)
+
+
+# -- the catalog -------------------------------------------------------------
+
+def test_catalog_has_at_least_eight_scenarios():
+    assert len(CATALOG) >= 8
+    assert len(set(CATALOG)) == len(CATALOG)
+    for name, sc in CATALOG.items():
+        assert sc.name == name
+        assert sc.summary and sc.phases
+    assert len(CHEAP) >= 3          # the CI smoke job needs cheap episodes
+    assert scenario_names() == list(CATALOG)
+    with pytest.raises(ValueError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+
+
+def test_catalog_covers_the_attack_taxonomy():
+    tags = {t for sc in CATALOG.values() for t in sc.tags}
+    assert {"overload", "poison", "dedup"} <= tags
+    assert any(sc.fault_phases for sc in CATALOG.values())   # byzantine
+    assert any(sc.resilience for sc in CATALOG.values())
+    assert any(sc.cache_entries is not None for sc in CATALOG.values())
+
+
+# -- workload synthesis ------------------------------------------------------
+
+def test_build_workload_deterministic_and_seed_sensitive():
+    sc = get_scenario("flash-crowd")
+    a, b = build_workload(sc), build_workload(sc)
+    assert a.requests == b.requests and a.meta == b.meta
+    from dataclasses import replace
+    c = build_workload(replace(sc, seed=sc.seed + 1))
+    assert c.requests != a.requests
+
+
+def test_build_workload_arrivals_sorted_with_unique_ids():
+    for name in CATALOG:
+        wl = build_workload(get_scenario(name))
+        arr = [r.arrival for r in wl.requests]
+        assert arr == sorted(arr), name
+        ids = [r.id for r in wl.requests]
+        assert len(set(ids)) == len(ids), name
+
+
+def test_duplicate_storm_fans_out_dedup_keys():
+    wl = build_workload(get_scenario("duplicate-storm"))
+    sc = get_scenario("duplicate-storm")
+    dup = sc.phases[0].dup_factor
+    assert len(wl) == sc.phases[0].n_requests * dup
+    by_key = {}
+    for r in wl.requests:
+        by_key.setdefault(dedup_key(r), []).append(r)
+    assert all(len(v) == dup for v in by_key.values())
+
+
+def test_disturbance_window_recorded_in_meta():
+    wl = build_workload(get_scenario("flash-crowd"))
+    t0, t1 = wl.meta["disturbance"]
+    assert 0.0 <= t0 < t1
+    # The flood phase's arrivals fall inside the recorded window.
+    byz = build_workload(get_scenario("byzantine-fabric"))
+    ft0, ft1 = byz.meta["disturbance"]
+    sc = get_scenario("byzantine-fabric")
+    assert ft0 <= min(fp.t0 for fp in sc.fault_phases)
+    assert ft1 >= max(fp.t1 for fp in sc.fault_phases)
+
+
+def test_poison_phase_injects_poison_rhs_kinds():
+    wl = build_workload(get_scenario("poison-rhs"))
+    kinds = {r.rhs_kind for r in wl.requests}
+    assert "random" in kinds
+    assert any(k.startswith("poison-") for k in kinds)
+
+
+# -- fault schedules ---------------------------------------------------------
+
+def test_fault_schedule_escalates_and_derives_seed():
+    sc = get_scenario("byzantine-fabric")
+    sched = build_fault_schedule(sc)
+    assert sched is not None and len(sched.phases) == len(sc.fault_phases)
+    for (t0, t1, plan), fp in zip(sched.phases, sc.fault_phases):
+        assert (t0, t1) == (fp.t0, fp.t1) and plan is not None
+        assert sched.plan_at((t0 + t1) / 2) is plan
+    # Distinct phases get distinct derived plans (no shared RNG stream).
+    plans = [p for (_, _, p) in sched.phases]
+    assert plans[0].seed != plans[1].seed
+    assert build_fault_schedule(get_scenario("flash-crowd")) is None
+
+
+# -- running: determinism and contracts --------------------------------------
+
+def test_scenario_report_bit_identical_across_replays():
+    name = CHEAP[0]
+    r1 = run_scenario(get_scenario(name))
+    r2 = run_scenario(get_scenario(name))
+    assert r1.to_json() == r2.to_json()
+
+
+def test_full_catalog_sweep_passes_contracts():
+    """Every catalog scenario meets its degradation contract — hard and
+    soft tiers — at its declared seed."""
+    reports = run_all()
+    assert list(reports) == scenario_names()
+    for name, rep in reports.items():
+        failed = [c for c in rep.checks if not c["passed"]]
+        assert rep.passed, f"{name}: {failed or rep.error}"
+        assert rep.version == 1 and rep.n_requests > 0
+
+
+def test_seed_override_keeps_hard_tier():
+    """The hard tier holds at a non-declared seed (the fuzzer's replay
+    knob); soft SLO bounds are only calibrated to the declared seed."""
+    rep = run_scenario(get_scenario("poison-rhs"), seed=123456)
+    assert rep.seed == 123456
+    assert rep.hard_ok, [c for c in rep.checks
+                         if c["hard"] and not c["passed"]]
+
+
+def test_poison_scenarios_shed_typed_and_uncorrupted():
+    for name in ("poison-rhs", "poison-matrix"):
+        rep = run_scenario(get_scenario(name))
+        assert rep.slo["shed_by_reason"].get("poison-input", 0) > 0, name
+        assert rep.slo["n_integrity_failures"] == 0
+        assert rep.slo["n_verified"] > 0
+
+
+def test_duplicate_storm_coalesces():
+    rep = run_scenario(get_scenario("duplicate-storm"))
+    assert rep.slo["deduped"] >= 30
+    assert rep.slo["n_completed"] == rep.n_requests    # nobody shed
+
+
+def test_flash_crowd_recovers_within_bound():
+    rep = run_scenario(get_scenario("flash-crowd"))
+    w = rep.windows
+    assert w["disturbance"] is not None
+    assert w["baseline_n"] > 0 and w["recovery_n"] > 0
+    names = {c["check"] for c in rep.checks}
+    assert {"typed-sheds", "integrity", "no-escaped-exception",
+            "recovery-p95", "drain-time"} <= names
+
+
+def test_report_json_contract():
+    rep = run_scenario(get_scenario(CHEAP[0]))
+    doc = json.loads(rep.to_json())
+    for key in ("scenario", "seed", "version", "n_requests", "slo",
+                "windows", "checks", "hard_ok", "passed", "error"):
+        assert key in doc
+    assert doc["passed"] and doc["hard_ok"] and doc["error"] == ""
+    # sort_keys makes the artifact diff-stable.
+    assert list(doc) == sorted(doc)
+
+
+def test_hard_ok_vs_passed_semantics():
+    rep = ScenarioReport(scenario="x", seed=1)
+    rep.checks.append({"check": "h", "hard": True, "passed": True,
+                       "detail": ""})
+    rep.checks.append({"check": "s", "hard": False, "passed": False,
+                       "detail": ""})
+    assert rep.hard_ok and not rep.passed
+    assert "HARD-OK" in rep.summary_line()
+    rep.error = "boom"
+    assert not rep.hard_ok and "ERROR" in rep.summary_line()
+
+
+def test_escaped_exception_is_hard_failure():
+    """A scenario whose service run raises is captured as a hard breach,
+    never propagated."""
+    sc = Scenario(
+        name="broken", summary="provider blows up", seed=1,
+        phases=(PhaseSpec(label="p", n_requests=2, rate=1000.0,
+                          mix=(("no-such-matrix", "tiny", 1.0),),
+                          deadline=1.0),),
+        contract=DegradationContract())
+    rep = run_scenario(sc)
+    assert rep.error and not rep.hard_ok
+    [c] = [c for c in rep.checks if c["check"] == "no-escaped-exception"]
+    assert c["hard"] and not c["passed"]
+
+
+def test_chaos_bridge_scenario_sweep():
+    from repro.comm.chaos import scenario_sweep
+
+    reports = scenario_sweep(names=[CHEAP[0]])
+    assert list(reports) == [CHEAP[0]]
+    assert reports[CHEAP[0]].passed

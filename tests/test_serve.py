@@ -463,3 +463,189 @@ def test_slo_report_format_and_json(small_workload):
     assert doc["n_completed"] == 12
     assert 0.0 <= doc["cache_hit_rate"] <= 1.0
     assert doc["deadline_met_rate"] == rep.deadline_met_rate
+
+
+# -- hardened ingestion: typed poison sheds ----------------------------------
+
+def _poison_svc(**kw):
+    from repro.matrices import resolve_matrix
+    kw.setdefault("policy", BatchPolicy(max_batch=4, max_wait=1e-3))
+    return SolveService(CFG, matrix_provider=resolve_matrix, **kw)
+
+
+@pytest.mark.parametrize("name", ["poison-singular", "poison-nan",
+                                  "poison-inf", "poison-nonsquare",
+                                  "poison-illcond"])
+def test_service_sheds_poison_matrix_typed(name):
+    """Regression: a malformed matrix is a typed poison-input rejection,
+    not an escaped exception or a corrupted accepted answer."""
+    wl = Workload(requests=[
+        Request(id=0, arrival=0.0, matrix=name, scale="tiny",
+                rhs_seed=1, deadline=1.0),
+        Request(id=1, arrival=0.001, matrix="s2D9pt2048", scale="tiny",
+                rhs_seed=2, deadline=1.0),
+    ])
+    res = _poison_svc().run(wl)
+    assert res.slo.n_completed == 1
+    assert res.slo.shed_by_reason == {"poison-input": 1}
+    [rej] = [r for r in res.rejections
+             if r.reason is RejectReason.POISON_INPUT]
+    assert rej.request.id == 0 and rej.detail  # slug names the defect
+
+
+@pytest.mark.parametrize("kind", ["poison-nan", "poison-inf",
+                                  "poison-shape", "poison-empty"])
+def test_service_sheds_poison_rhs_individually(kind):
+    """A poisoned RHS sheds that request only; batchmates still solve."""
+    wl = Workload(requests=[
+        Request(id=0, arrival=0.0, matrix="s2D9pt2048", scale="tiny",
+                rhs_seed=1, deadline=1.0, rhs_kind=kind),
+        Request(id=1, arrival=0.0001, matrix="s2D9pt2048", scale="tiny",
+                rhs_seed=2, deadline=1.0),
+    ])
+    res = _poison_svc().run(wl)
+    assert res.slo.n_completed == 1 and res.slo.n_shed == 1
+    [rej] = res.rejections
+    assert rej.reason is RejectReason.POISON_INPUT
+    assert rej.request.id == 0 and rej.detail
+    # The good batchmate's answer is untouched by its poisoned neighbor.
+    cold = SolveService(CFG)._build_solver("s2D9pt2048", "tiny")
+    r1 = wl.requests[1]
+    assert np.array_equal(res.solutions[1],
+                          cold.solve(r1.rhs(cold.n)).x.ravel())
+
+
+def test_poison_matrix_memoized_not_rebuilt():
+    """The second request for a known-bad matrix is shed without paying
+    the (possibly huge) build again, and the cache stays clean."""
+    wl = Workload(requests=[
+        Request(id=i, arrival=0.001 * i, matrix="poison-nan", scale="tiny",
+                rhs_seed=i, deadline=1.0)
+        for i in range(3)
+    ])
+    svc = _poison_svc()
+    res = svc.run(wl)
+    assert res.slo.shed_by_reason == {"poison-input": 3}
+    assert svc.cache.stats.resident_entries == 0  # poison never cached
+
+
+def test_service_rejects_oversize_matrix():
+    from repro.matrices import resolve_matrix
+    svc = SolveService(
+        ServiceConfig(px=1, py=1, pz=2, max_matrix_n=100),
+        matrix_provider=resolve_matrix)
+    wl = Workload(requests=[
+        Request(id=0, arrival=0.0, matrix="s2D9pt2048", scale="tiny",
+                rhs_seed=1, deadline=1.0)])
+    res = svc.run(wl)
+    assert res.slo.shed_by_reason == {"poison-input": 1}
+    assert res.rejections[0].detail == "too-large"
+
+
+# -- duplicate coalescing ----------------------------------------------------
+
+def test_scheduler_dedups_identical_requests():
+    from repro.serve import dedup_key
+
+    sched = BatchingScheduler(BatchPolicy(max_batch=2, max_wait=1e-3))
+    reqs = [Request(id=i, arrival=0.0, matrix="m", scale="tiny",
+                    rhs_seed=7, deadline=1.0) for i in range(3)]
+    reqs.append(Request(id=3, arrival=0.0, matrix="m", scale="tiny",
+                        rhs_seed=8, deadline=1.0))
+    for r in reqs:
+        assert sched.offer(r, 0.0) is None
+    batch, shed = sched.pop_batch(("m", "tiny"), 0.0)
+    # Two distinct keys fill the batch; duplicates ride along for free.
+    assert len(batch) == 4 and shed == []
+    assert len({dedup_key(r) for r in batch}) == 2
+    assert sched.depth() == 0                # nothing left behind
+
+
+def test_service_dedup_counter_and_fanout_bit_identity():
+    """Satellite contract: N requests sharing (rhs_seed, kind, deadline)
+    solve one column; every caller gets the same bits as a cold solve."""
+    dup = [Request(id=i, arrival=0.0, matrix="s2D9pt2048", scale="tiny",
+                   rhs_seed=42, deadline=1.0) for i in range(5)]
+    solo = Request(id=5, arrival=0.0001, matrix="s2D9pt2048", scale="tiny",
+                   rhs_seed=43, deadline=1.0)
+    svc = SolveService(CFG, BatchPolicy(max_batch=8, max_wait=1e-3),
+                       invariants=True)
+    res = svc.run(Workload(requests=dup + [solo]))
+    assert res.slo.n_completed == 6 and res.slo.n_shed == 0
+    assert res.slo.deduped == 4
+    [batch] = res.batches
+    assert batch.size == 2 and len(batch.request_ids) == 6
+    cold = SolveService(CFG)._build_solver("s2D9pt2048", "tiny")
+    for r in dup + [solo]:
+        x = cold.solve(r.rhs(cold.n)).x.ravel()
+        assert np.array_equal(res.solutions[r.id], x)
+
+
+def test_dedup_key_excludes_priority():
+    from repro.serve import dedup_key
+
+    a = Request(id=0, arrival=0.0, matrix="m", scale="tiny", rhs_seed=7,
+                deadline=1.0, priority=0)
+    b = Request(id=1, arrival=0.0, matrix="m", scale="tiny", rhs_seed=7,
+                deadline=1.0, priority=5)
+    assert dedup_key(a) == dedup_key(b)
+
+
+# -- integrity verification & crash-fault cache recovery ---------------------
+
+def test_sampled_verification_counts(small_workload):
+    svc = SolveService(CFG, BatchPolicy(max_batch=4, max_wait=1e-3),
+                       verify_fraction=1.0, verify_seed=9)
+    res = svc.run(small_workload)
+    assert res.slo.n_verified == len(small_workload)
+    assert res.slo.n_integrity_failures == 0
+    assert res.integrity_failures == []
+
+
+def test_verify_fraction_validation():
+    with pytest.raises(ValueError):
+        SolveService(CFG, verify_fraction=1.5)
+
+
+def test_cache_not_poisoned_by_crash_fault_failover():
+    """Satellite contract: a batch that rides through a crash-fault
+    failover must not leave a corrupted factorization behind — the next
+    request (fault window over) is bit-identical to a cold solve."""
+    from repro.comm.chaos import plan_for
+    from repro.comm.faults import FaultSchedule
+
+    crash = plan_for("crash", 0.5, seed=77, nranks=2, makespan=2e-3)
+    assert crash is not None and crash.crash
+    sched = FaultSchedule(((0.0, 0.05, crash),))
+    wl = Workload(requests=[
+        Request(id=0, arrival=0.0, matrix="s2D9pt2048", scale="tiny",
+                rhs_seed=5, deadline=1.0),
+        Request(id=1, arrival=0.1, matrix="s2D9pt2048", scale="tiny",
+                rhs_seed=6, deadline=1.1),
+    ])
+    svc = SolveService(CFG, BatchPolicy(max_batch=1, max_wait=1e-4),
+                       fault_schedule=sched, resilience=Resilience(),
+                       verify_fraction=1.0, verify_seed=3)
+    res = svc.run(wl)
+    assert res.slo.n_completed == 2
+    assert res.slo.n_integrity_failures == 0
+    assert res.slo.cache_hits >= 1           # second solve reused the entry
+    cold = SolveService(CFG)._build_solver("s2D9pt2048", "tiny")
+    r1 = wl.requests[1]
+    assert sched.plan_at(res.completions[-1].t_complete) is None  # calm
+    assert np.array_equal(res.solutions[1],
+                          cold.solve(r1.rhs(cold.n)).x.ravel())
+
+
+def test_fault_schedule_plan_at():
+    from repro.comm.faults import FaultSchedule
+
+    p = FaultPlan.uniform(seed=1, drop=0.1)
+    s = FaultSchedule(((0.0, 1.0, p), (2.0, 3.0, None)))
+    assert s.plan_at(0.5) is p
+    assert s.plan_at(1.0) is None            # half-open window
+    assert s.plan_at(2.5) is None            # explicit calm phase
+    assert s.plan_at(5.0) is None
+    assert s.end == 3.0
+    with pytest.raises(ValueError):
+        FaultSchedule(((1.0, 1.0, p),))
