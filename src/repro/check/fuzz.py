@@ -15,6 +15,10 @@ every applicable path of the case and cross-checks them:
 - replaying a solve reproduces **bit-identical** virtual clocks and
   solution bits, and profiling is an observer (clocks with ``profile=``
   equal clocks without);
+- on replay-enabled draws, the compiled fast path (:mod:`repro.replay`)
+  — both its recording solve and its compiled re-execution — matches the
+  simulated solve bit-for-bit: solution, clocks, per-label times, marks
+  and message accounting;
 - profiled runs report the paper's headline sync counts mechanically:
   one inter-grid sync point for the proposed algorithm, ``ceil(log2 Pz)``
   for the baseline, zero when ``Pz == 1``;
@@ -108,6 +112,7 @@ class FuzzCase:
     machine: str = "cori-haswell"
     nrhs: int = 1
     strict_match: bool = False
+    replay: bool = False           # also run the compiled replay fast path
     drop: float = 0.0
     duplicate: float = 0.0
     delay: float = 0.0
@@ -147,6 +152,8 @@ class FuzzCase:
                  f"delay={self.delay:g})" if self.faulted else "")
         if self.strict_match:
             extra += " strict"
+        if self.replay:
+            extra += " replay"
         return (f"solve[{self.index}] {self.generator}({self.size}) "
                 f"grid={self.px}x{self.py}x{self.pz} ord={self.ordering} "
                 f"sym={self.symbolic_mode} sup={self.max_supernode} "
@@ -241,6 +248,7 @@ def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
         delay = float(rng.choice((0.0, 0.05)))
     machine = "cori-haswell"
     strict = bool(rng.random() < 0.25)
+    replay = bool(rng.random() < 0.75) and device == "cpu"
     if device == "gpu":
         py = 1                      # multi-GPU grids require Py == 1
         machine = "perlmutter-gpu"
@@ -249,7 +257,7 @@ def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
                     size=size, px=px, py=py, pz=pz, ordering=ordering,
                     symbolic_mode=symbolic, max_supernode=sup, device=device,
                     machine=machine, nrhs=nrhs, strict_match=strict,
-                    drop=drop, duplicate=dup, delay=delay,
+                    replay=replay, drop=drop, duplicate=dup, delay=delay,
                     fault_seed=fault_seed)
 
 
@@ -402,6 +410,29 @@ def _differential_solve(case, res, solver, A, b, algorithm, device,
                    and bool(np.array_equal(out2.x, sout.x)),
                    f"{what}: strict_match solve completed but is not "
                    f"bit-identical to the normal solve")
+
+    # The compiled replay fast path (repro.replay): the recording solve
+    # AND the compiled re-execution must both be bit-identical to the
+    # plain simulated solve — solution bits, virtual clocks, per-label
+    # times, phase marks and message accounting alike.
+    if case.replay and device == "cpu":
+        rec = solver.solve(b, algorithm=algorithm, replay=True)
+        hot = solver.solve(b, algorithm=algorithm, replay=True)
+        for tag, rout in (("recording", rec), ("compiled", hot)):
+            _check(res, bool(np.array_equal(out2.x, rout.x)),
+                   f"{what}: replay {tag} solution bits differ from the "
+                   f"simulated solve")
+            _check(res, bool(np.array_equal(out2.report.sim.clocks,
+                                            rout.report.sim.clocks)),
+                   f"{what}: replay {tag} virtual clocks differ from the "
+                   f"simulated solve")
+            _check(res, out2.report.sim.times == rout.report.sim.times
+                   and out2.report.sim.marks == rout.report.sim.marks
+                   and out2.report.sim.sent_msgs == rout.report.sim.sent_msgs
+                   and out2.report.sim.sent_bytes
+                   == rout.report.sim.sent_bytes,
+                   f"{what}: replay {tag} per-label accounting differs from "
+                   f"the simulated solve")
 
     # The serving tier's batching contract: every column of a multi-RHS
     # solve is bit-identical to solving that column alone.

@@ -303,6 +303,19 @@ def check_serve(workload, result, service=None) -> int:
             f"{slo.n_integrity_failures}) disagree with the raw records "
             f"({result.deduped}/{result.n_verified}/"
             f"{len(result.integrity_failures)})")
+    replayed = [b for b in result.batches if b.replayed]
+    checks += 1
+    _ensure(result.n_replayed == len(replayed) == slo.n_replayed,
+            "serve.replay-accounting",
+            f"replay counters disagree: result.n_replayed "
+            f"{result.n_replayed}, batches flagged {len(replayed)}, SLO "
+            f"{slo.n_replayed}")
+    for b in replayed:
+        checks += 1
+        _ensure(b.cache_hit, "serve.replay-needs-hit",
+                f"batch {b.batch_id} took the replay fast path on a "
+                f"factorization-cache miss — replay artifacts are cached "
+                f"with the factorization, so a miss must simulate")
     if result.solutions:
         checks += 1
         _ensure(set(result.solutions) == set(done), "serve.solution-coverage",

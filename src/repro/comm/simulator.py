@@ -188,6 +188,8 @@ class RankCtx:
         self.sent_msgs: dict[tuple[str, str], int] = {}
         self.sent_bytes: dict[tuple[str, str], float] = {}
         self.marks: dict[str, float] = {}
+        # Tape recorder hook (repro.replay); None outside recording runs.
+        self._recorder = None
 
     # -- op builders (use as `yield ctx.send(...)`) -------------------------
 
@@ -265,6 +267,8 @@ class RankCtx:
     def mark(self, name: str) -> None:
         """Record the current clock under ``name`` (phase boundaries)."""
         self.marks[name] = self.clock
+        if self._recorder is not None:
+            self._recorder.on_mark(self.rank, name)
 
     def _charge(self, category: str, seconds: float) -> None:
         key = (self.phase, category)
@@ -430,7 +434,7 @@ class Simulator:
                  checksums: bool = False,
                  watchdog_events: int | None = None,
                  metrics=None, invariants: bool = False,
-                 strict_match: bool = False):
+                 strict_match: bool = False, recorder=None):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
@@ -449,6 +453,10 @@ class Simulator:
         self.checksums = checksums
         self.watchdog_events = watchdog_events
         self.strict_match = strict_match
+        # Flat-op tape recorder (repro.replay.tape.TapeRecorder).  Only
+        # meaningful on the fault-free, unreliable path — the replay fast
+        # path's precondition; purely observational like ``metrics``.
+        self.recorder = recorder
 
     def run(self, rank_fn: Callable[[RankCtx], Iterable]) -> SimResult:
         """Execute ``rank_fn(ctx)`` as a generator on every rank.
@@ -475,6 +483,10 @@ class Simulator:
         mreg = self.metrics
         if mreg is not None:
             mreg.start_run(n, self.machine)
+        rec = self.recorder
+        if rec is not None:
+            for c in ctxs:
+                c._recorder = rec
         fstate = self.faults.start_run() if self.faults is not None else None
         transport = self.transport
         net = self.machine.net
@@ -657,6 +669,9 @@ class Simulator:
                                      _copy_payload(op.payload), op.nbytes))
                         msg_seq = seq
                         seq += 1
+                        if rec is not None:
+                            rec.on_send(r, msg_seq, op.nbytes, lat,
+                                        ctx.phase, op.category)
                     else:
                         payload = _copy_payload(op.payload)
                         # Checksum is stamped over the *sent* data, before
@@ -703,6 +718,10 @@ class Simulator:
                             seconds *= scale
                     ctx.clock += seconds
                     ctx._charge(op.category, seconds)
+                    # Zero-second computes still create the (phase,
+                    # category) label above, so the tape keeps them too.
+                    if rec is not None:
+                        rec.on_compute(r, seconds, ctx.phase, op.category)
                     if mreg is not None and seconds > 0:
                         mreg.on_compute(r, ctx.phase, op.category, t0,
                                         ctx.clock, op.flops)
@@ -829,6 +848,8 @@ class Simulator:
                 wait = max(0.0, m.arrival - ctx.clock)
                 ctx.clock = max(ctx.clock, m.arrival) + ro
                 ctx._charge(spec.category, wait + ro)
+                if rec is not None:
+                    rec.on_recv(r, m.seq, ctx.phase, spec.category)
                 if wd is not None:
                     wd_progress = events
                 if transport is not None:

@@ -314,7 +314,8 @@ class SpTRSVSolver:
               faults: FaultPlan | None = None,
               resilience: Resilience | None = None,
               profile: bool = False, trace: bool = False,
-              strict_match: bool = False) -> SolveOutcome:
+              strict_match: bool = False,
+              replay: bool = False) -> SolveOutcome:
         """Solve ``A x = b``; ``b`` may be ``(n,)`` or ``(n, nrhs)``.
 
         ``algorithm``: ``"new3d"`` (proposed; adaptive "auto" trees),
@@ -350,6 +351,16 @@ class SpTRSVSolver:
         picking one.  The static analyzer (``repro analyze``) proves the
         solver kernels' receive loops set-deterministic, so a strict solve
         that *does* complete is bit-identical to a normal one.
+
+        ``replay=True`` takes the compile-once fast path
+        (:mod:`repro.replay`): the first solve of a given
+        (algorithm, machine, nrhs) shape runs the instrumented simulator
+        and compiles a flat replay program; every later solve executes
+        that program — bit-identical solutions, virtual clocks, time
+        labels and marks, at a fraction of the cost (see
+        ``docs/PERFORMANCE.md``).  CPU fault-free path only: faults,
+        resilience, tracing, strict matching, the naive-allreduce
+        ablation and GPU solves all stay on the simulator.
         """
         validate_rhs(self.n, b)
         b2, was1d = as_2d_rhs(b)
@@ -365,6 +376,26 @@ class SpTRSVSolver:
             raise ValueError(
                 "fault injection / resilience are modeled on the CPU "
                 "message-passing runtime only (device='cpu')")
+        if replay:
+            if device != "cpu":
+                raise ValueError(
+                    "replay compiles the CPU message-passing runtime only "
+                    "(device='cpu')")
+            if faults is not None or resilience is not None:
+                raise ValueError(
+                    "replay is the fault-free fast path; faulted/resilient "
+                    "solves run on the simulator")
+            if trace or strict_match:
+                raise ValueError(
+                    "replay executes no per-message dispatch, so trace/"
+                    "strict_match (per-op observation modes) require the "
+                    "simulated path")
+            from repro.replay import replay_solve
+
+            return replay_solve(self, b_perm, nrhs, was1d, algorithm,
+                                tree_kind, machine, baseline_level_sync,
+                                allreduce_impl, profile)
+
         metrics = MetricsRegistry() if profile else None
         if resilience is not None and strict_match:
             raise ValueError(

@@ -1,0 +1,35 @@
+"""Compile-once schedule-replay fast path.
+
+``repro.analyze`` proves the communication schedule of every solver is
+static per (matrix, grid, algorithm); this package exploits that by
+compiling a solve **once** into two flat artifacts and re-executing them
+on every subsequent solve with no coroutines, no mailbox matching and no
+per-message Python dispatch:
+
+- a :class:`~repro.replay.program.ValueProgram` — an ordered list of
+  numpy kernel calls (SSA over a flat register file) producing the
+  solution bit-identically to the message-driven kernels, independent of
+  ``nrhs`` and of the machine model;
+- a :class:`~repro.replay.tape.Tape` — the per-rank op streams
+  (send/compute/recv/mark) of one instrumented simulation, replayed by a
+  min-heap event engine that reproduces the simulator's virtual clocks
+  byte-for-byte.
+
+Entry points: ``SpTRSVSolver.solve(replay=True)`` (see
+:func:`repro.replay.api.replay_solve`), the serving tier's cache-hit
+dispatch, and the ``repro replay --info`` CLI.  Bit-identity to the
+simulated path is enforced at compile time (every tape is validated
+against its recording run before it is cached), by ``tests/test_replay.py``
+and by the fuzzer's ``replay=True`` draws.  See ``docs/PERFORMANCE.md``.
+"""
+
+from repro.replay.api import (  # noqa: F401
+    ReplayError,
+    ReplayMismatch,
+    ReplayState,
+    replay_info,
+    replay_solve,
+    replay_state,
+)
+from repro.replay.program import ValueProgram, compile_program  # noqa: F401
+from repro.replay.tape import Tape, TapeRecorder, replay_tape  # noqa: F401

@@ -1,0 +1,212 @@
+"""Replay cache + solve entry points.
+
+One :class:`ReplayState` lives on each :class:`~repro.core.solver.SpTRSVSolver`
+(lazily, so solvers built via ``from_pipeline`` get one too).  Because the
+serving tier's :class:`~repro.serve.cache.FactorizationCache` stores whole
+solvers, compiled programs are cached alongside the factorization and keyed
+by the same ``(matrix_fingerprint, grid, algorithm)`` identity.
+
+Two artifact tiers:
+
+- value programs (``(impl, tree_kind)``) — nrhs- and machine-independent;
+- timing tapes (``(impl, tree_kind, level_sync, machine, nrhs)``) — one
+  instrumented recording run each, validated byte-for-byte against its own
+  simulation before being cached (see :mod:`repro.replay.tape`).
+
+The **recording run is a normal simulated solve** (observation hooks are
+bit-neutral, pinned by PR 2's tests), so the first ``replay=True`` solve
+returns exactly what ``replay=False`` would; every later solve of the same
+shape executes the flat program and copies the validated timing result —
+no coroutines, no mailbox, no per-message dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.replay.program import ValueProgram, compile_program
+from repro.replay.tape import Tape, TapeRecorder, from_recorder, validate_tape
+
+
+class ReplayError(ValueError):
+    """The requested solve cannot take the replay fast path."""
+
+
+class ReplayMismatch(AssertionError):
+    """A compiled artifact disagreed with its own recording run."""
+
+
+@dataclass
+class ReplayStats:
+    """Counters over one solver's replay cache."""
+
+    compiles: int = 0   # value programs compiled
+    records: int = 0    # tapes recorded + validated (cold solves)
+    replays: int = 0    # fast-path executions (hot solves)
+
+
+@dataclass
+class CompiledTape:
+    """A validated tape plus the reusable timing/metrics artifacts."""
+
+    tape: Tape
+    base: object                # private SimResult template (never aliased)
+    metrics: MetricsRegistry    # populated registry of the recording run
+
+
+@dataclass
+class ReplayState:
+    """Compiled artifacts cached on one solver."""
+
+    programs: dict[tuple, ValueProgram] = field(default_factory=dict)
+    tapes: dict[tuple, CompiledTape] = field(default_factory=dict)
+    stats: ReplayStats = field(default_factory=ReplayStats)
+
+
+def replay_state(solver) -> ReplayState:
+    """The solver's replay cache (created on first use; ``from_pipeline``
+    bypasses ``__init__``, hence the lazy attribute)."""
+    st = solver.__dict__.get("_replay")
+    if st is None:
+        st = ReplayState()
+        solver.__dict__["_replay"] = st
+    return st
+
+
+def _resolve(solver, algorithm: str, tree_kind: str | None) -> tuple[str, str]:
+    """Mirror ``SpTRSVSolver._solve_cpu``'s algorithm/tree resolution."""
+    if algorithm == "2d":
+        if solver.grid.pz != 1:
+            raise ValueError("algorithm='2d' requires pz == 1")
+        return "new3d", tree_kind or "auto"
+    if algorithm == "new3d":
+        return "new3d", tree_kind or "auto"
+    if algorithm == "baseline3d":
+        return "baseline3d", tree_kind or "flat"
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _copy_result(base):
+    """Fresh SimResult so callers (e.g. ``solve_blocked``'s clock shift)
+    can never mutate the cached template."""
+    from repro.comm.simulator import SimResult
+
+    return SimResult(clocks=base.clocks.copy(),
+                     times=[dict(t) for t in base.times],
+                     sent_msgs=[dict(t) for t in base.sent_msgs],
+                     sent_bytes=[dict(t) for t in base.sent_bytes],
+                     marks=[dict(m) for m in base.marks],
+                     results=[None] * len(base.results))
+
+
+def _setup_for(solver, impl: str, kind: str):
+    if impl == "new3d":
+        return solver._new3d_setup(kind)
+    return solver._baseline_setup(kind)
+
+
+def replay_solve(solver, b_perm: np.ndarray, nrhs: int, was1d: bool,
+                 algorithm: str, tree_kind: str | None, machine,
+                 baseline_level_sync: bool, allreduce_impl: str,
+                 profile: bool):
+    """The ``solve(replay=True)`` path; returns a ``SolveOutcome``.
+
+    Cache miss: run the instrumented simulation (the answer the caller
+    gets), compile + validate the artifacts, cache them.  Cache hit:
+    execute the flat value program and copy the validated timing result.
+    """
+    from repro.core.solver import PerfReport, SolveOutcome
+
+    impl, kind = _resolve(solver, algorithm, tree_kind)
+    if impl == "new3d" and allreduce_impl != "sparse":
+        raise ReplayError(
+            "replay compiles the sparse allreduce only "
+            "(allreduce_impl='sparse'); the naive ablation stays on the "
+            "simulator")
+    st = replay_state(solver)
+
+    pkey = (impl, kind)
+    prog = st.programs.get(pkey)
+    if prog is None:
+        prog = compile_program(_setup_for(solver, impl, kind), impl, kind,
+                               solver.n)
+        st.programs[pkey] = prog
+        st.stats.compiles += 1
+
+    tkey = (impl, kind, bool(baseline_level_sync), machine.name, nrhs)
+    ct = st.tapes.get(tkey)
+    if ct is None:
+        # Cold: one recording run.  Metrics are always attached so hot
+        # solves can serve ``profile=True`` from the cached registry;
+        # both hooks are bit-neutral for clocks and values.
+        reg = MetricsRegistry()
+        rec = TapeRecorder(solver.grid.nranks)
+        x, res = solver._solve_cpu(
+            b_perm, nrhs, algorithm, tree_kind, machine,
+            baseline_level_sync, allreduce_impl,
+            sim_kwargs={"metrics": reg, "recorder": rec})
+        tape = from_recorder(rec, machine)
+        validate_tape(tape, res)
+        x_perm_prog = prog.execute(b_perm, nrhs)
+        x_prog = np.empty_like(x_perm_prog)
+        x_prog[solver.perm] = x_perm_prog
+        if not np.array_equal(x_prog, x):
+            raise ReplayMismatch(
+                f"compiled value program for {algorithm!r} disagrees with "
+                f"its recording run (max abs diff "
+                f"{float(np.max(np.abs(x_prog - x))):.3e})")
+        st.tapes[tkey] = CompiledTape(tape=tape, base=_copy_result(res),
+                                      metrics=reg)
+        st.stats.records += 1
+        report = PerfReport(sim=res, algorithm=algorithm, grid=solver.grid,
+                            nrhs=nrhs, metrics=reg if profile else None)
+        return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
+
+    # Hot: flat numpy program + validated timing copy.
+    x_perm = prog.execute(b_perm, nrhs)
+    x = np.empty_like(x_perm)
+    x[solver.perm] = x_perm
+    st.stats.replays += 1
+    report = PerfReport(sim=_copy_result(ct.base), algorithm=algorithm,
+                        grid=solver.grid, nrhs=nrhs,
+                        metrics=ct.metrics if profile else None)
+    return SolveOutcome(x=x[:, 0] if was1d else x, report=report)
+
+
+def replay_info(solver, algorithm: str = "new3d",
+                tree_kind: str | None = None, machine=None, nrhs: int = 1,
+                baseline_level_sync: bool = True) -> dict:
+    """Compile (matrix, grid, algorithm) and summarize the artifacts.
+
+    Backs ``repro replay --info``.  Triggers one recording solve (RHS of
+    ones) if the tape is not cached yet.
+    """
+    machine = machine or solver.machine
+    impl, kind = _resolve(solver, algorithm, tree_kind)
+    b = np.ones((solver.n, nrhs))
+    solver.solve(b, algorithm=algorithm, tree_kind=tree_kind,
+                 machine=machine, baseline_level_sync=baseline_level_sync,
+                 replay=True)
+    st = replay_state(solver)
+    prog = st.programs[(impl, kind)]
+    ct = st.tapes[(impl, kind, bool(baseline_level_sync), machine.name,
+                   nrhs)]
+    return {
+        "algorithm": algorithm,
+        "impl": impl,
+        "tree_kind": kind,
+        "grid": f"{solver.grid.px}x{solver.grid.py}x{solver.grid.pz}",
+        "machine": machine.name,
+        "nrhs": nrhs,
+        "instructions": len(prog.instrs),
+        "kernels": prog.kernel_count,
+        "registers": prog.nregs,
+        "op_counts": prog.op_counts(),
+        "messages": ct.tape.n_messages,
+        "message_bytes": ct.tape.total_bytes(),
+        "tape_ops": ct.tape.n_ops,
+        "est_virtual_time": float(ct.base.clocks.max()),
+    }

@@ -86,6 +86,11 @@ class ServiceConfig:
     # are rejected after factoring (numeric poison) when the gate is on.
     max_matrix_n: int = 100_000
     stability_gate: bool = True
+    # Serve cache-hit, fault-free CPU batches on the compiled
+    # schedule-replay fast path (bit-identical answers and virtual clocks;
+    # see repro.replay).  Off forces every batch through the simulator —
+    # the benchmark's baseline leg and an escape hatch.
+    replay: bool = True
 
     def __post_init__(self):
         if self.machine not in MACHINES:
@@ -109,6 +114,7 @@ class BatchRecord:
     cache_hit: bool
     setup_time: float
     solve_time: float
+    replayed: bool = False    # served (at least partly) by the replay path
 
 
 @dataclass
@@ -141,6 +147,7 @@ class ServeResult:
     deduped: int = 0                 # duplicates coalesced across all batches
     n_verified: int = 0              # completions sampled for integrity
     integrity_failures: list = field(default_factory=list)  # audit records
+    n_replayed: int = 0              # batches served by the replay fast path
 
 
 class _QueueDepthIntegral:
@@ -330,7 +337,8 @@ class SolveService:
             setup_time=setup_total, solve_time=solve_total,
             makespan=max((c.t_complete for c in res.completions), default=t),
             comm=comm, deduped=res.deduped, n_verified=res.n_verified,
-            n_integrity_failures=len(res.integrity_failures))
+            n_integrity_failures=len(res.integrity_failures),
+            n_replayed=res.n_replayed)
         if self.invariants:
             from repro.check.invariants import check_serve
 
@@ -397,7 +405,34 @@ class SolveService:
             kw["faults"] = self.faults.fork(batch_id)
         if self.resilience is not None:
             kw["resilience"] = self.resilience
+        # Replay fast path: a cache-hit, fault-free CPU batch executes the
+        # solver's compiled schedule (bit-identical answers and virtual
+        # clocks by construction; see repro.replay).  The first batch of a
+        # given shape records — a normal simulated solve — so misses and
+        # faulted/resilient batches always take the simulator.
+        replays_before = 0
+        if (self.config.replay and hit and self.config.device == "cpu"
+                and "faults" not in kw and self.resilience is None):
+            kw["replay"] = True
+            from repro.replay import replay_state
+
+            replays_before = replay_state(solver).stats.replays
         out = solver.solve_blocked(B, rhs_block=self.policy.max_batch, **kw)
+        replayed = False
+        if kw.get("replay"):
+            st = replay_state(solver)
+            replayed = st.stats.replays > replays_before
+            if replayed:
+                res.n_replayed += 1
+            if self.invariants:
+                # Replayed batches must still reconcile with the
+                # observability layer: the copied timing result obeys the
+                # same conservation laws as a live simulation.
+                from repro.check.invariants import check_metrics, check_sim
+
+                check_sim(out.report.sim)
+                if out.report.metrics is not None:
+                    check_metrics(out.report)
         solve_time = (out.resilience.total_time if out.resilience is not None
                       else out.report.total_time)
         if comm is not None and out.report.metrics is not None:
@@ -414,7 +449,7 @@ class SolveService:
             batch_id=batch_id, matrix=name, scale=scale, size=len(columns),
             request_ids=[r.id for r in live], t_dispatch=t,
             t_complete=t_done, cache_hit=hit, setup_time=setup,
-            solve_time=solve_time))
+            solve_time=solve_time, replayed=replayed))
         if self.verify_fraction > 0.0:
             self._verify_batch(solver, live, columns, col_of, X, res,
                                batch_id, faulted="faults" in kw)

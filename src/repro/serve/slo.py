@@ -54,6 +54,7 @@ class SLOReport:
     batch_hist: dict = field(default_factory=dict)       # size -> count
     batch_mean: float = 0.0
     deduped: int = 0               # duplicate requests coalesced into solves
+    n_replayed: int = 0            # batches served by the replay fast path
 
     # sampled per-request integrity verification (scenario hardening)
     n_verified: int = 0            # completions re-checked against contract
@@ -100,7 +101,8 @@ def build_slo(*, n_requests: int, latencies: list[float],
               makespan: float, comm=None,
               queue_time_mean: float | None = None, deduped: int = 0,
               n_verified: int = 0,
-              n_integrity_failures: int = 0) -> SLOReport:
+              n_integrity_failures: int = 0,
+              n_replayed: int = 0) -> SLOReport:
     """Fold raw service-loop records into an :class:`SLOReport`.
 
     ``cache_stats`` is a :class:`~repro.serve.cache.CacheStats`; ``comm``
@@ -140,6 +142,7 @@ def build_slo(*, n_requests: int, latencies: list[float],
         deduped=deduped,
         n_verified=n_verified,
         n_integrity_failures=n_integrity_failures,
+        n_replayed=n_replayed,
     )
     for r in shed_reasons:
         rep.shed_by_reason[r] = rep.shed_by_reason.get(r, 0) + 1
@@ -177,6 +180,9 @@ def format_slo(rep: SLOReport, title: str = "SLO report") -> str:
     if rep.deduped:
         lines.append(f"  deduped           {rep.deduped} duplicate requests "
                      f"coalesced")
+    if rep.n_replayed:
+        lines.append(f"  replayed          {rep.n_replayed} batches on the "
+                     f"compiled fast path")
     if rep.n_verified:
         lines.append(f"integrity           {rep.n_verified} sampled, "
                      f"{rep.n_integrity_failures} failures")

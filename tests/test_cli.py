@@ -53,6 +53,28 @@ def test_info(capsys):
     assert "memory-bound" in out
 
 
+def test_replay_info(capsys):
+    rc = main(["replay", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--grid", "1x1x4", "--max-supernode", "8", "--info"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replay program" in out
+    assert "kernels" in out
+    assert "messages" in out
+    assert "est. virtual time" in out
+    # --info skips the demonstration solve
+    assert "recording solve" not in out
+
+
+def test_replay_demo_bit_identical(capsys):
+    rc = main(["replay", "--matrix", "s2D9pt2048", "--scale", "tiny",
+               "--grid", "1x1x2", "--max-supernode", "8",
+               "--algorithm", "baseline3d"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bit-identical      : True" in out
+
+
 def test_tune(capsys):
     rc = main(["tune", "--matrix", "s2D9pt2048", "--scale", "tiny",
                "--ranks", "4", "--symbolic", "fixed",

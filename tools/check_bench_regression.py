@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_serve.json.
+
+Compares a freshly generated benchmark artifact (the *candidate*) against
+the checked-in baseline and fails (exit 1) when the replay fast path has
+regressed.  Three checks, in increasing strictness:
+
+1. **Virtual throughput** per batch cap must match the baseline within
+   1% — virtual time is deterministic, so any drift here is a functional
+   change to the serving tier or cost model, not noise.  (Skipped with a
+   notice when the two artifacts were generated at different matrix
+   scales, where the virtual numbers are legitimately different.)
+2. **Replay speedup** (simulated wall / replay wall at the widest cap)
+   must not regress more than 20% against the baseline.  Raw wall-clock
+   throughput is not comparable across machines, but the *ratio* of the
+   two legs — measured back-to-back on the same host in the same run —
+   is: both legs share the factorization, the workload, and the BLAS, so
+   the ratio isolates exactly the dispatch cost the replay compiler
+   removes.
+3. The headline speedup must stay at or above the artifact's recorded
+   acceptance floor (5x), the bar ISSUE 7 fixed.
+
+Usage::
+
+    python tools/check_bench_regression.py CANDIDATE BASELINE
+
+CI regenerates ``BENCH_serve.json`` in the serve-smoke job and gates it
+against the copy from the checked-out revision.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+VIRTUAL_TOL = 0.01      # deterministic: anything past rounding is a change
+SPEEDUP_TOL = 0.20      # wall-clock ratio: allow 20% host noise
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("sweep", "headline", "config"):
+        if key not in doc:
+            raise SystemExit(f"error: {path} has no {key!r} section "
+                             f"(schema_version {doc.get('schema_version')})")
+    return doc
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    cand = load(argv[1])
+    base = load(argv[2])
+    failures = []
+
+    if cand["config"].get("scale") != base["config"].get("scale"):
+        print(f"note: scale differs (candidate "
+              f"{cand['config'].get('scale')!r} vs baseline "
+              f"{base['config'].get('scale')!r}); skipping the virtual-"
+              f"throughput determinism check")
+    else:
+        for cap in sorted(base["sweep"], key=int):
+            if cap not in cand["sweep"]:
+                failures.append(f"cap {cap} missing from candidate sweep")
+                continue
+            b = base["sweep"][cap]["virtual_throughput_req_s"]
+            c = cand["sweep"][cap]["virtual_throughput_req_s"]
+            if abs(c - b) > VIRTUAL_TOL * b:
+                failures.append(
+                    f"virtual throughput changed at cap {cap}: "
+                    f"{b:.1f} -> {c:.1f} req/s (> {VIRTUAL_TOL:.0%}); "
+                    f"virtual time is deterministic, so this is a "
+                    f"functional change — update the baseline deliberately "
+                    f"if intended")
+
+    b_speed = base["headline"]["replay_speedup"]
+    c_speed = cand["headline"]["replay_speedup"]
+    floor = cand["headline"].get("acceptance_floor", 5.0)
+    print(f"replay speedup at max-batch {cand['headline']['max_batch']}: "
+          f"candidate {c_speed:.2f}x, baseline {b_speed:.2f}x "
+          f"(floor {floor:.1f}x)")
+    if c_speed < (1.0 - SPEEDUP_TOL) * b_speed:
+        failures.append(
+            f"replay speedup regressed >{SPEEDUP_TOL:.0%}: "
+            f"{b_speed:.2f}x -> {c_speed:.2f}x")
+    if c_speed < floor:
+        failures.append(
+            f"replay speedup {c_speed:.2f}x below the {floor:.1f}x "
+            f"acceptance floor")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("bench regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
