@@ -37,6 +37,7 @@ from repro.check.fuzz import (
 from repro.check.invariants import (
     InvariantViolation,
     check_cache,
+    check_fleet,
     check_metrics,
     check_serve,
     check_sim,
@@ -50,6 +51,7 @@ __all__ = [
     "FuzzReport",
     "InvariantViolation",
     "check_cache",
+    "check_fleet",
     "check_metrics",
     "check_serve",
     "check_sim",

@@ -30,7 +30,13 @@ every applicable path of the case and cross-checks them:
 - every run passes the :mod:`repro.check.invariants` layer (time /
   message / metrics conservation), and serve cases additionally pass the
   serve-loop and cache conservation checks plus SLO-report replay
-  equality.
+  equality;
+- *fleet* cases run a sharded multi-worker fleet (random worker count,
+  replication factor, Zipf skew and optional mid-run worker crash
+  windows) twice: the :class:`~repro.fleet.report.FleetReport` must be
+  byte-identical across the two runs and the full
+  :func:`~repro.check.invariants.check_fleet` conservation catalog must
+  hold — crashes re-route work, they never lose or duplicate a request.
 
 Failures come back as a :class:`CaseResult` with human-readable mismatch
 strings; :mod:`repro.check.reduce` shrinks them and writes corpus repro
@@ -91,6 +97,9 @@ GENERATORS = {
 #: Suite matrices serve cases draw their workload mix from (tiny scale).
 SERVE_MATRICES = ("s2D9pt2048", "nlpkkt80")
 
+#: Suite matrices fleet cases shard over (tiny scale).
+FLEET_MATRICES = ("s2D9pt2048", "nlpkkt80", "ldoor")
+
 
 @dataclass(frozen=True)
 class FuzzCase:
@@ -98,7 +107,7 @@ class FuzzCase:
 
     index: int
     seed: int
-    kind: str = "solve"            # "solve" | "serve" | "scenario"
+    kind: str = "solve"            # "solve" | "serve" | "fleet" | "scenario"
     # -- solve cases --------------------------------------------------------
     generator: str = "poisson2d"
     size: int = 10
@@ -125,6 +134,11 @@ class FuzzCase:
     max_batch: int = 4
     max_wait: float = 1e-3
     queue_bound: int = 256
+    # -- fleet cases --------------------------------------------------------
+    workers: int = 0               # fleet size (> 0 only for fleet cases)
+    replication: int = 1           # ring successors per fingerprint
+    zipf_s: float = 1.0            # Zipf skew of the matrix mix
+    crash: tuple = ()              # ((worker, t_crash, t_recover), ...)
     # -- scenario cases -----------------------------------------------------
     scenario: str = ""             # catalog name; run at this case's seed
 
@@ -142,6 +156,15 @@ class FuzzCase:
         if self.kind == "scenario":
             return (f"scenario[{self.index}] {self.scenario} "
                     f"seed={self.seed}")
+        if self.kind == "fleet":
+            crash = ",".join(f"w{w}@{tc:g}:{tr:g}"
+                             for (w, tc, tr) in self.crash) or "none"
+            return (f"fleet[{self.index}] workers={self.workers} "
+                    f"repl={self.replication} zipf={self.zipf_s:g} "
+                    f"mix={','.join(self.matrices)} n={self.n_requests} "
+                    f"rate={self.rate:g} deadline={self.deadline:g} "
+                    f"batch={self.max_batch} bound={self.queue_bound} "
+                    f"crash={crash} grid={self.px}x{self.py}x{self.pz}")
         if self.kind == "serve":
             return (f"serve[{self.index}] mix={','.join(self.matrices)} "
                     f"n={self.n_requests} rate={self.rate:g} "
@@ -164,6 +187,7 @@ class FuzzCase:
     def to_json(self) -> str:
         doc = {"version": CASE_VERSION, **asdict(self)}
         doc["matrices"] = list(self.matrices)
+        doc["crash"] = [list(w) for w in self.crash]
         return json.dumps(doc, indent=1, sort_keys=True)
 
     @classmethod
@@ -172,6 +196,7 @@ class FuzzCase:
         if doc.pop("version", None) != CASE_VERSION:
             raise ValueError("unsupported fuzz-case version")
         doc["matrices"] = tuple(doc.get("matrices", ()))
+        doc["crash"] = tuple(tuple(w) for w in doc.get("crash", ()))
         return cls(**doc)
 
     def digest(self) -> str:
@@ -226,9 +251,11 @@ def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
     """Draw one case; consumes a fixed draw pattern so streams replay."""
     seed = int(rng.integers(0, 2**31 - 1))
     r = rng.random()
-    if r < 0.2:
+    if r < 0.14:
         return _draw_serve(rng, index, seed)
-    if r < 0.32:
+    if r < 0.26:
+        return _draw_fleet(rng, index, seed)
+    if r < 0.36:
         return _draw_scenario(rng, index, seed)
     gen = str(rng.choice(sorted(GENERATORS)))
     size = int(rng.choice(GENERATORS[gen][1]))
@@ -276,6 +303,34 @@ def _draw_scenario(rng: np.random.Generator, index: int,
     return FuzzCase(index=index, seed=seed, kind="scenario", scenario=name)
 
 
+def _draw_fleet(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
+    """A sharded-fleet case: random topology, skew and crash windows."""
+    k = int(rng.integers(1, len(FLEET_MATRICES) + 1))
+    mix = tuple(sorted(rng.choice(FLEET_MATRICES, size=k, replace=False)))
+    workers = int(rng.choice((2, 3, 4)))
+    fault_seed = int(rng.integers(0, 2**31 - 1))
+    crash: tuple = ()
+    if rng.random() < 0.5:
+        w = int(rng.integers(0, workers))
+        tc = float(rng.choice((0.0005, 0.001, 0.002)))
+        dur = float(rng.choice((0.002, 0.004)))
+        crash = ((w, tc, tc + dur),)
+    return FuzzCase(
+        index=index, seed=seed, kind="fleet", matrices=mix,
+        px=1, py=1, pz=int(rng.choice((1, 2))),
+        n_requests=int(rng.integers(8, 28)),
+        rate=float(rng.choice((2000.0, 8000.0, 1e6))),
+        deadline=float(rng.choice((0.01, 0.1))),
+        max_batch=int(rng.choice((2, 4, 8))),
+        max_wait=float(rng.choice((1e-4, 1e-3))),
+        queue_bound=int(rng.choice((8, 256))),
+        fault_seed=fault_seed,
+        workers=workers,
+        replication=int(rng.choice((1, 2))),
+        zipf_s=float(rng.choice((0.0, 1.0))),
+        crash=crash)
+
+
 def _draw_serve(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
     k = int(rng.integers(1, len(SERVE_MATRICES) + 1))
     mix = tuple(sorted(rng.choice(SERVE_MATRICES, size=k, replace=False)))
@@ -301,6 +356,8 @@ def run_case(case: FuzzCase) -> CaseResult:
     try:
         if case.kind == "serve":
             _run_serve_case(case, res)
+        elif case.kind == "fleet":
+            _run_fleet_case(case, res)
         elif case.kind == "scenario":
             _run_scenario_case(case, res)
         elif case.kind == "solve":
@@ -516,6 +573,56 @@ def _run_serve_case(case: FuzzCase, res: CaseResult) -> None:
         _check(res, bool(np.array_equal(r1.solutions[i], x.ravel())),
                f"serve: request {i} answer differs from its cold "
                f"single-RHS solve")
+
+
+def _run_fleet_case(case: FuzzCase, res: CaseResult) -> None:
+    """Double-run a sharded fleet: report bit-equality + conservation.
+
+    The case's crash windows become a ``repro.comm.faults`` schedule
+    (worker ``w`` down at ``t_crash``, back — cold — at ``t_recover``),
+    so re-routing, rollback and recovery are all on the fuzzed path.
+    """
+    from repro.check.invariants import check_fleet
+    from repro.comm.faults import FaultPlan, FaultSchedule
+    from repro.fleet import FleetConfig, FleetService
+    from repro.serve import (
+        BatchPolicy,
+        ServiceConfig,
+        WorkloadSpec,
+        generate_workload,
+        zipf_mix,
+    )
+
+    spec = WorkloadSpec(seed=case.seed, rate=case.rate,
+                        n_requests=case.n_requests,
+                        mix=zipf_mix(case.matrices, "tiny", case.zipf_s),
+                        deadline=case.deadline,
+                        priorities=((0, 3.0), (5, 1.0)))
+    wl = generate_workload(spec)
+    cfg = ServiceConfig(px=case.px, py=case.py, pz=case.pz)
+    policy = BatchPolicy(max_batch=case.max_batch, max_wait=case.max_wait,
+                         queue_bound=case.queue_bound)
+    sched = None
+    if case.crash:
+        sched = FaultSchedule(tuple(
+            (tc, tr, FaultPlan.uniform(seed=case.fault_seed, crash={w: tc}))
+            for (w, tc, tr) in case.crash))
+
+    def run():
+        fs = FleetService(
+            FleetConfig(workers=case.workers,
+                        replication=case.replication),
+            cfg, policy, crash_schedule=sched)
+        return fs, fs.run(wl)
+
+    fs, r1 = run()
+    res.checks += check_fleet(wl, r1, service=fs)
+    _, r2 = run()
+    _check(res, r1.report.to_json() == r2.report.to_json(),
+           "fleet: FleetReport not byte-identical across replays")
+    _check(res, r1.slo.n_completed + r1.slo.n_shed == len(wl),
+           f"fleet: completed {r1.slo.n_completed} + shed {r1.slo.n_shed} "
+           f"!= {len(wl)} requests (lost or duplicated work)")
 
 
 def _run_scenario_case(case: FuzzCase, res: CaseResult) -> None:

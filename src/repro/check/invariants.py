@@ -23,6 +23,12 @@ Catalog (see ``docs/CHECKING.md`` for the prose version):
   :func:`check_cache`.
 - :func:`check_cache` — ``resident_bytes == Σ entry.nbytes``,
   ``resident_entries == len(cache)``, peak/lookup counter consistency.
+- :func:`check_fleet` — the serve conservation laws lifted to a sharded
+  fleet: the request partition holds *globally* across every worker plus
+  the front door (crashes re-route, they never lose or duplicate a
+  request), per-worker batch/dedup/SLO accounting is self-consistent,
+  the fleet SLO fold equals the sum of its parts, and the event log is
+  monotone in virtual time with counters that match it.
 
 Plug-in points: ``Simulator(invariants=True)`` runs :func:`check_sim` on
 every result; ``SolveService(invariants=True)`` runs :func:`check_serve`
@@ -328,4 +334,143 @@ def check_serve(workload, result, service=None) -> int:
                     f"batch {b.batch_id} width {b.size} violates "
                     f"max_batch {service.policy.max_batch}")
         checks += check_cache(service.cache)
+    return checks
+
+
+def check_fleet(workload, result, service=None) -> int:
+    """Fleet-level conservation over one :class:`FleetResult`.
+
+    The single-service laws, lifted to N workers plus a front door: the
+    workload's requests partition exactly into global completions and
+    typed sheds (a crash re-routes work, it never loses or duplicates
+    it); each worker's batch, dedup and SLO accounting is
+    self-consistent; the fleet SLO fold agrees with the per-worker sums;
+    and the routing/rebalance event log is monotone in virtual time with
+    matching counters.  When ``service`` (the
+    :class:`~repro.fleet.service.FleetService`) is given, live caches
+    pass :func:`check_cache` and batch widths respect its policy.
+    """
+    from repro.serve.scheduler import RejectReason
+
+    all_ids = [r.id for r in workload.requests]
+    done = [c.request.id for c in result.completions]
+    shed = [r.request.id for r in result.rejections]
+    checks = 1
+    _ensure(len(set(all_ids)) == len(all_ids), "fleet.unique-request-ids",
+            "workload contains duplicate request ids")
+    checks += 1
+    _ensure(len(done) == len(set(done)), "fleet.single-completion",
+            f"request(s) completed more than once across the fleet: "
+            f"{sorted({i for i in done if done.count(i) > 1})}")
+    checks += 1
+    _ensure(len(shed) == len(set(shed)), "fleet.single-shed",
+            f"request(s) shed more than once across the fleet: "
+            f"{sorted({i for i in shed if shed.count(i) > 1})}")
+    checks += 1
+    _ensure(not set(done) & set(shed), "fleet.completed-xor-shed",
+            f"request(s) both completed and shed: "
+            f"{sorted(set(done) & set(shed))}")
+    checks += 1
+    _ensure(set(done) | set(shed) == set(all_ids),
+            "fleet.request-conservation",
+            f"n_requests {len(all_ids)} != completed {len(done)} + shed "
+            f"{len(shed)}; lost: {sorted(set(all_ids) - set(done) - set(shed))}"
+            f", invented: {sorted((set(done) | set(shed)) - set(all_ids))}")
+    for c in result.completions:
+        checks += 1
+        _ensure(c.t_complete >= c.request.arrival, "fleet.causal-completion",
+                f"request {c.request.id} completed at {c.t_complete} before "
+                f"its arrival {c.request.arrival}")
+    for rej in result.rejections:
+        checks += 1
+        _ensure(rej.reason in RejectReason, "fleet.typed-shed",
+                f"rejection of request {rej.request.id} has untyped reason "
+                f"{rej.reason!r}")
+        if rej.reason is RejectReason.DEADLINE_PASSED:
+            checks += 1
+            _ensure(rej.time > rej.request.deadline, "fleet.deadline-boundary",
+                    f"request {rej.request.id} shed as deadline-passed at "
+                    f"t={rej.time!r} <= its deadline "
+                    f"{rej.request.deadline!r}")
+
+    for i in sorted(result.workers):
+        wr = result.workers[i]
+        wdone = [c.request.id for c in wr.completions]
+        batched = [j for b in wr.batches for j in b.request_ids]
+        checks += 1
+        _ensure(sorted(batched) == sorted(wdone),
+                "fleet.worker-batch-conservation",
+                f"worker {i}: batched request ids != completed ids "
+                f"({len(batched)} batched vs {len(wdone)} completed) — a "
+                f"crash rollback left a stale batch or completion behind")
+        coalesced = sum(len(b.request_ids) - b.size for b in wr.batches)
+        checks += 1
+        _ensure(wr.deduped == coalesced, "fleet.worker-dedup-accounting",
+                f"worker {i}: deduped {wr.deduped} != batch fan-out sum "
+                f"{coalesced}")
+        for b in wr.batches:
+            checks += 1
+            _ensure(len(b.request_ids) >= b.size >= 1, "fleet.dedup-width",
+                    f"worker {i} batch {b.batch_id} solved {b.size} columns "
+                    f"for {len(b.request_ids)} requests")
+        slo = wr.slo
+        checks += 1
+        _ensure(slo.n_requests == len(wr.completions) + len(wr.rejections)
+                and slo.n_completed == len(wr.completions)
+                and slo.n_shed == len(wr.rejections)
+                and slo.n_batches == len(wr.batches),
+                "fleet.worker-slo-counts",
+                f"worker {i}: SLO counts ({slo.n_requests}/{slo.n_completed}/"
+                f"{slo.n_shed}/{slo.n_batches}) disagree with raw records")
+
+    agg = result.slo
+    checks += 1
+    _ensure(agg.n_requests == len(all_ids)
+            and agg.n_completed == len(done)
+            and agg.n_shed == len(shed),
+            "fleet.slo-counts",
+            f"fleet SLO counts ({agg.n_requests}/{agg.n_completed}/"
+            f"{agg.n_shed}) disagree with the merged records "
+            f"({len(all_ids)}/{len(done)}/{len(shed)})")
+    checks += 1
+    _ensure(sum(agg.shed_by_reason.values()) == agg.n_shed,
+            "fleet.shed-by-reason",
+            f"shed_by_reason sums to {sum(agg.shed_by_reason.values())}, "
+            f"n_shed is {agg.n_shed}")
+    parts = result.workers.values()
+    checks += 1
+    _ensure(agg.n_batches == sum(len(w.batches) for w in parts)
+            and agg.deduped == sum(w.deduped for w in parts)
+            and agg.n_replayed == sum(w.n_replayed for w in parts)
+            and agg.n_verified == sum(w.n_verified for w in parts)
+            and agg.n_integrity_failures == sum(len(w.integrity_failures)
+                                                for w in parts),
+            "fleet.slo-fold",
+            "fleet SLO aggregate disagrees with the per-worker sums")
+    times = [e["t"] for e in result.events]
+    checks += 1
+    _ensure(all(a <= b for a, b in zip(times, times[1:])),
+            "fleet.event-monotone",
+            "routing/rebalance event log is not monotone in virtual time")
+    by_kind: dict = {}
+    for e in result.events:
+        if not e["detail"].startswith("ignored"):
+            by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
+    cnt = result.counters
+    checks += 1
+    _ensure(cnt.get("n_crashes", 0) == by_kind.get("crash", 0)
+            and cnt.get("n_recoveries", 0) == by_kind.get("recover", 0)
+            and cnt.get("n_scale_up", 0) == by_kind.get("scale-up", 0)
+            and cnt.get("n_scale_down", 0) == by_kind.get("scale-down", 0),
+            "fleet.event-counters",
+            f"counters {cnt} disagree with the event log {by_kind}")
+    if service is not None:
+        for i in sorted(result.workers):
+            for b in result.workers[i].batches:
+                checks += 1
+                _ensure(1 <= b.size <= service.policy.max_batch,
+                        "fleet.batch-width",
+                        f"worker {i} batch {b.batch_id} width {b.size} "
+                        f"violates max_batch {service.policy.max_batch}")
+            checks += check_cache(service.workers[i].svc.cache)
     return checks

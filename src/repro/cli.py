@@ -31,6 +31,12 @@ trace, and replay it (byte-identical SLO report both times)::
         --rate 2000 --grid 1x1x2 --save-trace /tmp/wl.json
     python -m repro serve --replay /tmp/wl.json --grid 1x1x2
 
+Run the same stream through a sharded 4-worker fleet, crashing worker 1
+mid-run (the FleetReport is byte-identical on replay)::
+
+    python -m repro fleet --workers 4 --requests 64 --zipf 1.0 \
+        --crash 1@0.004:0.009 --json
+
 Differentially fuzz the solver and serving stacks (seeded, replayable;
 failures are shrunk and written to tests/corpus/)::
 
@@ -321,6 +327,95 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _parse_crash(text: str):
+    """Parse ``W@TC:TR[,W@TC:TR...]`` into a worker-crash FaultSchedule."""
+    from repro.comm.faults import FaultPlan, FaultSchedule
+
+    phases = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            w_text, window = part.split("@")
+            tc_text, tr_text = window.split(":")
+            w, tc, tr = int(w_text), float(tc_text), float(tr_text)
+        except ValueError:
+            raise SystemExit(
+                f"error: --crash windows look like 1@0.004:0.009 "
+                f"(worker@t_crash:t_recover), got {part!r}")
+        if tr <= tc:
+            raise SystemExit(
+                f"error: --crash recovery must follow the crash, got {part!r}")
+        phases.append((tc, tr, FaultPlan.uniform(seed=w, crash={w: tc})))
+    if not phases:
+        raise SystemExit(f"error: --crash got no windows in {text!r}")
+    return FaultSchedule(tuple(sorted(phases)))
+
+
+def cmd_fleet(args) -> int:
+    """Run a Zipf-skewed workload through a sharded multi-worker fleet."""
+    from repro.fleet import (
+        AutoscalerPolicy,
+        FleetConfig,
+        FleetService,
+        format_fleet,
+    )
+    from repro.serve import (
+        BatchPolicy,
+        ServiceConfig,
+        WorkloadSpec,
+        generate_bulk_workload,
+        generate_workload,
+        zipf_mix,
+    )
+
+    px, py, pz = _parse_grid(args.grid)
+    names = [m.strip() for m in args.matrices.split(",") if m.strip()]
+    unknown = [m for m in names if m not in PAPER_MATRICES]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown suite matrices {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(PAPER_MATRICES))}")
+    spec = WorkloadSpec(seed=args.seed, rate=args.rate,
+                        n_requests=args.requests,
+                        mix=zipf_mix(names, args.scale, s=args.zipf),
+                        deadline=args.deadline)
+    gen = generate_bulk_workload if args.bulk else generate_workload
+    wl = gen(spec)
+
+    crash_schedule = _parse_crash(args.crash) if args.crash else None
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerPolicy(
+            period=args.scale_period,
+            min_workers=min(args.workers, args.max_workers),
+            max_workers=args.max_workers)
+    fs = FleetService(
+        FleetConfig(workers=args.workers, vnodes=args.vnodes,
+                    replication=args.replication,
+                    ring_seed=args.ring_seed,
+                    admit_bound=args.admit_bound),
+        ServiceConfig(px=px, py=py, pz=pz, machine=args.machine,
+                      algorithm=args.algorithm,
+                      max_supernode=args.max_supernode,
+                      symbolic_mode=args.symbolic),
+        BatchPolicy(max_batch=args.max_batch, max_wait=args.max_wait,
+                    queue_bound=args.queue_bound),
+        crash_schedule=crash_schedule, autoscaler=autoscaler)
+    res = fs.run(wl)
+    if args.out:
+        res.report.save(args.out)
+        print(f"wrote FleetReport to {args.out}")
+    if args.json:
+        print(res.report.to_json())
+    elif not args.out:
+        title = (f"fleet report — {len(wl)} requests, {args.workers} workers, "
+                 f"grid {px}x{py}x{pz}, {args.algorithm} on {args.machine}")
+        print(format_fleet(res.report, title=title))
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     """Differential fuzzing: random configs, cross-checked paths."""
     from repro.check import FuzzCase, fuzz, run_case, shrink, write_repro
@@ -603,6 +698,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the SLO report as JSON")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run a Zipf-skewed workload through a sharded multi-worker "
+             "fleet with crash/recovery and optional autoscaling")
+    p.add_argument("--matrices",
+                   default="s2D9pt2048,nlpkkt80,ldoor",
+                   help="comma-separated suite matrix mix (Zipf weights by "
+                        "listed order)")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "small", "medium"])
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of generated requests")
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="mean arrival rate (requests per virtual second)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=0.1,
+                   help="relative completion budget per request (virtual s)")
+    p.add_argument("--zipf", type=float, default=1.0,
+                   help="Zipf skew exponent s over the matrix mix")
+    p.add_argument("--bulk", action="store_true",
+                   help="use the vectorized bulk generator (scales to "
+                        "millions of requests; different trace than the "
+                        "scalar generator)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="initial fleet size")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per worker on the hash ring")
+    p.add_argument("--replication", type=int, default=1,
+                   help="distinct owners per matrix fingerprint")
+    p.add_argument("--ring-seed", type=int, default=0,
+                   help="seed for the ring's vnode placement")
+    p.add_argument("--admit-bound", type=int, default=None,
+                   help="front-door bound on summed logical queue depth")
+    p.add_argument("--crash", default=None, metavar="W@TC:TR[,...]",
+                   help="worker crash windows, e.g. 1@0.004:0.009 crashes "
+                        "worker 1 at t=4ms and recovers it (cold cache) at "
+                        "t=9ms")
+    p.add_argument("--autoscale", action="store_true",
+                   help="enable the queue-depth/latency autoscaler")
+    p.add_argument("--max-workers", type=int, default=8,
+                   help="autoscaler ceiling")
+    p.add_argument("--scale-period", type=float, default=2e-3,
+                   help="autoscaler tick period (virtual s)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="batch width cap (nrhs per dispatched solve)")
+    p.add_argument("--max-wait", type=float, default=1e-3,
+                   help="max age of the oldest queued request (virtual s)")
+    p.add_argument("--queue-bound", type=int, default=256,
+                   help="per-worker admission-control queue depth bound")
+    p.add_argument("--grid", default="1x1x2", help="PxxPyxPz, e.g. 1x1x4")
+    p.add_argument("--machine", default="cori-haswell",
+                   help=f"one of: {', '.join(sorted(MACHINES))}")
+    p.add_argument("--algorithm", default="new3d",
+                   choices=["new3d", "baseline3d"])
+    p.add_argument("--max-supernode", type=int, default=16)
+    p.add_argument("--symbolic", default="detect",
+                   choices=["detect", "fixed"])
+    p.add_argument("--json", action="store_true",
+                   help="print the FleetReport as JSON")
+    p.add_argument("--out", default=None, metavar="OUT.json",
+                   help="write the FleetReport JSON to a file")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "scenarios",

@@ -1,0 +1,47 @@
+"""``repro.fleet`` — a sharded multi-worker serving tier, in virtual time.
+
+The paper's argument is about scaling SpTRSV *across* a cluster; this
+package scales the serving tier the same way.  A fleet is N independent
+:class:`~repro.serve.service.SolveService` workers (per-shard
+factorization caches, schedulers and clocks) behind a consistent-hash
+front door (:mod:`~repro.fleet.ring`) that routes requests by matrix
+content fingerprint, with replication for hot matrices, front-door
+admission control, worker crash + recovery driven by
+``repro.comm.faults`` schedules (:mod:`~repro.fleet.service`), and a
+queue-depth/latency autoscaler (:mod:`~repro.fleet.autoscaler`).  One
+run folds into a byte-identical :class:`~repro.fleet.report.FleetReport`
+(:mod:`~repro.fleet.report`), replayable from a seed.
+
+Entry points: the ``repro fleet`` CLI subcommand and
+``benchmarks/bench_fleet.py``; the guided tour is ``docs/FLEET.md``.
+"""
+
+from repro.fleet.autoscaler import Autoscaler, AutoscalerPolicy, ScaleDecision
+from repro.fleet.report import (
+    FLEET_REPORT_VERSION,
+    FleetReport,
+    build_fleet_report,
+    format_fleet,
+)
+from repro.fleet.ring import HashRing
+from repro.fleet.service import (
+    FleetConfig,
+    FleetResult,
+    FleetService,
+    crash_windows,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "FLEET_REPORT_VERSION",
+    "FleetConfig",
+    "FleetReport",
+    "FleetResult",
+    "FleetService",
+    "HashRing",
+    "ScaleDecision",
+    "build_fleet_report",
+    "crash_windows",
+    "format_fleet",
+]

@@ -1,0 +1,96 @@
+"""Queue-depth / latency autoscaler for the fleet tier.
+
+The autoscaler is evaluated at fixed virtual-time ticks (``period``), on
+metrics the fleet loop already maintains in the ``repro.obs`` style —
+point-in-time gauges (per-worker logical queue depth) plus a windowed
+latency percentile (p95 of the completions since the previous tick).  It
+is deliberately a pure decision function over those samples:
+
+- **scale up** when the mean logical depth per routable worker exceeds
+  ``high_depth``, or the windowed latency p95 exceeds ``high_latency``
+  (when set) — one worker per tick, up to ``max_workers``;
+- **scale down** when the mean depth falls below ``low_depth`` *and* the
+  latency signal is quiet — the least-loaded worker is drained (removed
+  from the ring, queue served to empty) rather than killed;
+- ``cooldown_ticks`` ticks must pass after any action before the next,
+  so one burst cannot flap the fleet.
+
+Determinism: decisions depend only on virtual-time samples, so a replay
+of the same workload reproduces the same scaling event log byte for
+byte (the ``FleetReport`` CI diff covers runs with the autoscaler on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Tunable thresholds of the fleet autoscaler."""
+
+    period: float = 2e-3          # virtual seconds between evaluations
+    high_depth: float = 8.0       # mean logical depth/worker that adds one
+    low_depth: float = 1.0        # mean depth below which one drains
+    high_latency: float | None = None  # windowed p95 bound (None = depth only)
+    min_workers: int = 1
+    max_workers: int = 8
+    cooldown_ticks: int = 2       # ticks to hold after any action
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if self.low_depth > self.high_depth:
+            raise ValueError("low_depth must not exceed high_depth")
+        if self.cooldown_ticks < 0:
+            raise ValueError("cooldown_ticks must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One autoscaler verdict: ``action`` is 'up', 'down' or 'hold'."""
+
+    action: str
+    reason: str
+
+
+class Autoscaler:
+    """Stateful wrapper: policy + cooldown bookkeeping between ticks."""
+
+    def __init__(self, policy: AutoscalerPolicy | None = None):
+        self.policy = policy or AutoscalerPolicy()
+        self._cooldown = 0
+
+    def decide(self, depths: dict[int, int], n_routable: int,
+               latency_p95: float | None) -> ScaleDecision:
+        """Evaluate one tick.
+
+        ``depths`` maps routable worker -> logical queue depth (queued +
+        routed-but-unadmitted); ``latency_p95`` is the p95 over the
+        completions of the window just ended (``None`` when it saw none).
+        """
+        pol = self.policy
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return ScaleDecision("hold", "cooldown")
+        if n_routable <= 0:
+            return ScaleDecision("hold", "no routable workers")
+        mean_depth = sum(depths.values()) / n_routable
+        hot_latency = (pol.high_latency is not None
+                       and latency_p95 is not None
+                       and latency_p95 > pol.high_latency)
+        if (mean_depth > pol.high_depth or hot_latency) \
+                and n_routable < pol.max_workers:
+            self._cooldown = pol.cooldown_ticks
+            why = (f"latency p95 {latency_p95:.3e} > {pol.high_latency:.3e}"
+                   if hot_latency else
+                   f"mean depth {mean_depth:.2f} > {pol.high_depth:.2f}")
+            return ScaleDecision("up", why)
+        if mean_depth < pol.low_depth and not hot_latency \
+                and n_routable > pol.min_workers:
+            self._cooldown = pol.cooldown_ticks
+            return ScaleDecision(
+                "down", f"mean depth {mean_depth:.2f} < {pol.low_depth:.2f}")
+        return ScaleDecision("hold", "within band")

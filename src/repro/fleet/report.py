@@ -1,0 +1,133 @@
+"""FleetReport: the byte-identical artifact of one fleet run.
+
+A :class:`FleetReport` is to the fleet what the SLO report is to one
+service: everything an operator (or the CI diff job) needs, serialized
+with ``sort_keys`` and a fixed indent so two replays of the same seed
+render the same bytes.  It nests:
+
+- ``config`` — the full fleet topology (ring, replication, admission
+  bound, autoscaler policy, crash windows) plus the per-worker solver
+  configuration, so the artifact is self-describing;
+- ``fleet`` — the aggregate SLO fold over every worker plus the front
+  door;
+- ``workers`` — one entry per worker that ever ran: its own SLO report,
+  final state, incarnation count and routing counters;
+- ``events`` — the ordered routing/rebalance log: crashes, recoveries,
+  scale-ups, scale-downs, each at its virtual instant;
+- ``counters`` — fleet totals (re-routes, crashes, scaling actions,
+  front-door sheds by reason).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+FLEET_REPORT_VERSION = 1
+
+
+@dataclass
+class FleetReport:
+    """Deterministic, serializable summary of one fleet run."""
+
+    version: int = FLEET_REPORT_VERSION
+    config: dict = field(default_factory=dict)
+    n_requests: int = 0
+    fleet: dict = field(default_factory=dict)      # aggregate SLO document
+    workers: dict = field(default_factory=dict)    # str(index) -> summary
+    events: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=1, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")
+
+
+def build_fleet_report(service, workload, result) -> FleetReport:
+    """Fold a :class:`~repro.fleet.service.FleetService` run into a report."""
+    from repro.fleet.service import crash_windows
+
+    fl, cfg, pol = service.fleet, service.config, service.policy
+    config = {
+        "workers": fl.workers,
+        "vnodes": fl.vnodes,
+        "replication": fl.replication,
+        "ring_seed": fl.ring_seed,
+        "admit_bound": fl.admit_bound,
+        "grid": f"{cfg.px}x{cfg.py}x{cfg.pz}",
+        "machine": cfg.machine,
+        "algorithm": cfg.algorithm,
+        "max_batch": pol.max_batch,
+        "max_wait": pol.max_wait,
+        "queue_bound": pol.queue_bound,
+        "autoscaler": (asdict(service.autoscaler)
+                       if service.autoscaler is not None else None),
+        "crash_windows": [[tc, tr, w] for (tc, tr, w)
+                          in crash_windows(service.crash_schedule)],
+    }
+    workers = {}
+    for i in sorted(result.workers):
+        ws = service.workers[i]
+        workers[str(i)] = {
+            "slo": json.loads(result.workers[i].slo.to_json()),
+            "final_state": ws.state,
+            "incarnations": ws.incarnations,
+            "n_routed": ws.n_routed,
+            "n_rerouted_away": ws.n_rerouted_away,
+        }
+    return FleetReport(
+        config=config,
+        n_requests=len(workload),
+        fleet=json.loads(result.slo.to_json()),
+        workers=workers,
+        events=list(result.events),
+        counters=dict(result.counters))
+
+
+def format_fleet(report: FleetReport, title: str = "Fleet report") -> str:
+    """Render a report as stable, diffable text (no wall clock anywhere)."""
+    cfg, agg = report.config, report.fleet
+    lines = [title, "=" * len(title)]
+    lines.append(f"topology            {cfg['workers']} workers, "
+                 f"{cfg['vnodes']} vnodes, "
+                 f"replication {cfg['replication']}, "
+                 f"ring seed {cfg['ring_seed']}")
+    lines.append(f"requests            {report.n_requests}")
+    lines.append(f"  completed         {agg['n_completed']}")
+    shed = ", ".join(f"{k}={v}"
+                     for k, v in sorted(agg["shed_by_reason"].items()))
+    lines.append(f"  shed              {agg['n_shed']}"
+                 + (f"  ({shed})" if shed else ""))
+    lines.append(f"  deadlines met     {agg['n_deadline_met']}  "
+                 f"({100.0 * agg['deadline_met_rate']:.1f}% of completed)")
+    lines.append(f"latency p50/p95/p99 {agg['latency_p50']:.3e} / "
+                 f"{agg['latency_p95']:.3e} / {agg['latency_p99']:.3e} s")
+    lines.append(f"throughput          {agg['throughput']:.1f} req/s over "
+                 f"{agg['makespan']:.3e} s makespan")
+    cnt = report.counters
+    lines.append(f"resilience          {cnt.get('n_crashes', 0)} crashes, "
+                 f"{cnt.get('n_recoveries', 0)} recoveries, "
+                 f"{cnt.get('n_rerouted', 0)} requests re-routed")
+    if cnt.get("n_scale_up", 0) or cnt.get("n_scale_down", 0):
+        lines.append(f"autoscaler          {cnt['n_scale_up']} scale-ups, "
+                     f"{cnt['n_scale_down']} scale-downs")
+    lines.append("per worker")
+    for idx in sorted(report.workers, key=int):
+        w = report.workers[idx]
+        slo = w["slo"]
+        lines.append(
+            f"  [{idx}] {w['final_state']:<8s} "
+            f"routed {w['n_routed']:>5d}  done {slo['n_completed']:>5d}  "
+            f"shed {slo['n_shed']:>4d}  batches {slo['n_batches']:>4d}  "
+            f"cache {100.0 * slo['cache_hit_rate']:5.1f}%  "
+            f"incarnations {w['incarnations']}")
+    if report.events:
+        lines.append("events")
+        for e in report.events:
+            who = "fleet" if e["worker"] is None else f"w{e['worker']}"
+            lines.append(f"  t={e['t']:.6f}  {e['kind']:<10s} {who:<6s} "
+                         f"{e['detail']}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Consistent-hash ring: which worker owns which matrix fingerprint.
+
+The fleet's front door routes every request by the *content fingerprint*
+of the matrix it wants solved (``matrix_fingerprint``), so all traffic
+for one matrix lands on the shard whose :class:`FactorizationCache`
+already holds its factorization.  The ring is the classic
+Karger/Dynamo-style construction:
+
+- each worker contributes ``vnodes`` points on a 64-bit circle, placed
+  by a keyed blake2b hash of ``(ring seed, worker index, vnode index)``;
+- a key routes to the first ``n`` *distinct* workers clockwise from the
+  key's own point (``n > 1`` is the replication set for hot matrices);
+- adding or removing a worker only remaps the keys whose clockwise walk
+  crossed that worker's points — an expected ``1/N`` fraction of the key
+  space, never a full reshuffle (``tests/test_fleet.py`` pins the bound).
+
+Everything is derived from stable content hashes (never Python's
+process-randomized ``hash()``), so two processes with the same seed and
+membership route identically — the property the byte-identical
+``FleetReport`` replays stand on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(text: str) -> int:
+    """Stable 64-bit ring coordinate of ``text``."""
+    return int.from_bytes(hashlib.blake2b(text.encode(),
+                                          digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring over integer worker ids."""
+
+    def __init__(self, workers=(), vnodes: int = 64, seed: int = 0):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._points: list[tuple[int, int]] = []   # sorted (point, worker)
+        self._workers: set[int] = set()
+        for w in workers:
+            self.add(w)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: int) -> bool:
+        return worker in self._workers
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        return tuple(sorted(self._workers))
+
+    def add(self, worker: int) -> None:
+        if worker in self._workers:
+            raise ValueError(f"worker {worker} already on the ring")
+        self._workers.add(worker)
+        for v in range(self.vnodes):
+            pt = _point(f"{self.seed}:w{worker}:v{v}")
+            # Tie-break equal points by worker id so membership changes
+            # among *other* workers never reorder a collision.
+            bisect.insort(self._points, (pt, worker))
+
+    def remove(self, worker: int) -> None:
+        if worker not in self._workers:
+            raise ValueError(f"worker {worker} not on the ring")
+        self._workers.discard(worker)
+        self._points = [(pt, w) for (pt, w) in self._points if w != worker]
+
+    def route(self, key: str, n: int = 1) -> tuple[int, ...]:
+        """First ``n`` distinct workers clockwise from ``key``'s point.
+
+        Returns fewer than ``n`` when the ring has fewer members, and
+        ``()`` when it is empty.  The order is the preference order: the
+        first entry is the key's primary owner, the rest its replicas.
+        """
+        if not self._points:
+            return ()
+        n = min(n, len(self._workers))
+        start = bisect.bisect_left(self._points, (_point(f"k:{key}"), -1))
+        picked: list[int] = []
+        for i in range(len(self._points)):
+            _, w = self._points[(start + i) % len(self._points)]
+            if w not in picked:
+                picked.append(w)
+                if len(picked) == n:
+                    break
+        return tuple(picked)
+
+    def owner(self, key: str) -> int | None:
+        """The key's primary owner, or ``None`` on an empty ring."""
+        owners = self.route(key, 1)
+        return owners[0] if owners else None

@@ -24,7 +24,10 @@ gracefully under:
   crash, then heals) under the resilience envelope;
 - **displacement-flood** — a high-priority flood displacing queued
   low-priority work at admission;
-- **cache-thrash** — a wide matrix mix against a two-entry cache.
+- **cache-thrash** — a wide matrix mix against a two-entry cache;
+- **worker-crash-storm** — two of a three-worker fleet crash mid-run;
+  in-flight work re-routes, the recovered incarnations restart with
+  cold caches, and recovery p95 must stay bounded.
 
 Calibration note: virtual single-batch solves on the tiny suite run
 ~0.2–1.2 ms, so rates around 2 000 req/s are sustainable baseline load
@@ -227,6 +230,31 @@ def _catalog() -> tuple:
                 min_cache_evictions=4,
             ),
             tags=("cache",),
+        ),
+        Scenario(
+            name="worker-crash-storm",
+            summary="two of a three-worker fleet crash mid-run; re-route "
+                    "in-flight work, recover with cold caches, keep "
+                    "recovery p95 bounded",
+            seed=1010,
+            workers=3,
+            worker_crash=((0, 0.006, 0.012), (2, 0.008, 0.013)),
+            phases=(
+                PhaseSpec(label="baseline", n_requests=12, rate=2000.0,
+                          mix=(_M1, _M2, _M3), deadline=0.08),
+                PhaseSpec(label="storm", n_requests=16, rate=2000.0,
+                          mix=(_M1, _M2, _M3), deadline=0.08,
+                          disturbance=True),
+                PhaseSpec(label="recovery", n_requests=12, rate=2000.0,
+                          mix=(_M1, _M2, _M3), deadline=0.08),
+            ),
+            contract=DegradationContract(
+                min_completed_fraction=0.9,
+                forbid_sheds=("poison-input",),
+                recovery_p95_factor=4.0,
+                max_drain_time=0.1,
+            ),
+            tags=("fleet", "faults"),
         ),
     )
 

@@ -100,6 +100,9 @@ def build_workload(sc: Scenario) -> Workload:
     for fp in sc.fault_phases:
         dist_lo = fp.t0 if dist_lo is None else min(dist_lo, fp.t0)
         dist_hi = fp.t1 if dist_hi is None else max(dist_hi, fp.t1)
+    for _w, tc, tr in sc.worker_crash:
+        dist_lo = tc if dist_lo is None else min(dist_lo, tc)
+        dist_hi = tr if dist_hi is None else max(dist_hi, tr)
     meta = {"scenario": sc.name, "seed": sc.seed,
             "disturbance": (None if dist_lo is None
                             else [dist_lo, dist_hi])}
@@ -126,17 +129,53 @@ def build_fault_schedule(sc: Scenario) -> FaultSchedule | None:
     return FaultSchedule(tuple(phases))
 
 
-def build_service(sc: Scenario) -> SolveService:
+def build_worker_crash_schedule(sc: Scenario) -> FaultSchedule | None:
+    """The fleet's worker crash/recovery timeline (None if benign).
+
+    Each declared ``(worker, t_crash, t_recover)`` window becomes one
+    schedule phase whose plan crashes exactly that worker; the plan seed
+    derives from the scenario seed, per the RPR006 convention.
+    """
+    from repro.comm.faults import FaultPlan
+
+    if not sc.worker_crash:
+        return None
+    phases = []
+    for i, (w, tc, tr) in enumerate(sorted(sc.worker_crash)):
+        plan = FaultPlan.uniform(seed=_fault_seed(sc, i, "worker-crash"),
+                                 crash={w: tc})
+        phases.append((tc, tr, plan))
+    return FaultSchedule(tuple(phases))
+
+
+def build_service(sc: Scenario):
     """Wire a service exactly as the scenario declares it.
 
     Always: the poison-aware matrix provider, runtime invariants on, and
-    sampled integrity verification seeded from the scenario seed.
+    sampled integrity verification seeded from the scenario seed.  A
+    fleet-shaped scenario (``workers > 1`` or declared ``worker_crash``
+    windows) runs on a :class:`~repro.fleet.FleetService` instead — its
+    :class:`~repro.fleet.FleetResult` exposes the same ``slo`` /
+    ``completions`` / ``rejections`` surface the contract evaluator
+    reads.
     """
     px, py, pz = sc.grid
     config = ServiceConfig(px=px, py=py, pz=pz, machine=sc.machine,
                            algorithm=sc.algorithm)
     policy = BatchPolicy(max_batch=sc.max_batch, max_wait=sc.max_wait,
                          queue_bound=sc.queue_bound)
+    if sc.workers > 1 or sc.worker_crash:
+        from repro.fleet import FleetConfig, FleetService
+
+        return FleetService(
+            FleetConfig(workers=sc.workers),
+            config=config, policy=policy,
+            crash_schedule=build_worker_crash_schedule(sc),
+            fault_schedule=build_fault_schedule(sc),
+            matrix_provider=resolve_matrix,
+            invariants=True,
+            verify_fraction=sc.verify_fraction,
+            verify_seed=sc.seed ^ 0x5EED)
     cache = FactorizationCache(max_entries=sc.cache_entries)
     return SolveService(
         config=config, policy=policy, cache=cache,

@@ -145,6 +145,8 @@ class Scenario:
     phases: tuple                 # (PhaseSpec, ...)
     fault_phases: tuple = ()      # (FaultPhaseSpec, ...)
     contract: DegradationContract = DegradationContract()
+    workers: int = 1              # > 1 runs the episode on a fleet
+    worker_crash: tuple = ()      # ((worker, t_crash, t_recover), ...)
     grid: tuple = (1, 1, 2)
     machine: str = "cori-haswell"
     algorithm: str = "new3d"
@@ -161,6 +163,14 @@ class Scenario:
             raise ValueError("a scenario needs at least one phase")
         if not 0.0 <= self.verify_fraction <= 1.0:
             raise ValueError("verify_fraction must be in [0, 1]")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        for w, tc, tr in self.worker_crash:
+            if not 0 <= w < self.workers:
+                raise ValueError(f"crash names worker {w} of a "
+                                 f"{self.workers}-worker fleet")
+            if not tc < tr:
+                raise ValueError(f"crash window [{tc}, {tr}) is empty")
 
 
 @dataclass

@@ -36,7 +36,9 @@ from repro.serve.workload import (
     Request,
     Workload,
     WorkloadSpec,
+    generate_bulk_workload,
     generate_workload,
+    zipf_mix,
 )
 
 __all__ = [
@@ -59,5 +61,7 @@ __all__ = [
     "build_slo",
     "dedup_key",
     "format_slo",
+    "generate_bulk_workload",
     "generate_workload",
+    "zipf_mix",
 ]

@@ -52,6 +52,7 @@ class RejectReason(enum.Enum):
     DISPLACED = "displaced"          # evicted by a higher-priority arrival
     DEADLINE_PASSED = "deadline-passed"  # expired while queued
     POISON_INPUT = "poison-input"    # malformed matrix/RHS shed at dispatch
+    WORKER_CRASH = "worker-crash"    # fleet: no live worker to route to
 
     def __str__(self) -> str:  # stable text for SLO reports
         return self.value
@@ -169,6 +170,20 @@ class BatchingScheduler:
             else:
                 del self._queues[key]
         return shed
+
+    def drain(self) -> list[Request]:
+        """Remove and return every queued request (deterministic order).
+
+        The fleet tier uses this when a worker crashes or scales down: the
+        waiting room is evacuated wholesale and the requests re-routed
+        through the ring.  Order is by queue key then in-queue service
+        order, so two replays evacuate identically.
+        """
+        out: list[Request] = []
+        for key in sorted(self._queues):
+            out.extend(self._queues[key])
+        self._queues.clear()
+        return out
 
     # -- dispatch ------------------------------------------------------------
 

@@ -157,3 +157,69 @@ def generate_workload(spec: WorkloadSpec) -> Workload:
             "deadline": spec.deadline,
             "priorities": [list(p) for p in spec.priorities]}
     return Workload(requests=requests, meta=meta)
+
+
+def zipf_mix(matrices, scale: str = "tiny", s: float = 1.0) -> tuple:
+    """Zipf-skewed matrix mix: weight ``1/(rank+1)**s`` by list position.
+
+    The first matrix is the hottest; ``s`` is the skew exponent (``s=0``
+    is uniform, ``s=1`` the classic web-traffic skew where the top item
+    draws as much traffic as the entire tail).  Weights are exact
+    rationals of the rank, no RNG involved, so the same call always
+    yields the same mix — feed it to :class:`WorkloadSpec` (and through
+    it to either generator) for a popularity-skewed fleet workload.
+    """
+    if not matrices:
+        raise ValueError("zipf_mix needs at least one matrix")
+    if s < 0:
+        raise ValueError("zipf skew s must be >= 0")
+    return tuple((name, scale, 1.0 / (i + 1) ** s)
+                 for i, name in enumerate(matrices))
+
+
+def generate_bulk_workload(spec: WorkloadSpec) -> Workload:
+    """Vectorized workload generator for very large request counts.
+
+    Semantically the same family as :func:`generate_workload` (Poisson
+    arrivals, weighted mix, deadline jitter, priority classes) but drawn
+    with whole-array numpy sampling, which keeps a multi-million-request
+    fleet workload in the hundreds of milliseconds instead of minutes.
+    The draw *order* necessarily differs from the scalar generator (one
+    array per field rather than one tuple per request), so the two
+    generators produce different-but-individually-deterministic streams
+    from the same spec: same spec + same generator = bit-identical trace,
+    pinned by ``tests/test_fleet.py``.
+    """
+    if spec.rate <= 0:
+        raise ValueError("rate must be positive")
+    if spec.n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if not spec.mix:
+        raise ValueError("mix must name at least one matrix")
+    rng = np.random.default_rng(spec.seed)
+    n = spec.n_requests
+    mw = np.array([w for (_, _, w) in spec.mix], dtype=np.float64)
+    mw = mw / mw.sum()
+    pw = np.array([w for (_, w) in spec.priorities], dtype=np.float64)
+    pw = pw / pw.sum()
+
+    arrivals = np.cumsum(rng.exponential(1.0 / spec.rate, size=n))
+    mi = rng.choice(len(spec.mix), size=n, p=mw)
+    pi = rng.choice(len(spec.priorities), size=n, p=pw)
+    slack = spec.deadline * (0.75 + 0.5 * rng.random(size=n))
+    rhs_seeds = rng.integers(0, 2**31 - 1, size=n)
+
+    prio_of = [int(p) for (p, _) in spec.priorities]
+    requests = [Request(id=i, arrival=float(arrivals[i]),
+                        matrix=spec.mix[mi[i]][0], scale=spec.mix[mi[i]][1],
+                        rhs_seed=int(rhs_seeds[i]),
+                        deadline=float(arrivals[i] + slack[i]),
+                        priority=prio_of[pi[i]])
+                for i in range(n)]
+    meta = {"seed": spec.seed, "rate": spec.rate,
+            "n_requests": spec.n_requests,
+            "mix": [list(m) for m in spec.mix],
+            "deadline": spec.deadline,
+            "priorities": [list(p) for p in spec.priorities],
+            "generator": "bulk"}
+    return Workload(requests=requests, meta=meta)

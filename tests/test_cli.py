@@ -166,3 +166,44 @@ def test_lint_clean_and_dirty(tmp_path, capsys):
 
 def test_lint_src_tree_gate():
     assert main(["lint", "src"]) == 0
+
+
+def test_fleet_double_run_byte_identical(tmp_path, capsys):
+    out1, out2 = tmp_path / "f1.json", tmp_path / "f2.json"
+    argv = ["fleet", "--workers", "3", "--requests", "24", "--rate", "1e6",
+            "--matrices", "s2D9pt2048,nlpkkt80", "--crash", "1@0.0005:0.004"]
+    assert main(argv + ["--out", str(out1)]) == 0
+    assert main(argv + ["--out", str(out2)]) == 0
+    capsys.readouterr()
+    assert out1.read_bytes() == out2.read_bytes()
+
+
+def test_fleet_text_and_json(capsys):
+    import json
+
+    argv = ["fleet", "--workers", "2", "--requests", "16", "--rate", "1e6"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "fleet report" in out and "per worker" in out
+    assert main(argv + ["--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["n_requests"] == 16
+    assert doc["config"]["workers"] == 2
+
+
+def test_fleet_autoscale_smoke(capsys):
+    assert main(["fleet", "--workers", "1", "--requests", "32",
+                 "--rate", "1e6", "--autoscale", "--max-workers", "4",
+                 "--scale-period", "0.0005"]) == 0
+    out = capsys.readouterr().out
+    assert "scale-up" in out
+
+
+def test_fleet_error_paths():
+    with pytest.raises(SystemExit):
+        main(["fleet", "--requests", "4", "--crash", "bogus"])
+    with pytest.raises(SystemExit):
+        main(["fleet", "--requests", "4", "--crash", "1@0.009:0.004"])
+    with pytest.raises(SystemExit):
+        main(["fleet", "--requests", "4", "--matrices", "nosuch"])

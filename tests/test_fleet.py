@@ -1,0 +1,363 @@
+"""Tests for ``repro.fleet`` — ring, fleet service, autoscaler, reports.
+
+The headline properties pinned here:
+
+- a 1-worker fleet is *bit-identical* to a bare ``SolveService`` on the
+  same workload (same SLO JSON, same solutions);
+- every fleet run — including crash/recovery and autoscaled runs — folds
+  into a byte-identical ``FleetReport`` when replayed from the seed;
+- the consistent-hash ring remaps at most the expected key fraction when
+  workers join or leave, and replication spreads a hot fingerprint over
+  distinct workers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check import check_fleet
+from repro.comm.faults import FaultPlan, FaultSchedule
+from repro.fleet import (
+    Autoscaler,
+    AutoscalerPolicy,
+    FleetConfig,
+    FleetService,
+    HashRing,
+    crash_windows,
+)
+from repro.serve import (
+    BatchPolicy,
+    ServiceConfig,
+    SolveService,
+    WorkloadSpec,
+    generate_bulk_workload,
+    generate_workload,
+    zipf_mix,
+)
+
+GRID = dict(px=1, py=1, pz=2)
+
+
+def _workload(n=24, rate=1e6, seed=0, s=1.0,
+              matrices=("s2D9pt2048", "nlpkkt80", "ldoor")):
+    return generate_workload(WorkloadSpec(
+        seed=seed, rate=rate, n_requests=n,
+        mix=zipf_mix(matrices, "tiny", s=s), deadline=0.1))
+
+
+def _fleet(workers=3, crash=None, autoscaler=None, **kw):
+    return FleetService(
+        FleetConfig(workers=workers, **kw),
+        ServiceConfig(**GRID),
+        BatchPolicy(max_batch=4, max_wait=1e-3, queue_bound=64),
+        crash_schedule=crash, autoscaler=autoscaler, invariants=True)
+
+
+# ---------------------------------------------------------------- ring
+
+
+def test_ring_routes_to_known_workers():
+    ring = HashRing(range(4))
+    assert ring.workers == (0, 1, 2, 3)
+    assert len(ring) == 4
+    for key in ("a", "b", "c", "spTRSV"):
+        assert ring.owner(key) in ring.workers
+
+
+def test_ring_route_replication_distinct_workers():
+    ring = HashRing(range(5))
+    owners = ring.route("hot-matrix", n=3)
+    assert len(owners) == 3
+    assert len(set(owners)) == 3
+    # n larger than the fleet degrades to every worker, once each.
+    assert sorted(ring.route("k", n=99)) == [0, 1, 2, 3, 4]
+
+
+def test_ring_add_remove_remap_bound():
+    """Adding / removing one of W workers remaps ~1/W of the keys."""
+    keys = [f"key-{i}" for i in range(2000)]
+    ring = HashRing(range(8), vnodes=64)
+    before = {k: ring.owner(k) for k in keys}
+
+    ring.add(8)
+    after = {k: ring.owner(k) for k in keys}
+    moved = sum(1 for k in keys if before[k] != after[k])
+    # Expected 1/9 of keys move; allow 2x headroom for hash variance.
+    assert moved <= 2 * len(keys) / 9
+    # Every key that moved, moved *to* the new worker — nothing else
+    # reshuffles under consistent hashing.
+    assert all(after[k] == 8 for k in keys if before[k] != after[k])
+
+    ring.remove(8)
+    assert {k: ring.owner(k) for k in keys} == before
+
+
+def test_ring_stable_under_reseed():
+    """Same seed => same placement; different seed => different ring."""
+    keys = [f"m{i}" for i in range(500)]
+    a = HashRing(range(4), seed=7)
+    b = HashRing(range(4), seed=7)
+    c = HashRing(range(4), seed=8)
+    assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+    assert [a.owner(k) for k in keys] != [c.owner(k) for k in keys]
+
+
+def test_ring_edge_cases():
+    ring = HashRing()
+    assert ring.route("k") == ()
+    ring.add(3)
+    assert ring.owner("anything") == 3
+    assert 3 in ring
+    with pytest.raises(ValueError):
+        ring.add(3)
+    with pytest.raises(ValueError):
+        ring.remove(5)
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+
+
+# ----------------------------------------------------- workload: zipf
+
+
+def test_zipf_mix_weights():
+    mix = zipf_mix(("a", "b", "c"), "tiny", s=1.0)
+    assert [m[0] for m in mix] == ["a", "b", "c"]
+    assert [m[2] for m in mix] == [1.0, 0.5, pytest.approx(1 / 3)]
+    flat = zipf_mix(("a", "b"), "tiny", s=0.0)
+    assert [m[2] for m in flat] == [1.0, 1.0]
+    with pytest.raises(ValueError):
+        zipf_mix((), "tiny")
+    with pytest.raises(ValueError):
+        zipf_mix(("a",), "tiny", s=-1.0)
+
+
+def test_bulk_workload_seeded_determinism():
+    spec = WorkloadSpec(seed=11, rate=5e4, n_requests=4000,
+                        mix=zipf_mix(("a", "b", "c", "d"), "tiny", s=1.0),
+                        deadline=0.05)
+    w1, w2 = generate_bulk_workload(spec), generate_bulk_workload(spec)
+    assert w1.to_json() == w2.to_json()
+    assert len(w1) == 4000
+    assert w1.meta["generator"] == "bulk"
+    # Zipf skew shows: the rank-0 matrix dominates the draw.
+    counts = {}
+    for r in w1.requests:
+        counts[r.matrix] = counts.get(r.matrix, 0) + 1
+    assert counts["a"] > counts["b"] > counts["d"]
+    # Arrivals are sorted and strictly positive.
+    arr = [r.arrival for r in w1.requests]
+    assert arr == sorted(arr) and arr[0] > 0
+
+
+def test_bulk_workload_scales_to_millions():
+    spec = WorkloadSpec(seed=3, rate=1e6, n_requests=1_000_000,
+                        mix=zipf_mix(("a", "b"), "tiny"), deadline=0.05)
+    wl = generate_bulk_workload(spec)
+    assert len(wl) == 1_000_000
+    assert wl.requests[-1].id == 999_999
+
+
+def test_scalar_generator_unchanged_by_bulk_path():
+    """generate_workload's draw order must not change (replay compat)."""
+    spec = WorkloadSpec(seed=5, rate=2000.0, n_requests=8,
+                        mix=(("a", "tiny", 1.0),), deadline=0.1)
+    wl = generate_workload(spec)
+    rng = np.random.default_rng(5)
+    gaps = [rng.exponential(1 / 2000.0) for _ in range(8)]
+    assert wl.requests[0].arrival == pytest.approx(gaps[0])
+
+
+# -------------------------------------------------- fleet: 1-worker parity
+
+
+def test_single_worker_fleet_matches_solveservice():
+    wl = _workload(n=24)
+    svc = SolveService(ServiceConfig(**GRID),
+                       BatchPolicy(max_batch=4, max_wait=1e-3,
+                                   queue_bound=64),
+                       keep_solutions=True)
+    ref = svc.run(wl)
+    fs = FleetService(FleetConfig(workers=1), ServiceConfig(**GRID),
+                      BatchPolicy(max_batch=4, max_wait=1e-3,
+                                  queue_bound=64),
+                      keep_solutions=True, invariants=True)
+    res = fs.run(wl)
+    assert res.workers[0].slo.to_json() == ref.slo.to_json()
+    assert res.slo.to_json() == ref.slo.to_json()
+    assert set(res.solutions) == set(ref.solutions)
+    for rid, x in ref.solutions.items():
+        assert np.array_equal(res.solutions[rid], x)
+
+
+# ----------------------------------------------------- fleet: sharding
+
+
+def test_fleet_shards_by_fingerprint():
+    wl = _workload(n=30)
+    fs = _fleet(workers=3)
+    res = fs.run(wl)
+    assert res.slo.n_completed + res.slo.n_shed == len(wl)
+    # Same matrix always lands on the same worker (replication=1).
+    where = {}
+    for i, w in res.workers.items():
+        for c in fs.workers[i].res.completions:
+            where.setdefault(c.request.matrix, set()).add(i)
+    assert all(len(s) == 1 for s in where.values())
+    assert check_fleet(wl, res, service=fs) > 0
+
+
+def test_fleet_replication_spreads_hot_matrix():
+    wl = _workload(n=40, s=8.0)   # essentially one hot matrix
+    fs = _fleet(workers=4, replication=2)
+    res = fs.run(wl)
+    hot = max(((r.matrix, r.scale) for r in wl.requests),
+              key=[r.matrix for r in wl.requests].count)
+    served = {i for i, w in fs.workers.items()
+              for c in w.res.completions if c.request.matrix == hot[0]}
+    assert len(served) == 2
+    assert res.slo.n_completed + res.slo.n_shed == len(wl)
+
+
+def test_fleet_report_replayable_from_seed():
+    def run():
+        return _fleet(workers=3).run(_workload(n=24, seed=9))
+    assert run().report.to_json() == run().report.to_json()
+
+
+# ------------------------------------------------ fleet: crash/recovery
+
+
+def _crash(worker, tc, tr):
+    return FaultSchedule(
+        ((tc, tr, FaultPlan.uniform(seed=worker, crash={worker: tc})),))
+
+
+def test_crash_windows_clamps_into_phase():
+    sched = FaultSchedule((
+        (1e-3, 2e-3, FaultPlan.uniform(seed=0, crash={0: 5e-4, 1: 1.5e-3})),
+    ))
+    wins = crash_windows(sched)
+    assert wins == [(1e-3, 2e-3, 0), (1.5e-3, 2e-3, 1)]
+
+
+def test_fleet_crash_rerouted_and_conserved():
+    wl = _workload(n=40, rate=1e6)
+    fs = _fleet(workers=3, crash=_crash(1, 5e-4, 4e-3))
+    res = fs.run(wl)
+    assert res.counters["n_crashes"] == 1
+    assert res.counters["n_recoveries"] == 1
+    assert res.counters["n_rerouted"] > 0
+    assert res.slo.n_completed + res.slo.n_shed == len(wl)
+    assert fs.workers[1].incarnations == 2
+    # The recovered incarnation starts with a cold cache.
+    kinds = [e["kind"] for e in res.events]
+    assert kinds.count("crash") == 1 and kinds.count("recover") == 1
+    assert check_fleet(wl, res, service=fs) > 0
+
+
+def test_fleet_crash_run_byte_identical():
+    def run():
+        fs = _fleet(workers=3, crash=_crash(1, 5e-4, 4e-3))
+        return fs.run(_workload(n=40, rate=1e6))
+    assert run().report.to_json() == run().report.to_json()
+
+
+def test_fleet_crash_latency_counts_detour():
+    """Re-routed requests keep their original arrival: the detour shows
+    up as latency, not as a fresh request."""
+    wl = _workload(n=40, rate=1e6)
+    plain = _fleet(workers=3).run(wl)
+    crashed = _fleet(workers=3, crash=_crash(1, 5e-4, 4e-3)).run(wl)
+    assert crashed.slo.latency_p95 >= plain.slo.latency_p95
+
+
+def test_fleet_all_workers_down_sheds_typed():
+    wl = _workload(n=12, rate=1e6, matrices=("s2D9pt2048",))
+    fs = _fleet(workers=1, crash=_crash(0, 1e-5, 1.0))
+    res = fs.run(wl)
+    shed = [r for r in res.rejections if r.reason.value == "worker-crash"]
+    assert shed, "expected worker-crash sheds with no live workers"
+    assert res.slo.n_completed + res.slo.n_shed == len(wl)
+    assert check_fleet(wl, res, service=fs) > 0
+
+
+# --------------------------------------------------------- autoscaler
+
+
+def test_autoscaler_policy_decisions():
+    pol = AutoscalerPolicy(high_depth=8.0, low_depth=1.0,
+                           min_workers=1, max_workers=4, cooldown_ticks=1)
+    sc = Autoscaler(pol)
+    up = sc.decide({0: 20.0, 1: 20.0}, 2, None)
+    assert up.action == "up"
+    # Cooldown holds the next tick even under pressure.
+    assert sc.decide({0: 20.0, 1: 20.0}, 2, None).action == "hold"
+    down = sc.decide({0: 0.0, 1: 0.0, 2: 0.0}, 3, None)
+    assert down.action == "down"
+    assert sc.decide({0: 0.0}, 1, None).action == "hold"   # at min_workers
+    sc2 = Autoscaler(pol)
+    assert sc2.decide({i: 20.0 for i in range(4)}, 4,
+                      None).action == "hold"               # at max_workers
+
+
+def test_autoscaler_latency_signal():
+    pol = AutoscalerPolicy(high_depth=1e9, high_latency=1e-3,
+                           max_workers=4, cooldown_ticks=0)
+    sc = Autoscaler(pol)
+    assert sc.decide({0: 0.0}, 1, 5e-3).action == "up"
+    assert sc.decide({0: 0.0, 1: 0.0}, 2, 1e-4).action == "down"
+
+
+def test_autoscaler_policy_validation():
+    with pytest.raises(ValueError):
+        AutoscalerPolicy(min_workers=0)
+    with pytest.raises(ValueError):
+        AutoscalerPolicy(min_workers=4, max_workers=2)
+    with pytest.raises(ValueError):
+        AutoscalerPolicy(period=0.0)
+
+
+def test_fleet_autoscales_up_and_replays():
+    def run():
+        fs = _fleet(workers=1,
+                    autoscaler=AutoscalerPolicy(period=5e-4, max_workers=4))
+        return fs.run(_workload(n=48, rate=1e6))
+    res = run()
+    assert res.counters["n_scale_up"] > 0
+    assert res.slo.n_completed + res.slo.n_shed == 48
+    assert res.report.to_json() == run().report.to_json()
+
+
+# ------------------------------------------------------ report surface
+
+
+def test_fleet_report_shape():
+    fs = _fleet(workers=2, crash=_crash(0, 5e-4, 2e-3))
+    res = fs.run(_workload(n=20, rate=1e6))
+    doc = json.loads(res.report.to_json())
+    assert doc["version"] == 1
+    assert doc["n_requests"] == 20
+    assert doc["config"]["workers"] == 2
+    assert doc["config"]["crash_windows"] == [[5e-4, 2e-3, 0]]
+    assert set(doc["workers"]) == {"0", "1"}
+    for w in doc["workers"].values():
+        assert {"slo", "final_state", "incarnations",
+                "n_routed", "n_rerouted_away"} <= set(w)
+    assert any(e["kind"] == "crash" for e in doc["events"])
+    # The aggregate fold matches the per-worker SLO sums.
+    agg = doc["fleet"]
+    assert agg["n_batches"] == sum(w["slo"]["n_batches"]
+                                   for w in doc["workers"].values())
+
+
+def test_fleet_admission_bound_sheds_typed():
+    wl = _workload(n=40, rate=1e6)
+    fs = _fleet(workers=2, admit_bound=4)
+    res = fs.run(wl)
+    front = [r for r in res.rejections
+             if r.detail == "front-door admission bound"]
+    assert front
+    assert res.counters["front_shed"]["queue-full"] == len(front)
+    assert res.slo.n_completed + res.slo.n_shed == len(wl)
+    assert check_fleet(wl, res, service=fs) > 0

@@ -228,3 +228,52 @@ def test_chaos_bridge_scenario_sweep():
     reports = scenario_sweep(names=[CHEAP[0]])
     assert list(reports) == [CHEAP[0]]
     assert reports[CHEAP[0]].passed
+
+
+# -- fleet scenarios ---------------------------------------------------------
+
+def test_fleet_spec_validation():
+    ph = (PhaseSpec(label="p", n_requests=1, rate=1.0),)
+    with pytest.raises(ValueError):
+        Scenario(name="x", summary="s", seed=1, phases=ph, workers=0)
+    with pytest.raises(ValueError):
+        Scenario(name="x", summary="s", seed=1, phases=ph, workers=2,
+                 worker_crash=((2, 0.001, 0.002),))
+    with pytest.raises(ValueError):
+        Scenario(name="x", summary="s", seed=1, phases=ph, workers=2,
+                 worker_crash=((0, 0.002, 0.001),))
+
+
+def test_worker_crash_storm_runs_on_a_fleet():
+    from repro.fleet import FleetService
+    from repro.scenarios.runner import build_service
+
+    sc = get_scenario("worker-crash-storm")
+    assert sc.workers == 3 and len(sc.worker_crash) == 2
+    assert "fleet" in sc.tags
+    svc = build_service(sc)
+    assert isinstance(svc, FleetService)
+    res = svc.run(build_workload(sc))
+    assert res.counters["n_crashes"] == 2
+    assert res.counters["n_recoveries"] == 2
+    assert res.counters["n_rerouted"] > 0
+
+
+def test_worker_crash_storm_contract_and_replay():
+    sc = get_scenario("worker-crash-storm")
+    r1, r2 = run_scenario(sc), run_scenario(sc)
+    assert r1.passed, r1.summary_line()
+    assert r1.to_json() == r2.to_json()
+    # The crash windows widen the disturbance for recovery accounting.
+    lo, hi = json.loads(r1.to_json())["windows"]["disturbance"]
+    assert lo <= 0.006 and hi >= 0.013
+    # Hard tier holds on a fresh seed too.
+    assert run_scenario(sc, seed=4242).hard_ok
+
+
+def test_worker_crash_disturbance_fold_in_meta():
+    sc = get_scenario("worker-crash-storm")
+    wl = build_workload(sc)
+    lo, hi = wl.meta["disturbance"]
+    assert lo <= min(tc for _w, tc, _tr in sc.worker_crash)
+    assert hi >= max(tr for _w, _tc, tr in sc.worker_crash)

@@ -1,31 +1,33 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_serve.json.
+"""Perf-regression gate over BENCH_*.json trajectory artifacts.
 
 Compares a freshly generated benchmark artifact (the *candidate*) against
-the checked-in baseline and fails (exit 1) when the replay fast path has
+the checked-in baseline and fails (exit 1) when the headline metric has
 regressed.  Three checks, in increasing strictness:
 
-1. **Virtual throughput** per batch cap must match the baseline within
-   1% — virtual time is deterministic, so any drift here is a functional
-   change to the serving tier or cost model, not noise.  (Skipped with a
-   notice when the two artifacts were generated at different matrix
-   scales, where the virtual numbers are legitimately different.)
-2. **Replay speedup** (simulated wall / replay wall at the widest cap)
-   must not regress more than 20% against the baseline.  Raw wall-clock
-   throughput is not comparable across machines, but the *ratio* of the
-   two legs — measured back-to-back on the same host in the same run —
-   is: both legs share the factorization, the workload, and the BLAS, so
-   the ratio isolates exactly the dispatch cost the replay compiler
-   removes.
-3. The headline speedup must stay at or above the artifact's recorded
-   acceptance floor (5x), the bar ISSUE 7 fixed.
+1. **Virtual throughput** per sweep point (batch cap for
+   ``BENCH_serve.json``, worker count for ``BENCH_fleet.json``) must
+   match the baseline within 1% — virtual time is deterministic, so any
+   drift here is a functional change to the serving tier or cost model,
+   not noise.  (Skipped with a notice when the two artifacts were
+   generated at different matrix scales, where the virtual numbers are
+   legitimately different.)
+2. **The headline ratio** must not regress more than 20% against the
+   baseline.  For ``replay_speedup`` (simulated wall / replay wall at
+   the widest cap) raw wall-clock is not comparable across machines, but
+   the ratio of two legs measured back-to-back on the same host is; for
+   ``throughput_scaling`` (4-worker / 1-worker virtual throughput) the
+   ratio is deterministic outright.
+3. The headline metric must stay at or above the artifact's recorded
+   acceptance floor — 5x replay speedup (ISSUE 7), 2x 4-worker fleet
+   scaling (ISSUE 8).
 
 Usage::
 
     python tools/check_bench_regression.py CANDIDATE BASELINE
 
-CI regenerates ``BENCH_serve.json`` in the serve-smoke job and gates it
-against the copy from the checked-out revision.
+CI regenerates each artifact in its smoke job and gates it against the
+copy from the checked-out revision.
 """
 
 from __future__ import annotations
@@ -36,6 +38,12 @@ import sys
 VIRTUAL_TOL = 0.01      # deterministic: anything past rounding is a change
 SPEEDUP_TOL = 0.20      # wall-clock ratio: allow 20% host noise
 
+# Known headline metrics: (metric key, sweep-axis key, default floor).
+METRICS = (
+    ("replay_speedup", "max_batch", 5.0),
+    ("throughput_scaling", "workers", 2.0),
+)
+
 
 def load(path: str) -> dict:
     with open(path) as f:
@@ -45,6 +53,16 @@ def load(path: str) -> dict:
             raise SystemExit(f"error: {path} has no {key!r} section "
                              f"(schema_version {doc.get('schema_version')})")
     return doc
+
+
+def headline_metric(doc: dict, path: str) -> tuple:
+    """The artifact's (metric key, axis key, default floor) triple."""
+    for key, axis, floor in METRICS:
+        if key in doc["headline"]:
+            return key, axis, floor
+    known = ", ".join(m[0] for m in METRICS)
+    raise SystemExit(f"error: {path} headline has none of the known "
+                     f"metrics ({known})")
 
 
 def main(argv: list[str]) -> int:
@@ -75,19 +93,27 @@ def main(argv: list[str]) -> int:
                     f"functional change — update the baseline deliberately "
                     f"if intended")
 
-    b_speed = base["headline"]["replay_speedup"]
-    c_speed = cand["headline"]["replay_speedup"]
-    floor = cand["headline"].get("acceptance_floor", 5.0)
-    print(f"replay speedup at max-batch {cand['headline']['max_batch']}: "
+    metric, axis, default_floor = headline_metric(cand, argv[1])
+    b_metric, _, _ = headline_metric(base, argv[2])
+    if b_metric != metric:
+        raise SystemExit(
+            f"error: candidate measures {metric!r} but baseline measures "
+            f"{b_metric!r} — not comparable artifacts")
+    label = metric.replace("_", " ")
+    b_speed = base["headline"][metric]
+    c_speed = cand["headline"][metric]
+    floor = cand["headline"].get("acceptance_floor", default_floor)
+    print(f"{label} at {axis.replace('_', '-')} "
+          f"{cand['headline'].get(axis, '?')}: "
           f"candidate {c_speed:.2f}x, baseline {b_speed:.2f}x "
           f"(floor {floor:.1f}x)")
     if c_speed < (1.0 - SPEEDUP_TOL) * b_speed:
         failures.append(
-            f"replay speedup regressed >{SPEEDUP_TOL:.0%}: "
+            f"{label} regressed >{SPEEDUP_TOL:.0%}: "
             f"{b_speed:.2f}x -> {c_speed:.2f}x")
     if c_speed < floor:
         failures.append(
-            f"replay speedup {c_speed:.2f}x below the {floor:.1f}x "
+            f"{label} {c_speed:.2f}x below the {floor:.1f}x "
             f"acceptance floor")
 
     if failures:
