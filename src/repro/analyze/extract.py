@@ -116,6 +116,11 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
     state = [_READY] * n
     pend: list = [None] * n   # (_RecvOp, RecvEvent) or (_SendOp, SendEvent, payload)
     started = [False] * n
+    # Per-rank compute segment since the last comm event: [flops, bytes,
+    # nops].  Flushed onto the next Send/RecvEvent's pre_* fields, so the
+    # schedule carries enough compute structure for static pricing
+    # (repro.planner) without timing anything here.
+    seg: list[list] = [[0.0, 0.0, 0] for _ in range(n)]
     gstep = 0
     nops = 0
 
@@ -142,8 +147,11 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
                 return
             value = None
             if isinstance(op, _SendOp):
+                fl, nb, no = seg[r]
+                seg[r] = [0.0, 0.0, 0]
                 ev = SendEvent(r, len(events[r]), gstep, op.dst, op.tag,
-                               op.nbytes, ctx.phase, ctx.sync, op.category)
+                               op.nbytes, ctx.phase, ctx.sync, op.category,
+                               pre_flops=fl, pre_bytes=nb, pre_ops=no)
                 gstep += 1
                 events[r].append(ev)
                 if rendezvous:
@@ -152,15 +160,22 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
                     return
                 mail[op.dst].append((ev, op.payload))
             elif isinstance(op, _RecvOp):
+                fl, nb, no = seg[r]
+                seg[r] = [0.0, 0.0, 0]
                 ev = RecvEvent(r, len(events[r]), gstep, op.src, op.tag,
-                               ctx.phase, ctx.sync, op.category)
+                               ctx.phase, ctx.sync, op.category,
+                               pre_flops=fl, pre_bytes=nb, pre_ops=no)
                 gstep += 1
                 events[r].append(ev)
                 state[r] = _RECV
                 pend[r] = (op, ev)
                 return
             elif isinstance(op, _ComputeOp):
-                pass  # zero-cost: compute never appears in the schedule
+                # Zero-cost: compute never appears in the schedule, but
+                # its flop/byte annotations accumulate into the segment.
+                seg[r][0] += op.flops
+                seg[r][1] += op.nbytes
+                seg[r][2] += 1
             else:
                 raise TypeError(
                     f"rank {r} yielded {op!r}; yield ctx.send/recv/compute")
@@ -218,7 +233,8 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
                     complete=all(s == _DONE for s in state),
                     blocked_recvs=blocked_recvs,
                     blocked_sends=blocked_sends,
-                    rendezvous=rendezvous, name=name)
+                    rendezvous=rendezvous, name=name,
+                    compute_tails=[(s[0], s[1], s[2]) for s in seg])
 
 
 # -- solver targets ----------------------------------------------------------
@@ -232,6 +248,7 @@ def solver_schedule(solver, algorithm: str = "new3d", nrhs: int = 1,
     """Extract the CPU solve schedule of a factored
     :class:`~repro.core.solver.SpTRSVSolver` — same algorithm selection as
     ``SpTRSVSolver.solve``, zero right-hand side, no cost model."""
+    from repro.core.ca_trsm import ca_trsm_rank_fn
     from repro.core.sptrsv3d_baseline import baseline3d_rank_fn
     from repro.core.sptrsv3d_new import new3d_rank_fn
 
@@ -240,12 +257,17 @@ def solver_schedule(solver, algorithm: str = "new3d", nrhs: int = 1,
         if solver.grid.pz != 1:
             raise ValueError("algorithm='2d' requires pz == 1")
         impl = "new3d"
-    elif algorithm in ("new3d", "baseline3d"):
+    elif algorithm == "sparse_allreduce_v2":
+        impl = "new3d"
+        allreduce_impl = "sparse_v2"
+    elif algorithm in ("new3d", "baseline3d", "ca_trsm"):
         impl = algorithm
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
-    if impl == "new3d":
+    if impl == "ca_trsm":
+        rank_fn = ca_trsm_rank_fn(solver._ca_trsm_setup(), b_perm, nrhs)
+    elif impl == "new3d":
         setup = solver._new3d_setup(tree_kind or "auto")
         rank_fn = new3d_rank_fn(setup, b_perm, nrhs,
                                 allreduce_impl=allreduce_impl)
@@ -266,18 +288,32 @@ def allreduce_schedule(solver, nrhs: int = 1, impl: str = "sparse",
     """Extract the standalone inter-grid allreduce schedule (Algorithm 2):
     every rank contributes zero-filled subvectors for its diagonally-owned
     supernodes, exactly as the solve's Z phase does."""
-    from repro.core.sparse_allreduce import naive_allreduce, sparse_allreduce
+    from repro.core.sparse_allreduce import (
+        naive_allreduce,
+        sparse_allreduce,
+        sparse_allreduce_v2,
+        structural_nonzeros,
+    )
 
     setup = solver._new3d_setup("auto")
     grid, part = solver.grid, setup.part
-    fn = {"sparse": sparse_allreduce, "naive": naive_allreduce}[impl]
+    fn = {"sparse": sparse_allreduce, "naive": naive_allreduce,
+          "sparse_v2": sparse_allreduce_v2}[impl]
+    nz_sets = (structural_nonzeros(setup.lu, setup.grid_sns,
+                                   setup.sn_owner_grid)
+               if impl == "sparse_v2" else None)
 
     def rank_fn(ctx: RankCtx):
         _, _, z = grid.coords_of(ctx.rank)
         cols = setup.plans_L[z].plan_of(ctx.rank).solve_cols
         values = {K: np.zeros((part.size(K), nrhs)) for K in cols}
         ctx.set_phase("z")
-        yield from fn(ctx, grid, setup.layout, part, values, category="z")
+        if impl == "sparse_v2":
+            yield from fn(ctx, grid, setup.layout, part, values, nz_sets,
+                          category="z")
+        else:
+            yield from fn(ctx, grid, setup.layout, part, values,
+                          category="z")
 
     return extract_schedule(
         grid.nranks, rank_fn, rendezvous=rendezvous,

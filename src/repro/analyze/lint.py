@@ -1,6 +1,6 @@
 """Custom AST lint over the runtime source (``repro lint``).
 
-Six rules, each catching a pattern that has already bitten this codebase
+Seven rules, each catching a pattern that has already bitten this codebase
 (see ``docs/ANALYSIS.md`` for the catalog with examples):
 
 - **RPR001** ``untagged-wildcard-recv`` — ``recv(src=ANY)`` with no tag
@@ -30,6 +30,12 @@ Six rules, each catching a pattern that has already bitten this codebase
   the replay coordinate, so two runs that claim the same scenario+seed
   can diverge.  (``Scenario(seed=...)`` itself — the declared spec — is
   exactly where the literal belongs and is not flagged.)
+- **RPR007** ``direct-backend-construction`` — building a solver backend
+  by hand (``*_rank_fn`` / ``build_*_setup`` calls) outside the runtime
+  packages that own them.  Application code that constructs backends
+  directly bypasses ``SpTRSVSolver``'s setup caches, the planner's
+  algorithm resolution, and the resilience tiering — three layers of
+  behavior the solve contract depends on.
 
 Suppression: a ``# repro: allow[RPR003]`` comment on the flagged line or
 the line directly above silences that rule there (comma-separate several
@@ -80,6 +86,13 @@ RULES: dict[str, tuple[str, str]] = {
         "phase_index])); a literal here forks the replay coordinate so "
         "scenario+seed no longer pins the run",
     ),
+    "RPR007": (
+        "direct-backend-construction",
+        "go through SpTRSVSolver.solve(algorithm=...) (or the planner's "
+        "'auto') instead of constructing backend rank programs by hand; "
+        "direct construction skips the setup caches, the planner, and "
+        "the resilience tiers",
+    ),
 }
 
 #: Modules under the RPR003 contract: RHS panels flow through these, so any
@@ -87,6 +100,7 @@ RULES: dict[str, tuple[str, str]] = {
 KERNEL_MODULE_SUFFIXES = (
     "core/sptrsv2d.py",
     "core/sparse_allreduce.py",
+    "core/ca_trsm.py",
     "core/sptrsv3d_new.py",
     "core/sptrsv3d_baseline.py",
     "gpu/dataflow.py",
@@ -106,6 +120,30 @@ SEEDED_SCENARIO_CALLS = {
     "make_rhs",
     "default_rng",
 }
+
+#: Backend constructors under the RPR007 contract...
+BACKEND_CONSTRUCTORS = {
+    "new3d_rank_fn",
+    "baseline3d_rank_fn",
+    "ca_trsm_rank_fn",
+    "build_new3d_setup",
+    "build_baseline3d_setup",
+    "build_ca_trsm_setup",
+}
+
+#: ...and the path fragments allowed to call them: the runtime packages
+#: that own backend construction (solver facade, kernels, static
+#: analysis, replay compiler, GPU engine, planner) plus the test suites
+#: and benchmarks that exercise them directly.
+BACKEND_OWNER_FRAGMENTS = (
+    "repro/core/",
+    "repro/analyze/",
+    "repro/replay/",
+    "repro/gpu/",
+    "repro/planner/",
+    "tests/",
+    "benchmarks/",
+)
 
 _COLLECTIVES = {"bcast", "reduce", "allreduce", "barrier"}
 #: Attribute bases whose methods merely share a collective's name
@@ -189,10 +227,12 @@ def _literal_seed(node: ast.AST | None) -> bool:
 
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, kernel_module: bool,
-                 scenario_module: bool = False):
+                 scenario_module: bool = False,
+                 backend_owner: bool = True):
         self.path = path
         self.kernel_module = kernel_module
         self.scenario_module = scenario_module
+        self.backend_owner = backend_owner
         self.findings: list[Finding] = []
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
@@ -237,6 +277,10 @@ class _Visitor(ast.NodeVisitor):
             self._add(node, "RPR003",
                       ".dot() in a kernel module bypasses the canonical "
                       "per-column accumulation")
+        if not self.backend_owner and name in BACKEND_CONSTRUCTORS:
+            self._add(node, "RPR007",
+                      f"direct backend construction {name}() outside the "
+                      "runtime packages that own it")
         self.generic_visit(node)
 
     def _check_rng(self, node: ast.Call, name: str | None) -> None:
@@ -301,8 +345,9 @@ def lint_source(source: str, path: str) -> list[Finding]:
     norm = path.replace(os.sep, "/")
     kernel = any(norm.endswith(sfx) for sfx in KERNEL_MODULE_SUFFIXES)
     scenario = "scenarios/" in norm or norm.endswith("scenarios.py")
+    owner = any(frag in norm for frag in BACKEND_OWNER_FRAGMENTS)
     tree = ast.parse(source, filename=path)
-    v = _Visitor(path, kernel, scenario)
+    v = _Visitor(path, kernel, scenario, backend_owner=owner)
     v.visit(tree)
     lines = source.splitlines()
     return sorted((f for f in v.findings if not _is_suppressed(f, lines)),

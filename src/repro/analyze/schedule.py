@@ -36,6 +36,13 @@ class SendEvent:
     phase: str = ""
     sync: str = ""
     category: str = "comm"
+    # Compute segment preceding this event in the rank's program order:
+    # summed flops / memory traffic / op count of every compute op issued
+    # since the previous comm event (see repro.analyze.extract).  The
+    # planner's static cost model prices these without a simulation.
+    pre_flops: float = 0.0
+    pre_bytes: float = 0.0
+    pre_ops: int = 0
 
     kind = "send"
 
@@ -58,6 +65,10 @@ class RecvEvent:
     category: str = "comm"
     match: tuple[int, int] | None = None   # (src rank, send pos) once matched
     matched_tag: Hashable | None = None
+    # Compute segment preceding this event (see SendEvent.pre_flops).
+    pre_flops: float = 0.0
+    pre_bytes: float = 0.0
+    pre_ops: int = 0
 
     kind = "recv"
 
@@ -129,6 +140,10 @@ class Schedule:
     blocked_sends: list[tuple[int, int]] = field(default_factory=list)
     rendezvous: bool = False
     name: str = ""
+    # Per-rank (flops, bytes, nops) of the compute tail after the last
+    # comm event (empty when the extractor did not record segments).
+    compute_tails: list[tuple[float, float, int]] = field(
+        default_factory=list)
 
     def sends(self) -> list[SendEvent]:
         return [e for evs in self.events for e in evs if e.kind == "send"]

@@ -320,7 +320,10 @@ def _draw_fleet(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
         px=1, py=1, pz=int(rng.choice((1, 2))),
         n_requests=int(rng.integers(8, 28)),
         rate=float(rng.choice((2000.0, 8000.0, 1e6))),
-        deadline=float(rng.choice((0.01, 0.1))),
+        # 0.0 is the zero-slack draw: every absolute deadline equals its
+        # arrival (jitter multiplies the relative budget), stressing the
+        # causal-shed boundary — especially across crash re-routes.
+        deadline=float(rng.choice((0.0, 0.01, 0.1))),
         max_batch=int(rng.choice((2, 4, 8))),
         max_wait=float(rng.choice((1e-4, 1e-3))),
         queue_bound=int(rng.choice((8, 256))),
@@ -339,7 +342,10 @@ def _draw_serve(rng: np.random.Generator, index: int, seed: int) -> FuzzCase:
         px=1, py=1, pz=int(rng.choice((1, 2))),
         n_requests=int(rng.integers(6, 20)),
         rate=float(rng.choice((500.0, 2000.0, 8000.0, 30000.0))),
-        deadline=float(rng.choice((0.002, 0.01, 0.1))),
+        # 0.0 draws zero-slack deadlines (absolute deadline == arrival):
+        # the scheduler's expiry trigger must clamp to the arrival, never
+        # wake — or shed — before the request exists.
+        deadline=float(rng.choice((0.0, 0.002, 0.01, 0.1))),
         max_batch=int(rng.choice((1, 2, 4, 8))),
         max_wait=float(rng.choice((1e-4, 1e-3))),
         queue_bound=int(rng.choice((3, 8, 256))))

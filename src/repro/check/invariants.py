@@ -258,6 +258,10 @@ def check_serve(workload, result, service=None) -> int:
         _ensure(rej.reason in RejectReason, "serve.typed-shed",
                 f"rejection of request {rej.request.id} has untyped reason "
                 f"{rej.reason!r}")
+        checks += 1
+        _ensure(rej.time >= rej.request.arrival, "serve.causal-shed",
+                f"request {rej.request.id} shed at t={rej.time!r} before "
+                f"its arrival {rej.request.arrival!r}")
         if rej.reason is RejectReason.DEADLINE_PASSED:
             checks += 1
             _ensure(rej.time > rej.request.deadline, "serve.deadline-boundary",
@@ -386,6 +390,11 @@ def check_fleet(workload, result, service=None) -> int:
         _ensure(rej.reason in RejectReason, "fleet.typed-shed",
                 f"rejection of request {rej.request.id} has untyped reason "
                 f"{rej.reason!r}")
+        checks += 1
+        _ensure(rej.time >= rej.request.arrival, "fleet.causal-shed",
+                f"request {rej.request.id} shed at t={rej.time!r} before "
+                f"its arrival {rej.request.arrival!r} — a crash re-route "
+                f"must not deliver (or shed) a request before it exists")
         if rej.reason is RejectReason.DEADLINE_PASSED:
             checks += 1
             _ensure(rej.time > rej.request.deadline, "fleet.deadline-boundary",

@@ -311,7 +311,7 @@ def cmd_serve(args) -> int:
         ServiceConfig(px=px, py=py, pz=pz, machine=args.machine,
                       algorithm=args.algorithm, device=args.device,
                       max_supernode=args.max_supernode,
-                      symbolic_mode=args.symbolic),
+                      symbolic_mode=args.symbolic, planner=args.planner),
         BatchPolicy(max_batch=args.max_batch, max_wait=args.max_wait,
                     queue_bound=args.queue_bound),
         faults=faults, resilience=resilience,
@@ -327,8 +327,18 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def _parse_crash(text: str):
-    """Parse ``W@TC:TR[,W@TC:TR...]`` into a worker-crash FaultSchedule."""
+def _parse_crash(text: str, worker_ceiling: int | None = None):
+    """Parse ``W@TC:TR[,W@TC:TR...]`` into a worker-crash FaultSchedule.
+
+    Every malformed window dies *here*, at parse time, with a typed
+    message — never deep inside the fleet run: the worker index must
+    name a worker the fleet can ever have (below ``worker_ceiling`` when
+    given — the autoscaler ceiling, else the initial fleet size), times
+    must be finite and non-negative, and recovery must strictly follow
+    the crash.
+    """
+    import math
+
     from repro.comm.faults import FaultPlan, FaultSchedule
 
     phases = []
@@ -344,6 +354,18 @@ def _parse_crash(text: str):
             raise SystemExit(
                 f"error: --crash windows look like 1@0.004:0.009 "
                 f"(worker@t_crash:t_recover), got {part!r}")
+        if w < 0:
+            raise SystemExit(
+                f"error: --crash worker index must be >= 0, got {part!r}")
+        if worker_ceiling is not None and w >= worker_ceiling:
+            raise SystemExit(
+                f"error: --crash names worker {w} but the fleet only ever "
+                f"has workers 0..{worker_ceiling - 1} (raise --workers or "
+                f"--max-workers), got {part!r}")
+        if not (math.isfinite(tc) and math.isfinite(tr)) or tc < 0:
+            raise SystemExit(
+                f"error: --crash times must be finite and >= 0, "
+                f"got {part!r}")
         if tr <= tc:
             raise SystemExit(
                 f"error: --crash recovery must follow the crash, got {part!r}")
@@ -384,7 +406,9 @@ def cmd_fleet(args) -> int:
     gen = generate_bulk_workload if args.bulk else generate_workload
     wl = gen(spec)
 
-    crash_schedule = _parse_crash(args.crash) if args.crash else None
+    ceiling = args.max_workers if args.autoscale else args.workers
+    crash_schedule = (_parse_crash(args.crash, worker_ceiling=ceiling)
+                      if args.crash else None)
     autoscaler = None
     if args.autoscale:
         autoscaler = AutoscalerPolicy(
@@ -530,11 +554,16 @@ def cmd_analyze(args) -> int:
 
     if args.sweep:
         # Fig.-4-style sweep: the paper's algorithm pair across the Pz axis,
-        # plus the 2D solver, the standalone allreduce, and the GPU dataflow.
+        # plus the planner's newer backends, the 2D solver, the standalone
+        # allreduces, and the GPU dataflow.
         configs = [(2, 2, pz, alg)
                    for pz in (1, 2, 4)
                    for alg in ("new3d", "baseline3d")]
         configs.append((2, 2, 1, "2d"))
+        configs += [(2, 2, pz, alg)
+                    for pz in (2, 4)
+                    for alg in ("sparse_allreduce_v2", "ca_trsm")]
+        configs.append((2, 2, 1, "ca_trsm"))
     else:
         px, py, pz = _parse_grid(args.grid)
         configs = [(px, py, pz, args.algorithm)]
@@ -568,8 +597,40 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_planner(args) -> int:
+    """Print the cost-model planner's decision log for a grid sweep.
+
+    One line per grid: the picked backend plus every candidate's predicted
+    virtual time.  The log is deterministic for fixed inputs — CI runs this
+    twice and diffs the ``--out`` files byte-for-byte.
+    """
+    from repro.planner import Planner
+
+    A = _load_matrix(args.matrix, args.scale)
+    machine = _machine(args.machine)
+    planner = Planner()
+    lines = []
+    for g in (s.strip() for s in args.grids.split(",")):
+        if not g:
+            continue
+        px, py, pz = _parse_grid(g)
+        solver = SpTRSVSolver(A, px, py, pz, machine=machine,
+                              max_supernode=args.max_supernode,
+                              symbolic_mode=args.symbolic)
+        d = planner.choose(solver, nrhs=args.nrhs)
+        lines.append(f"{args.matrix}/{args.scale} grid {px}x{py}x{pz} "
+                     f"nrhs={args.nrhs} machine={machine.name}: "
+                     f"{d.summary()}")
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    return 0
+
+
 def cmd_lint(args) -> int:
-    """Custom AST lint over the runtime (rules RPR001-RPR006)."""
+    """Custom AST lint over the runtime (rules RPR001-RPR007)."""
     from repro.analyze import run_lint
 
     try:
@@ -609,7 +670,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--grid", default="1x1x1", help="PxxPyxPz, e.g. 2x2x4")
     p.add_argument("--algorithm", default="new3d",
-                   choices=["new3d", "baseline3d", "2d"])
+                   choices=["new3d", "baseline3d", "2d",
+                            "sparse_allreduce_v2", "ca_trsm", "auto"])
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.add_argument("--tree-kind", default=None,
                    choices=["auto", "binary", "flat"])
@@ -621,7 +683,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--grid", default="1x1x1", help="PxxPyxPz, e.g. 2x2x4")
     p.add_argument("--algorithm", default="new3d",
-                   choices=["new3d", "baseline3d", "2d"])
+                   choices=["new3d", "baseline3d", "2d",
+                            "sparse_allreduce_v2", "ca_trsm", "auto"])
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.add_argument("--tree-kind", default=None,
                    choices=["auto", "binary", "flat"])
@@ -634,7 +697,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--ranks", type=int, required=True, help="total ranks P")
     p.add_argument("--algorithm", default="new3d",
-                   choices=["new3d", "baseline3d"])
+                   choices=["new3d", "baseline3d",
+                            "sparse_allreduce_v2", "ca_trsm"])
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.set_defaults(func=cmd_tune)
 
@@ -680,7 +744,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="cori-haswell",
                    help=f"one of: {', '.join(sorted(MACHINES))}")
     p.add_argument("--algorithm", default="new3d",
-                   choices=["new3d", "baseline3d"])
+                   choices=["new3d", "baseline3d",
+                            "sparse_allreduce_v2", "ca_trsm", "auto"])
+    p.add_argument("--planner", action="store_true",
+                   help="let the cost-model planner pick the backend per "
+                        "batch (same as --algorithm auto; CPU only)")
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.add_argument("--max-supernode", type=int, default=16)
     p.add_argument("--symbolic", default="detect",
@@ -752,7 +820,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="cori-haswell",
                    help=f"one of: {', '.join(sorted(MACHINES))}")
     p.add_argument("--algorithm", default="new3d",
-                   choices=["new3d", "baseline3d"])
+                   choices=["new3d", "baseline3d",
+                            "sparse_allreduce_v2", "ca_trsm"])
     p.add_argument("--max-supernode", type=int, default=16)
     p.add_argument("--symbolic", default="detect",
                    choices=["detect", "fixed"])
@@ -801,16 +870,40 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["detect", "fixed"])
     p.add_argument("--grid", default="2x2x4", help="PxxPyxPz, e.g. 2x2x4")
     p.add_argument("--algorithm", default="new3d",
-                   choices=["new3d", "baseline3d", "2d"])
+                   choices=["new3d", "baseline3d", "2d",
+                            "sparse_allreduce_v2", "ca_trsm"])
     p.add_argument("--sweep", action="store_true",
-                   help="verify the standard sweep (both algorithms across "
-                        "Pz, the 2D solver, the standalone allreduce, and "
-                        "the GPU dataflow) instead of one config")
+                   help="verify the standard sweep (every CPU backend "
+                        "across Pz, the 2D solver, the standalone "
+                        "allreduces, and the GPU dataflow) instead of one "
+                        "config")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
+        "planner",
+        help="price every eligible backend with the cost model and print "
+             "the planner's decision log for a grid sweep")
+    p.add_argument("--matrix", default="s2D9pt2048",
+                   help="suite matrix name or MatrixMarket file")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "small", "medium"],
+                   help="suite matrix scale (ignored for files)")
+    p.add_argument("--machine", default="cori-haswell",
+                   help=f"one of: {', '.join(sorted(MACHINES))}")
+    p.add_argument("--nrhs", type=int, default=1)
+    p.add_argument("--max-supernode", type=int, default=16)
+    p.add_argument("--symbolic", default="detect",
+                   choices=["detect", "fixed"])
+    p.add_argument("--grids", default="2x2x1,2x1x2,2x2x2,1x2x4",
+                   help="comma-separated PxxPyxPz list to plan over")
+    p.add_argument("--out", default=None, metavar="OUT.log",
+                   help="also write the decision log to a file (CI diffs "
+                        "two runs for bit-equality)")
+    p.set_defaults(func=cmd_planner)
+
+    p = sub.add_parser(
         "lint",
-        help="custom AST lint over the runtime (rules RPR001-RPR006)")
+        help="custom AST lint over the runtime (rules RPR001-RPR007)")
     p.add_argument("paths", nargs="+",
                    help="Python files or directories to lint")
     p.set_defaults(func=cmd_lint)

@@ -127,7 +127,8 @@ class _RecvOp:
 class _ComputeOp:
     seconds: float
     category: str
-    flops: float = 0.0  # metrics-only annotation; never affects the clock
+    flops: float = 0.0   # metrics-only annotation; never affects the clock
+    nbytes: float = 0.0  # memory traffic of the op; annotation like flops
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -227,24 +228,26 @@ class RankCtx:
         return _RecvOp(src, tag, category, timeout)
 
     def compute(self, seconds: float, category: str = "fp",
-                flops: float = 0.0) -> _ComputeOp:
+                flops: float = 0.0, nbytes: float = 0.0) -> _ComputeOp:
         """Advance the local clock by ``seconds`` of work.
 
-        ``flops`` is a metrics-only annotation (recorded when a
-        :class:`~repro.obs.metrics.MetricsRegistry` is attached); it never
-        influences the virtual clock.
+        ``flops`` and ``nbytes`` are metrics-only annotations (recorded
+        when a :class:`~repro.obs.metrics.MetricsRegistry` is attached,
+        and folded into static schedules by :mod:`repro.analyze`); they
+        never influence the virtual clock.
         """
         if seconds < 0:
             raise ValueError("compute time must be >= 0")
-        return _ComputeOp(seconds, category, flops)
+        return _ComputeOp(seconds, category, flops, nbytes)
 
     def gemm(self, m: int, n: int, k: int, category: str = "fp") -> _ComputeOp:
         """Convenience: a dense m×k @ k×n on this rank's CPU model."""
         from repro.comm.costmodel import gemm_bytes, gemm_flops
 
         fl = gemm_flops(m, n, k)
-        t = self.machine.cpu.op_time(fl, gemm_bytes(m, n, k))
-        return _ComputeOp(t, category, fl)
+        nb = gemm_bytes(m, n, k)
+        t = self.machine.cpu.op_time(fl, nb)
+        return _ComputeOp(t, category, fl, nb)
 
     # -- bookkeeping ---------------------------------------------------------
 

@@ -10,10 +10,18 @@ distributed solves) and exposes every algorithm variant of the paper:
   with per-level inter-grid synchronization.
 - ``algorithm="new3d"``     — the paper's proposed 3D SpTRSV: replicated
   ancestor computation, one sparse allreduce between L and U solves.
+- ``algorithm="sparse_allreduce_v2"`` — the proposed 3D SpTRSV with the
+  SpComm3D-style structure-filtered allreduce (only structurally-nonzero
+  subvector blocks cross the reduce wires).
+- ``algorithm="ca_trsm"``   — communication-avoiding level-set block TRSM
+  with selective inversion over a flattened 1D rank pool.
+- ``algorithm="auto"``      — the cost-model planner (:mod:`repro.planner`)
+  picks among the CPU backends per (structure, grid, machine).
 
 GPU execution (Algorithms 4-5) lives in :mod:`repro.gpu`.
 """
 
+from repro.core.ca_trsm import CaTrsmSetup, build_ca_trsm_setup
 from repro.core.levelset import LevelSetResult, solve_levelset
 from repro.core.plan2d import RankPlan, build_2d_plans, u_blockrows
 from repro.core.solver import (
@@ -25,7 +33,7 @@ from repro.core.solver import (
     SolveOutcome,
     SpTRSVSolver,
 )
-from repro.core.sparse_allreduce import sparse_allreduce
+from repro.core.sparse_allreduce import sparse_allreduce, sparse_allreduce_v2
 from repro.core.sptrsv2d import sptrsv_2d
 
 __all__ = [
@@ -41,6 +49,9 @@ __all__ = [
     "u_blockrows",
     "sptrsv_2d",
     "sparse_allreduce",
+    "sparse_allreduce_v2",
+    "CaTrsmSetup",
+    "build_ca_trsm_setup",
     "solve_levelset",
     "LevelSetResult",
 ]

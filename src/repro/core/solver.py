@@ -18,6 +18,12 @@ import scipy.sparse as sp
 from repro.comm.costmodel import CORI_HASWELL, Machine
 from repro.comm.faults import FaultPlan, ReliableTransport
 from repro.comm.simulator import Simulator, SimResult
+from repro.core.ca_trsm import (
+    CaTrsmSetup,
+    build_ca_trsm_setup,
+    ca_trsm_rank_fn,
+    collect_solution_ca,
+)
 from repro.core.sptrsv3d_baseline import (
     Baseline3DSetup,
     baseline3d_rank_fn,
@@ -305,6 +311,12 @@ class SpTRSVSolver:
                                                        self.grid, tree_kind)
         return self._setups[key]  # type: ignore[return-value]
 
+    def _ca_trsm_setup(self) -> CaTrsmSetup:
+        key = ("ca_trsm",)
+        if key not in self._setups:
+            self._setups[key] = build_ca_trsm_setup(self.lu, self.grid)
+        return self._setups[key]  # type: ignore[return-value]
+
     # -- solving --------------------------------------------------------------
 
     def solve(self, b: np.ndarray, algorithm: str = "new3d",
@@ -319,9 +331,15 @@ class SpTRSVSolver:
         """Solve ``A x = b``; ``b`` may be ``(n,)`` or ``(n, nrhs)``.
 
         ``algorithm``: ``"new3d"`` (proposed; adaptive "auto" trees),
-        ``"baseline3d"`` (ICS'19, default flat communication), or ``"2d"``
+        ``"baseline3d"`` (ICS'19, default flat communication), ``"2d"``
         (requires ``pz == 1``; the CSC'18 2D solver, which is exactly the
-        proposed algorithm on a single grid).
+        proposed algorithm on a single grid), ``"sparse_allreduce_v2"``
+        (the proposed algorithm with the SpComm3D-style structure-filtered
+        allreduce), ``"ca_trsm"`` (communication-avoiding level-set block
+        TRSM with selective inversion), or ``"auto"`` (the cost-model
+        planner of :mod:`repro.planner` picks among the CPU backends and
+        the solve then proceeds bit-identically to naming that backend
+        directly).
 
         ``device="gpu"`` runs the proposed algorithm with GPU 2D solves
         (Algorithms 4-5); requires a machine with a GPU model and, for
@@ -367,6 +385,18 @@ class SpTRSVSolver:
         nrhs = b2.shape[1]
         b_perm = b2[self.perm]
         machine = machine or self.machine
+
+        if algorithm == "auto":
+            if device != "cpu":
+                raise ValueError(
+                    "algorithm='auto' plans over the CPU backends only "
+                    "(device='cpu'); name the GPU algorithm explicitly")
+            from repro.planner import DEFAULT_PLANNER
+
+            algorithm = DEFAULT_PLANNER.choose(self, nrhs=nrhs,
+                                               machine=machine).algorithm
+            # From here on the solve is indistinguishable from the caller
+            # having passed the planned algorithm directly.
 
         if device != "cpu" and strict_match:
             raise ValueError(
@@ -460,12 +490,20 @@ class SpTRSVSolver:
             if self.grid.pz != 1:
                 raise ValueError("algorithm='2d' requires pz == 1")
             algorithm_impl = "new3d"
-        elif algorithm in ("new3d", "baseline3d"):
+        elif algorithm == "sparse_allreduce_v2":
+            # The proposed algorithm with the structure-filtered allreduce.
+            algorithm_impl = "new3d"
+            allreduce_impl = "sparse_v2"
+        elif algorithm in ("new3d", "baseline3d", "ca_trsm"):
             algorithm_impl = algorithm
         else:
             raise ValueError(f"unknown algorithm {algorithm!r}")
 
-        if algorithm_impl == "new3d":
+        if algorithm_impl == "ca_trsm":
+            ca_setup = self._ca_trsm_setup()
+            res = sim.run(ca_trsm_rank_fn(ca_setup, b_perm, nrhs))
+            x_perm = collect_solution_ca(ca_setup, res.results, self.n, nrhs)
+        elif algorithm_impl == "new3d":
             kind = tree_kind or "auto"
             setup = self._new3d_setup(kind)
             res = sim.run(new3d_rank_fn(setup, b_perm, nrhs,
@@ -512,7 +550,9 @@ class SpTRSVSolver:
 
         if algorithm == "new3d":
             tiers = ["new3d", "baseline3d"]
-        elif algorithm in ("baseline3d", "2d"):
+        elif algorithm == "sparse_allreduce_v2":
+            tiers = ["sparse_allreduce_v2", "baseline3d"]
+        elif algorithm in ("baseline3d", "2d", "ca_trsm"):
             tiers = [algorithm]
         else:
             raise ValueError(f"unknown algorithm {algorithm!r}")

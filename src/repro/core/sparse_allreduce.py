@@ -114,6 +114,111 @@ def sparse_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
     ctx.set_sync("")
 
 
+def structural_nonzeros(lu, grid_sns: list[list[int]],
+                        sn_owner_grid: dict[int, int]) -> list[set[int]]:
+    """Per grid, the supernodes whose L-solve partial can be nonzero.
+
+    Grid ``z``'s right-hand side is zeroed everywhere except the supernodes
+    it owns, so after the 2D L-solve its partial ``y^z[K]`` is exactly zero
+    unless ``K`` is reachable from an owned supernode along L's block
+    sparsity (``y = L^{-1} b`` propagates strictly forward over the edges
+    ``K -> I`` with ``L(I, K) != 0``).  The reachable sets are the block
+    analogue of SpComm3D's precomputed communication sparsity: both
+    partners of an exchange derive them from the shared symbolic structure,
+    so the filtered schedules agree without any extra negotiation.
+    """
+    out: list[set[int]] = []
+    for z, sns in enumerate(grid_sns):
+        seed = [K for K in sns if sn_owner_grid[K] == z]
+        nz = set(seed)
+        stack = list(seed)
+        while stack:
+            K = stack.pop()
+            for I in lu.l_blockrows[K]:
+                I = int(I)
+                if I not in nz:
+                    nz.add(I)
+                    stack.append(I)
+        out.append(nz)
+    return out
+
+
+def sparse_allreduce_v2(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
+                        part: SupernodePartition,
+                        values: dict[int, np.ndarray],
+                        nz_sets: list[set[int]], category: str = "z"):
+    """Structure-filtered variant of :func:`sparse_allreduce`.
+
+    Identical hypercube schedule, but during the *reduce* sweep a sender
+    only packs the supernodes whose accumulated partial is structurally
+    nonzero — i.e. nonzero for at least one grid of the subcube it has
+    already absorbed (``nz_sets`` from :func:`structural_nonzeros`).  A
+    skipped supernode's contribution is exactly ``0.0``, so the receiver
+    keeping its own partial is bit-identical to adding the zeros.  The
+    broadcast sweep stays unfiltered: every grid needs the *full* sums.
+    Both members of a pair filter by the same subcube union, so sends and
+    receives stay paired and the exchange cannot deadlock.
+    """
+    i, j, z = grid.coords_of(ctx.rank)
+    depth = layout.depth
+    if depth == 0:
+        return
+    steps = ancestor_supernodes(layout, part, z)
+    my_steps = [_my_sns(sns, grid, i, j) for sns in steps]
+
+    def pack(ks: list[int]) -> np.ndarray:
+        return np.concatenate([values[K] for K in ks], axis=0)
+
+    def subcube_nz(z0: int, width: int) -> set[int]:
+        return set().union(*(nz_sets[zz] for zz in range(z0, z0 + width)))
+
+    ctx.set_sync("allreduce")
+
+    # Filtered sparse reduce: accumulate toward grid 0, sending only the
+    # structurally-nonzero subvector blocks of the sender's subcube.
+    for l in range(depth):
+        stride = 1 << l
+        if z % (2 * stride) == stride:
+            ks = [K for K in my_steps[l]
+                  if K in subcube_nz(z, stride)]
+            if ks:
+                yield ctx.send(grid.zpeer(ctx.rank, z - stride), pack(ks),
+                               tag=("sar2", "r", l), category=category)
+        elif z % (2 * stride) == 0:
+            ks = [K for K in my_steps[l]
+                  if K in subcube_nz(z + stride, stride)]
+            if ks:
+                _, _, buf = yield ctx.recv(
+                    src=grid.zpeer(ctx.rank, z + stride),
+                    tag=("sar2", "r", l), category=category)
+                ofs = 0
+                for K in ks:
+                    w = values[K].shape[0]
+                    values[K] += buf[ofs:ofs + w]
+                    ofs += w
+
+    # Unfiltered mirrored broadcast: the full sums flow back out.
+    for l in range(depth - 1, -1, -1):
+        ks = my_steps[l]
+        if not ks:
+            continue
+        stride = 1 << l
+        if z % (2 * stride) == 0:
+            yield ctx.send(grid.zpeer(ctx.rank, z + stride), pack(ks),
+                           tag=("sar2", "b", l), category=category)
+        elif z % (2 * stride) == stride:
+            _, _, buf = yield ctx.recv(src=grid.zpeer(ctx.rank, z - stride),
+                                       tag=("sar2", "b", l),
+                                       category=category)
+            ofs = 0
+            for K in ks:
+                w = values[K].shape[0]
+                values[K][:] = buf[ofs:ofs + w]
+                ofs += w
+
+    ctx.set_sync("")
+
+
 def naive_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
                     part: SupernodePartition, values: dict[int, np.ndarray],
                     category: str = "z"):

@@ -99,6 +99,13 @@ def new3d_rank_fn(setup: New3DSetup, b_perm: np.ndarray, nrhs: int,
     """
     grid = setup.grid
     part = setup.part
+    nz_sets: list[set[int]] | None = None
+    if allreduce_impl == "sparse_v2":
+        from repro.core.sparse_allreduce import structural_nonzeros
+
+        # Shared symbolic structure, computed once for all ranks.
+        nz_sets = structural_nonzeros(setup.lu, setup.grid_sns,
+                                      setup.sn_owner_grid)
 
     def rank_fn(ctx: RankCtx):
         _, _, z = grid.coords_of(ctx.rank)
@@ -132,6 +139,11 @@ def new3d_rank_fn(setup: New3DSetup, b_perm: np.ndarray, nrhs: int,
         if allreduce_impl == "sparse":
             yield from sparse_allreduce(ctx, grid, setup.layout, part, y,
                                         category="z")
+        elif allreduce_impl == "sparse_v2":
+            from repro.core.sparse_allreduce import sparse_allreduce_v2
+
+            yield from sparse_allreduce_v2(ctx, grid, setup.layout, part, y,
+                                           nz_sets, category="z")
         elif allreduce_impl == "naive":
             from repro.core.sparse_allreduce import naive_allreduce
 

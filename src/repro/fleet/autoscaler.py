@@ -10,8 +10,13 @@ is deliberately a pure decision function over those samples:
   ``high_depth``, or the windowed latency p95 exceeds ``high_latency``
   (when set) — one worker per tick, up to ``max_workers``;
 - **scale down** when the mean depth falls below ``low_depth`` *and* the
-  latency signal is quiet — the least-loaded worker is drained (removed
-  from the ring, queue served to empty) rather than killed;
+  latency signal is quiet — the victim is drained (removed from the
+  ring, queue served to empty) rather than killed.  Victim choice is
+  cache-locality-aware: the fleet prefers workers whose every warm
+  fingerprint is still resident on another routable worker, then the
+  least loaded (see :meth:`repro.fleet.service.FleetService._drain_victim`)
+  — draining the only warm replica of a hot matrix would force a cold
+  refactorization storm on the next burst;
 - ``cooldown_ticks`` ticks must pass after any action before the next,
   so one burst cannot flap the fleet.
 

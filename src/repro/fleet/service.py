@@ -303,13 +303,21 @@ class FleetService:
         Re-routes bypass the front-door bound — the request was already
         admitted once; shedding it again for a failure it did not cause
         would double-charge the client.
+
+        The crash may evacuate requests that were routed ahead of their
+        own arrival (``run`` pre-delivers every arrival before the epoch
+        horizon), so the effective delivery time is clamped to the
+        request's arrival: nothing may reach — or be shed at — a worker's
+        door before it exists.
         """
+        t_eff = max(t, r.arrival)
         target = self._pick(r)
         if target is None:
             self.front_rejections.append(Rejection(
-                r, RejectReason.WORKER_CRASH, t, detail="no live workers"))
+                r, RejectReason.WORKER_CRASH, t_eff,
+                detail="no live workers"))
             return
-        self._deliver(self.workers[target], r, t)
+        self._deliver(self.workers[target], r, t_eff)
         self.counters["n_rerouted"] += 1
 
     # -- the per-worker event loop --------------------------------------------
@@ -483,12 +491,36 @@ class FleetService:
             self.counters["n_scale_up"] += 1
             self._event(t, "scale-up", idx, d.reason)
         elif d.action == "down":
-            victim = min(routable, key=lambda i: (depths[i], -i))
+            victim = self._drain_victim(routable, depths)
             self.ring.remove(victim)
             self.workers[victim].state = "draining"
             self.counters["n_scale_down"] += 1
             self._event(t, "scale-down", victim,
                         f"{d.reason}; draining {depths[victim]} queued")
+
+    def _drain_victim(self, routable: list[int], depths: dict) -> int:
+        """Scale-down victim choice: cache locality first, then load.
+
+        Draining a worker discards its warm factorizations with it, so
+        the fleet prefers victims whose every warm fingerprint is still
+        resident on another routable worker — draining the *only* warm
+        replica of a hot matrix forces a cold refactorization storm on
+        the next burst even though that worker looked cheapest by queue
+        depth.  Ties break by logical depth (least loaded), then by
+        highest worker index, all pure functions of virtual state so the
+        choice replays byte-identically.
+        """
+        warm = {i: self.workers[i].svc.cache.warm_fingerprints()
+                for i in routable}
+
+        def n_solo(i: int) -> int:
+            elsewhere: set = set()
+            for j in routable:
+                if j != i:
+                    elsewhere |= warm[j]
+            return sum(1 for fp in warm[i] if fp not in elsewhere)
+
+        return min(routable, key=lambda i: (n_solo(i), depths[i], -i))
 
     # -- the fleet loop -------------------------------------------------------
 

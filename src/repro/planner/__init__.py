@@ -1,0 +1,35 @@
+"""Cost-model backend planner: pick a solver algorithm before running it.
+
+The solver zoo (``2d``/``new3d``/``baseline3d``/``sparse_allreduce_v2``/
+``ca_trsm``) has no single winner — which backend is fastest depends on
+the matrix structure, the grid shape and the machine's α-β constants.
+This package predicts each candidate's virtual solve time *statically*:
+the communication skeleton is extracted symbolically
+(:func:`repro.analyze.extract.solver_schedule`, no cost model, no
+numerics) and then priced by a causal replay over the α-β machine model
+(:func:`repro.planner.cost.schedule_time`).  Decisions are cached per
+(matrix fingerprint, grid, machine, nrhs) and can be *corrected* by
+measured feedback when a real solve later contradicts the model
+(:meth:`repro.planner.choose.Planner.observe`).
+
+Entry points: ``SpTRSVSolver.solve(algorithm="auto")`` and
+``ServiceConfig(planner=True)`` both route through the module-level
+:data:`DEFAULT_PLANNER`.  See ``docs/PLANNER.md``.
+"""
+
+from repro.planner.choose import (
+    DEFAULT_PLANNER,
+    Decision,
+    Planner,
+    candidates,
+)
+from repro.planner.cost import predict_time, schedule_time
+
+__all__ = [
+    "Planner",
+    "Decision",
+    "DEFAULT_PLANNER",
+    "candidates",
+    "predict_time",
+    "schedule_time",
+]

@@ -1,0 +1,98 @@
+"""Static α-β pricing of an extracted communication schedule.
+
+:func:`schedule_time` replays a :class:`~repro.analyze.schedule.Schedule`
+causally — per-rank clocks, receives gated on their matched send's
+arrival — and prices every element with the same machine model the
+simulator charges:
+
+- a send costs ``net.send_overhead`` locally and lands at the receiver
+  ``net.latency(nbytes, same_node)`` later (eager buffering, exactly the
+  simulator's ``MPI_Isend`` model);
+- a receive costs ``net.recv_overhead`` after the later of its local
+  clock and the matched arrival;
+- the compute segment preceding each event (the ``pre_flops`` /
+  ``pre_bytes`` / ``pre_ops`` annotations the extractor accumulates from
+  ``ctx.gemm``/``ctx.compute``) is priced as one roofline pass over the
+  aggregate plus the per-op dispatch overheads.
+
+The aggregation makes this a *model* of the simulated time, not a replay
+of it: the simulator maxes flops against bytes per op, the planner per
+segment, so predictions are a lower bound on compute-bound stretches.
+That error is shared by every candidate backend, which is what a planner
+needs — the benchmark gate (``BENCH_planner.json``) holds the *choices*
+to the measured ranking, not the absolute times.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.schedule import Schedule
+from repro.comm.costmodel import Machine
+
+
+def _segment_time(cpu, flops: float, nbytes: float, nops: int) -> float:
+    """Roofline time of an aggregated compute segment."""
+    if nops == 0:
+        return 0.0
+    return (max(flops / cpu.flop_rate, nbytes / cpu.mem_bw)
+            + nops * cpu.op_overhead)
+
+
+def schedule_time(sched: Schedule, machine: Machine) -> float:
+    """Predicted makespan (virtual seconds) of ``sched`` on ``machine``.
+
+    Requires a complete schedule (every receive matched); an incomplete
+    one describes a deadlocked program whose makespan is meaningless.
+    """
+    if not sched.complete:
+        raise ValueError(
+            f"cannot price an incomplete schedule ({sched.summary()})")
+    net, cpu = machine.net, machine.cpu
+    n = sched.nranks
+    pos = [0] * n
+    clock = [0.0] * n
+    arrival: dict[tuple[int, int], float] = {}
+    # Round-robin causal sweep: a rank parks when its next receive's
+    # matched send has not been priced yet; completeness of the schedule
+    # guarantees the sweep drains (the match relation is an executed
+    # order, hence acyclic).
+    progressed = True
+    while progressed:
+        progressed = False
+        for r in range(n):
+            evs = sched.events[r]
+            while pos[r] < len(evs):
+                ev = evs[pos[r]]
+                seg = _segment_time(cpu, ev.pre_flops, ev.pre_bytes,
+                                    ev.pre_ops)
+                if ev.kind == "send":
+                    clock[r] += seg + net.send_overhead
+                    arrival[(r, ev.pos)] = clock[r] + net.latency(
+                        ev.nbytes, machine.same_node(r, ev.dst))
+                else:
+                    if ev.match is not None and ev.match not in arrival:
+                        break       # park until the sender is priced
+                    t_in = arrival.get(ev.match, 0.0)
+                    clock[r] = max(clock[r] + seg, t_in) + net.recv_overhead
+                pos[r] += 1
+                progressed = True
+    if any(pos[r] < len(sched.events[r]) for r in range(n)):
+        raise AssertionError(
+            f"causal pricing sweep stalled on {sched.summary()}")
+    for r, (flops, nbytes, nops) in enumerate(sched.compute_tails or ()):
+        clock[r] += _segment_time(cpu, flops, nbytes, nops)
+    return max(clock, default=0.0)
+
+
+def predict_time(solver, algorithm: str, nrhs: int = 1,
+                 machine: Machine | None = None) -> float:
+    """Predicted virtual solve time of ``algorithm`` on ``solver``.
+
+    Extraction is symbolic (zero RHS, zero-cost machine) and reuses the
+    solver's setup caches, so repeated predictions over the same solver
+    pay the kernel sweep once per (algorithm, nrhs).
+    """
+    from repro.analyze.extract import solver_schedule
+
+    machine = machine or solver.machine
+    sched = solver_schedule(solver, algorithm=algorithm, nrhs=nrhs)
+    return schedule_time(sched, machine)

@@ -24,6 +24,7 @@ and by the fuzzer's ``replay=True`` draws.  See ``docs/PERFORMANCE.md``.
 """
 
 from repro.replay.api import (  # noqa: F401
+    REPLAYABLE,
     ReplayError,
     ReplayMismatch,
     ReplayState,

@@ -35,6 +35,12 @@ class ReplayError(ValueError):
     """The requested solve cannot take the replay fast path."""
 
 
+#: Algorithms the schedule compiler supports.  The zoo backends
+#: (``sparse_allreduce_v2``, ``ca_trsm``) always take the simulator —
+#: the serving tier consults this tuple before enabling its fast path.
+REPLAYABLE = ("2d", "new3d", "baseline3d")
+
+
 class ReplayMismatch(AssertionError):
     """A compiled artifact disagreed with its own recording run."""
 
@@ -86,7 +92,9 @@ def _resolve(solver, algorithm: str, tree_kind: str | None) -> tuple[str, str]:
         return "new3d", tree_kind or "auto"
     if algorithm == "baseline3d":
         return "baseline3d", tree_kind or "flat"
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+    raise ReplayError(
+        f"replay does not support algorithm {algorithm!r}; the schedule "
+        f"compiler covers {REPLAYABLE} — solve without replay=True")
 
 
 def _copy_result(base):

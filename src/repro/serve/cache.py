@@ -85,6 +85,15 @@ class FactorizationCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def warm_fingerprints(self) -> set:
+        """Fingerprints with a resident factorization.
+
+        The fleet's scale-down path consults this to avoid draining the
+        only warm replica of a hot matrix (cache-locality-aware victim
+        choice); reads do not touch hit/miss counters or LRU age.
+        """
+        return {k.fingerprint for k in self._entries}
+
     def get(self, key: CacheKey) -> SpTRSVSolver | None:
         """Look up ``key``, counting a hit or miss and refreshing LRU age."""
         entry = self._entries.get(key)

@@ -216,13 +216,18 @@ class BatchingScheduler:
         (``deadline < t``), so the expiry trigger is the smallest
         representable time past the earliest queued deadline — waking
         exactly at the deadline would shed nothing and stall the loop.
+        A zero-slack request (deadline equal to its arrival) must not pull
+        the wake-up before the arrival itself: a shed timestamped before
+        the request exists would violate causality, so each expiry trigger
+        is clamped to ``max(arrival, nextafter(deadline, inf))``.
         """
         if not self._queues:
             return None
         age = min(min(r.arrival for r in q) + self.policy.max_wait
                   for q in self._queues.values())
-        dl = min(r.deadline for q in self._queues.values() for r in q)
-        return min(age, math.nextafter(dl, math.inf))
+        dl = min(max(r.arrival, math.nextafter(r.deadline, math.inf))
+                 for q in self._queues.values() for r in q)
+        return min(age, dl)
 
     def pop_batch(self, key: tuple, t: float
                   ) -> tuple[list[Request], list[Rejection]]:

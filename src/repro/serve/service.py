@@ -91,6 +91,12 @@ class ServiceConfig:
     # see repro.replay).  Off forces every batch through the simulator —
     # the benchmark's baseline leg and an escape hatch.
     replay: bool = True
+    # Route every batch through the cost-model planner (repro.planner):
+    # the dispatched algorithm becomes the planner's cached pick for
+    # (matrix, grid, machine, batch width) instead of ``algorithm``.
+    # Verification re-solves use the same resolved pick, so the batching
+    # bit-identity contract is planner-transparent.
+    planner: bool = False
 
     def __post_init__(self):
         if self.machine not in MACHINES:
@@ -98,6 +104,10 @@ class ServiceConfig:
                              f"(have {sorted(MACHINES)})")
         if self.max_matrix_n < 1:
             raise ValueError("max_matrix_n must be >= 1")
+        if self.planner and self.device != "cpu":
+            raise ValueError(
+                "planner=True plans over the CPU backends only "
+                "(device='cpu')")
 
 
 @dataclass
@@ -395,7 +405,8 @@ class SolveService:
 
         B = np.hstack(columns)
         batch_id = len(res.batches)
-        kw: dict = dict(algorithm=self.config.algorithm,
+        algorithm = self._resolve_algorithm(solver, B.shape[1])
+        kw: dict = dict(algorithm=algorithm,
                         device=self.config.device, profile=self.profile)
         if self.fault_schedule is not None:
             plan = self.fault_schedule.plan_at(t)
@@ -408,14 +419,16 @@ class SolveService:
         # Replay fast path: a cache-hit, fault-free CPU batch executes the
         # solver's compiled schedule (bit-identical answers and virtual
         # clocks by construction; see repro.replay).  The first batch of a
-        # given shape records — a normal simulated solve — so misses and
-        # faulted/resilient batches always take the simulator.
+        # given shape records — a normal simulated solve — so misses,
+        # faulted/resilient batches, and backends outside the schedule
+        # compiler's coverage (REPLAYABLE) always take the simulator.
         replays_before = 0
+        from repro.replay import REPLAYABLE, replay_state
+
         if (self.config.replay and hit and self.config.device == "cpu"
+                and algorithm in REPLAYABLE
                 and "faults" not in kw and self.resilience is None):
             kw["replay"] = True
-            from repro.replay import replay_state
-
             replays_before = replay_state(solver).stats.replays
         out = solver.solve_blocked(B, rhs_block=self.policy.max_batch, **kw)
         replayed = False
@@ -452,8 +465,24 @@ class SolveService:
             solve_time=solve_time, replayed=replayed))
         if self.verify_fraction > 0.0:
             self._verify_batch(solver, live, columns, col_of, X, res,
-                               batch_id, faulted="faults" in kw)
+                               batch_id, faulted="faults" in kw,
+                               algorithm=algorithm)
         return t_done
+
+    def _resolve_algorithm(self, solver: SpTRSVSolver, nrhs: int) -> str:
+        """The algorithm this batch actually runs.
+
+        With ``planner=True`` the cost-model planner's cached pick for
+        (this matrix, this grid/machine, this batch width) replaces the
+        configured algorithm; resolving once per batch keeps dispatch and
+        verification on the same backend even if the planner's decision
+        is later corrected by measured feedback.
+        """
+        if not self.config.planner:
+            return self.config.algorithm
+        from repro.planner import DEFAULT_PLANNER
+
+        return DEFAULT_PLANNER.choose(solver, nrhs=nrhs).algorithm
 
     # -- sampled integrity verification ---------------------------------------
 
@@ -465,7 +494,7 @@ class SolveService:
     def _verify_batch(self, solver: SpTRSVSolver, live: list[Request],
                       columns: list[np.ndarray], col_of: dict,
                       X: np.ndarray, res: ServeResult, batch_id: int,
-                      faulted: bool) -> None:
+                      faulted: bool, algorithm: str | None = None) -> None:
         """Re-check sampled completions of one batch (host-time observer).
 
         Every sampled answer must meet the residual bound; on fault-free
@@ -495,7 +524,9 @@ class SolveService:
                      "kind": "residual", "value": float(rel)})
                 continue
             if not faulted:
-                ref = solver.solve(b[:, 0], algorithm=self.config.algorithm,
+                ref = solver.solve(b[:, 0],
+                                   algorithm=algorithm
+                                   or self.config.algorithm,
                                    device=self.config.device).x
                 if not np.array_equal(x, ref):
                     res.integrity_failures.append(

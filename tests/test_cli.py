@@ -207,3 +207,40 @@ def test_fleet_error_paths():
         main(["fleet", "--requests", "4", "--crash", "1@0.009:0.004"])
     with pytest.raises(SystemExit):
         main(["fleet", "--requests", "4", "--matrices", "nosuch"])
+
+
+def test_fleet_crash_validation_rejects_malformed_windows():
+    """Regression: malformed --crash windows must die at parse time with
+    a typed message, never deep inside the fleet run."""
+    base = ["fleet", "--requests", "4"]
+    # Negative crash time.
+    with pytest.raises(SystemExit, match="finite and >= 0"):
+        main(base + ["--crash", "1@-0.1:0.5"])
+    # Non-finite times parse as floats but must still be rejected.
+    with pytest.raises(SystemExit, match="finite and >= 0"):
+        main(base + ["--crash", "1@nan:0.5"])
+    with pytest.raises(SystemExit, match="finite and >= 0"):
+        main(base + ["--crash", "1@0.001:inf"])
+    # Negative worker index (= form: argparse eats a bare leading dash).
+    with pytest.raises(SystemExit, match="worker index must be >= 0"):
+        main(base + ["--crash=-1@0.001:0.002"])
+    # Worker index beyond the fleet (default --workers is 2).
+    with pytest.raises(SystemExit, match="only ever has workers 0..1"):
+        main(base + ["--crash", "9@0.001:0.002"])
+    # Recovery must strictly follow the crash (tr == tc).
+    with pytest.raises(SystemExit, match="recovery must follow"):
+        main(base + ["--crash", "1@0.002:0.002"])
+    # A window list with no windows in it.
+    with pytest.raises(SystemExit, match="no windows"):
+        main(base + ["--crash", ","])
+
+
+def test_fleet_crash_ceiling_uses_autoscaler_max():
+    # Worker 3 can never exist in a fixed 2-worker fleet...
+    with pytest.raises(SystemExit, match="workers 0..1"):
+        main(["fleet", "--requests", "4", "--workers", "2",
+              "--crash", "3@0.001:0.002"])
+    # ...but is a legal target under --autoscale with a higher ceiling.
+    assert main(["fleet", "--requests", "8", "--rate", "1e6",
+                 "--workers", "2", "--autoscale", "--max-workers", "4",
+                 "--crash", "3@0.001:0.002"]) == 0

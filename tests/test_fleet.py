@@ -35,6 +35,7 @@ from repro.serve import (
     generate_workload,
     zipf_mix,
 )
+from repro.serve.cache import CacheKey
 
 GRID = dict(px=1, py=1, pz=2)
 
@@ -316,6 +317,52 @@ def test_autoscaler_policy_validation():
         AutoscalerPolicy(min_workers=4, max_workers=2)
     with pytest.raises(ValueError):
         AutoscalerPolicy(period=0.0)
+
+
+def test_drain_victim_prefers_replicated_caches():
+    """Regression: the scale-down victim used to be the least-loaded
+    routable worker even when it held the fleet's *only* warm copy of a
+    hot factorization — draining it cratered the hit rate on the next
+    burst, because every request for that matrix refactored cold.  The
+    victim choice must spare workers with uniquely-warm fingerprints
+    when a fully replicated one is available."""
+
+    class _FakeSolver:
+        def storage_nbytes(self):
+            return 128
+
+    def key(fp):
+        return CacheKey(fingerprint=fp, px=1, py=1, pz=2,
+                        machine="cori-haswell", max_supernode=64,
+                        symbolic_mode="exact", ordering="nd")
+
+    fs = _fleet(workers=3)
+    fs.workers = {i: fs._spawn(i, t0=0.0) for i in range(3)}
+    # "hot" is warm ONLY on worker 2; "shared" is replicated on 0 and 1.
+    fs.workers[0].svc.cache.put(key("shared"), _FakeSolver())
+    fs.workers[1].svc.cache.put(key("shared"), _FakeSolver())
+    fs.workers[2].svc.cache.put(key("hot"), _FakeSolver())
+
+    depths = {0: 2, 1: 3, 2: 1}   # worker 2 is also the least loaded
+    victim = fs._drain_victim([0, 1, 2], depths)
+    # The pre-fix (depth, -index) rule drained worker 2 — the sole warm
+    # replica of "hot".  Locality-aware choice spares it and takes the
+    # least-loaded of the fully-replicated workers instead.
+    assert victim == 0
+    # Everything warm on the victim survives elsewhere in the fleet...
+    survivors = set().union(*(fs.workers[i].svc.cache.warm_fingerprints()
+                              for i in (1, 2)))
+    assert fs.workers[victim].svc.cache.warm_fingerprints() <= survivors
+    # ...whereas draining worker 2 would have lost the only copy.
+    assert "hot" not in set().union(
+        *(fs.workers[i].svc.cache.warm_fingerprints() for i in (0, 1)))
+    # With no replicated victim available the rule degrades to pure
+    # load: all-solo caches fall back to (depth, -index).
+    fs.workers[0].svc.cache._entries.clear()
+    fs.workers[1].svc.cache._entries.clear()
+    fs.workers[0].svc.cache.put(key("a"), _FakeSolver())
+    fs.workers[1].svc.cache.put(key("b"), _FakeSolver())
+    assert fs._drain_victim([0, 1, 2], depths) == 2
 
 
 def test_fleet_autoscales_up_and_replays():

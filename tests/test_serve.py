@@ -212,6 +212,40 @@ def test_scheduler_next_trigger_includes_earliest_deadline():
     assert s.depth() == 0 and s.next_trigger() is None
 
 
+def test_scheduler_next_trigger_zero_slack_clamps_to_arrival():
+    """Regression: the expiry trigger must never precede the arrival.
+
+    The fleet's crash path can deliver a request to a worker *before*
+    its own arrival (the run loop pre-routes future arrivals; a crash
+    evacuates and re-homes them at the crash instant).  When such a
+    request's deadline has already passed in flight, the pre-fix
+    ``next_trigger`` returned ``nextafter(deadline)`` unclamped, waking
+    the loop — and timestamping the shed — before the request exists; an
+    acausal ``Rejection.time`` the ``serve.causal-shed`` invariant now
+    rejects.  Each expiry trigger is clamped to
+    ``max(arrival, nextafter(deadline))``."""
+    s = BatchingScheduler(BatchPolicy(max_batch=8, max_wait=100.0))
+    # Delivered at t=0.5 ahead of its arrival=2.0, deadline long gone.
+    s.offer(req(0, arrival=2.0, deadline=1.0), 0.5)
+    trig = s.next_trigger()
+    assert trig == 2.0                  # clamped: not nextafter(1.0)
+    shed = s.expire(trig)
+    assert [r.request.id for r in shed] == [0]
+    assert shed[0].time >= shed[0].request.arrival
+    assert shed[0].time > shed[0].request.deadline
+
+    # Zero slack (deadline == arrival, the fuzzer's deadline=0.0 draw):
+    # the trigger is the first representable instant past the deadline,
+    # which is already causal.
+    s.offer(req(1, arrival=3.0, deadline=3.0), 2.5)
+    trig = s.next_trigger()
+    assert trig == math.nextafter(3.0, math.inf)
+    assert s.expire(3.0) == []          # t == deadline: still alive
+    shed = s.expire(trig)
+    assert [r.request.id for r in shed] == [1]
+    assert shed[0].time >= shed[0].request.arrival
+
+
 def test_scheduler_deadline_boundary():
     """Regression: the tier-wide boundary convention (docs/SERVING.md).
 

@@ -5,22 +5,25 @@ Compares a freshly generated benchmark artifact (the *candidate*) against
 the checked-in baseline and fails (exit 1) when the headline metric has
 regressed.  Three checks, in increasing strictness:
 
-1. **Virtual throughput** per sweep point (batch cap for
-   ``BENCH_serve.json``, worker count for ``BENCH_fleet.json``) must
-   match the baseline within 1% — virtual time is deterministic, so any
-   drift here is a functional change to the serving tier or cost model,
-   not noise.  (Skipped with a notice when the two artifacts were
-   generated at different matrix scales, where the virtual numbers are
+1. **The deterministic virtual quantity** per sweep point (virtual
+   throughput per batch cap for ``BENCH_serve.json`` / per worker count
+   for ``BENCH_fleet.json``, measured-best virtual solve time per
+   (matrix, grid) point for ``BENCH_planner.json``) must match the
+   baseline within 1% — virtual time is deterministic, so any drift
+   here is a functional change to the serving tier or cost model, not
+   noise.  (Skipped with a notice when the two artifacts were generated
+   at different matrix scales, where the virtual numbers are
    legitimately different.)
-2. **The headline ratio** must not regress more than 20% against the
+2. **The headline metric** must not regress more than 20% against the
    baseline.  For ``replay_speedup`` (simulated wall / replay wall at
    the widest cap) raw wall-clock is not comparable across machines, but
    the ratio of two legs measured back-to-back on the same host is; for
-   ``throughput_scaling`` (4-worker / 1-worker virtual throughput) the
-   ratio is deterministic outright.
+   ``throughput_scaling`` (4-worker / 1-worker virtual throughput) and
+   ``planner_hit_rate`` (fraction of points where the planner's pick
+   measures within 10% of best) the number is deterministic outright.
 3. The headline metric must stay at or above the artifact's recorded
    acceptance floor — 5x replay speedup (ISSUE 7), 2x 4-worker fleet
-   scaling (ISSUE 8).
+   scaling (ISSUE 8), 0.9 planner hit rate (ISSUE 9).
 
 Usage::
 
@@ -38,10 +41,12 @@ import sys
 VIRTUAL_TOL = 0.01      # deterministic: anything past rounding is a change
 SPEEDUP_TOL = 0.20      # wall-clock ratio: allow 20% host noise
 
-# Known headline metrics: (metric key, sweep-axis key, default floor).
+# Known headline metrics:
+# (metric key, sweep-axis key, default floor, per-point virtual key).
 METRICS = (
-    ("replay_speedup", "max_batch", 5.0),
-    ("throughput_scaling", "workers", 2.0),
+    ("replay_speedup", "max_batch", 5.0, "virtual_throughput_req_s"),
+    ("throughput_scaling", "workers", 2.0, "virtual_throughput_req_s"),
+    ("planner_hit_rate", "points", 0.9, "measured_best_s"),
 )
 
 
@@ -56,13 +61,21 @@ def load(path: str) -> dict:
 
 
 def headline_metric(doc: dict, path: str) -> tuple:
-    """The artifact's (metric key, axis key, default floor) triple."""
-    for key, axis, floor in METRICS:
-        if key in doc["headline"]:
-            return key, axis, floor
+    """The artifact's (metric, axis, default floor, virtual key) row."""
+    for row in METRICS:
+        if row[0] in doc["headline"]:
+            return row
     known = ", ".join(m[0] for m in METRICS)
     raise SystemExit(f"error: {path} headline has none of the known "
                      f"metrics ({known})")
+
+
+def _axis_order(key: str):
+    """Sort sweep keys numerically when they are numbers, else lexically."""
+    try:
+        return (0, int(key), "")
+    except ValueError:
+        return (1, 0, key)
 
 
 def main(argv: list[str]) -> int:
@@ -73,32 +86,33 @@ def main(argv: list[str]) -> int:
     base = load(argv[2])
     failures = []
 
-    if cand["config"].get("scale") != base["config"].get("scale"):
-        print(f"note: scale differs (candidate "
-              f"{cand['config'].get('scale')!r} vs baseline "
-              f"{base['config'].get('scale')!r}); skipping the virtual-"
-              f"throughput determinism check")
-    else:
-        for cap in sorted(base["sweep"], key=int):
-            if cap not in cand["sweep"]:
-                failures.append(f"cap {cap} missing from candidate sweep")
-                continue
-            b = base["sweep"][cap]["virtual_throughput_req_s"]
-            c = cand["sweep"][cap]["virtual_throughput_req_s"]
-            if abs(c - b) > VIRTUAL_TOL * b:
-                failures.append(
-                    f"virtual throughput changed at cap {cap}: "
-                    f"{b:.1f} -> {c:.1f} req/s (> {VIRTUAL_TOL:.0%}); "
-                    f"virtual time is deterministic, so this is a "
-                    f"functional change — update the baseline deliberately "
-                    f"if intended")
-
-    metric, axis, default_floor = headline_metric(cand, argv[1])
-    b_metric, _, _ = headline_metric(base, argv[2])
+    metric, axis, default_floor, virtual_key = headline_metric(cand, argv[1])
+    b_metric = headline_metric(base, argv[2])[0]
     if b_metric != metric:
         raise SystemExit(
             f"error: candidate measures {metric!r} but baseline measures "
             f"{b_metric!r} — not comparable artifacts")
+
+    if cand["config"].get("scale") != base["config"].get("scale"):
+        print(f"note: scale differs (candidate "
+              f"{cand['config'].get('scale')!r} vs baseline "
+              f"{base['config'].get('scale')!r}); skipping the virtual-"
+              f"determinism check")
+    else:
+        for cap in sorted(base["sweep"], key=_axis_order):
+            if cap not in cand["sweep"]:
+                failures.append(f"point {cap} missing from candidate sweep")
+                continue
+            b = base["sweep"][cap][virtual_key]
+            c = cand["sweep"][cap][virtual_key]
+            if abs(c - b) > VIRTUAL_TOL * b:
+                failures.append(
+                    f"{virtual_key} changed at point {cap}: "
+                    f"{b:.6g} -> {c:.6g} (> {VIRTUAL_TOL:.0%}); "
+                    f"virtual time is deterministic, so this is a "
+                    f"functional change — update the baseline deliberately "
+                    f"if intended")
+
     label = metric.replace("_", " ")
     b_speed = base["headline"][metric]
     c_speed = cand["headline"][metric]
