@@ -26,7 +26,7 @@ from repro.matrices import matrix_fingerprint
 from repro.planner import Planner, candidates
 
 # Decisions and virtual times are deterministic at any scale; tiny keeps
-# the 4-candidate x 12-point sweep fast, and matches the CI gate.
+# the 5-candidate x 12-point sweep fast, and matches the CI gate.
 PLANNER_SCALE = "tiny" if SCALE == "medium" else SCALE
 MATRICES = ["s2D9pt2048", "nlpkkt80", "ldoor"]
 GRIDS = [(2, 2, 1), (2, 1, 2), (2, 2, 2), (1, 2, 4)]

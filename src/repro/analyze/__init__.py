@@ -1,16 +1,21 @@
 """Static analysis of communication schedules and runtime code.
 
-Three layers (see ``docs/ANALYSIS.md``):
+Four layers (see ``docs/ANALYSIS.md``):
 
 - :mod:`repro.analyze.extract` — run rank programs under a zero-cost
   symbolic harness and record per-rank ordered event lists
-  (:class:`~repro.analyze.schedule.Schedule`).
+  (:class:`~repro.analyze.schedule.Schedule`), one-sided operations
+  included.
 - :mod:`repro.analyze.verify` — check an extracted schedule statically:
   wait-for-cycle deadlock detection with a minimal cycle witness,
   unmatched/over-matched endpoints, a message-race detector over
   wildcard receives, and sync-point counting without the cost model.
+- :mod:`repro.analyze.rma` — epoch-based certification of one-sided
+  traffic: conflicting-access races with minimal two-op witnesses,
+  unapplied-put/fence-mismatch issues, and static window-buffer
+  resource bounds that match the runtime's measured peaks exactly.
 - :mod:`repro.analyze.lint` — AST lint over the runtime source
-  (rules ``RPR001``–``RPR005``, suppressible with
+  (rules ``RPR001``–``RPR008``, suppressible with
   ``# repro: allow[RULE]``).
 
 Where :mod:`repro.check` tests executions *dynamically* (one seeded run
@@ -28,7 +33,23 @@ from repro.analyze.extract import (
     solver_schedule,
 )
 from repro.analyze.lint import Finding, run_lint
-from repro.analyze.schedule import RecvEvent, Schedule, SendEvent
+from repro.analyze.rma import (
+    RMAIssue,
+    RMARace,
+    RMAReport,
+    RMAResources,
+    delete_op,
+    verify_rma,
+)
+from repro.analyze.schedule import (
+    FenceEvent,
+    FlushEvent,
+    PutEvent,
+    ReadEvent,
+    RecvEvent,
+    Schedule,
+    SendEvent,
+)
 from repro.analyze.verify import (
     DeadlockWitness,
     EndpointIssue,
@@ -42,17 +63,27 @@ __all__ = [
     "DeadlockWitness",
     "EndpointIssue",
     "ExtractionLimit",
+    "FenceEvent",
     "Finding",
+    "FlushEvent",
+    "PutEvent",
+    "RMAIssue",
+    "RMARace",
+    "RMAReport",
+    "RMAResources",
     "RaceWitness",
+    "ReadEvent",
     "RecvEvent",
     "Schedule",
     "SendEvent",
     "VerifyReport",
     "allreduce_schedule",
+    "delete_op",
     "expected_syncs",
     "extract_schedule",
     "gpu_schedules",
     "run_lint",
     "solver_schedule",
+    "verify_rma",
     "verify_schedule",
 ]

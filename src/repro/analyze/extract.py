@@ -35,11 +35,24 @@ import numpy as np
 from repro.comm.simulator import (
     ANY,
     RankCtx,
+    RMAError,
     _ComputeOp,
+    _FenceOp,
+    _FlushOp,
+    _PutOp,
+    _ReadOp,
     _RecvOp,
     _SendOp,
 )
-from repro.analyze.schedule import RecvEvent, Schedule, SendEvent
+from repro.analyze.schedule import (
+    FenceEvent,
+    FlushEvent,
+    PutEvent,
+    ReadEvent,
+    RecvEvent,
+    Schedule,
+    SendEvent,
+)
 
 
 class ExtractionLimit(RuntimeError):
@@ -75,7 +88,7 @@ class _SymbolicMachine:
 
 SYMBOLIC_MACHINE = _SymbolicMachine()
 
-_READY, _RECV, _SENDB, _DONE = 0, 1, 2, 3
+_READY, _RECV, _SENDB, _DONE, _FENCEX = 0, 1, 2, 3, 4
 
 
 def _op_matches(op: _RecvOp, sev: SendEvent) -> bool:
@@ -123,6 +136,15 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
     seg: list[list] = [[0.0, 0.0, 0] for _ in range(n)]
     gstep = 0
     nops = 0
+    # One-sided state: per-rank windows and the global issued-but-unapplied
+    # write list (gidx, origin, dst, key, payload) — applied at the origin's
+    # flush or at the collective fence, mirroring the simulator.
+    windows: list[dict] = [{} for _ in range(n)]
+    rma_pending: list[tuple] = []
+
+    def apply_rma(writes: list[tuple]) -> None:
+        for _gidx, _origin, dst, key, payload in sorted(writes):
+            windows[dst][key] = payload
 
     def run_rank(r: int, value) -> None:
         """Advance rank r until it blocks or finishes (mirrors the
@@ -176,9 +198,57 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
                 seg[r][0] += op.flops
                 seg[r][1] += op.nbytes
                 seg[r][2] += 1
+            elif isinstance(op, _PutOp):
+                fl, nb, no = seg[r]
+                seg[r] = [0.0, 0.0, 0]
+                ev = PutEvent(r, len(events[r]), gstep, op.dst, op.key,
+                              op.nbytes, ctx.phase, ctx.sync, op.category,
+                              pre_flops=fl, pre_bytes=nb, pre_ops=no)
+                gstep += 1
+                events[r].append(ev)
+                rma_pending.append((ev.gidx, r, op.dst, op.key, op.payload))
+            elif isinstance(op, _FlushOp):
+                fl, nb, no = seg[r]
+                seg[r] = [0.0, 0.0, 0]
+                ev = FlushEvent(r, len(events[r]), gstep, op.dst,
+                                ctx.phase, ctx.sync, op.category,
+                                pre_flops=fl, pre_bytes=nb, pre_ops=no)
+                gstep += 1
+                events[r].append(ev)
+                mine = [w for w in rma_pending
+                        if w[1] == r and (op.dst is None or w[2] == op.dst)]
+                for w in mine:
+                    rma_pending.remove(w)
+                apply_rma(mine)
+            elif isinstance(op, _FenceOp):
+                fl, nb, no = seg[r]
+                seg[r] = [0.0, 0.0, 0]
+                ev = FenceEvent(r, len(events[r]), gstep, op.tag,
+                                ctx.phase, ctx.sync, op.category,
+                                pre_flops=fl, pre_bytes=nb, pre_ops=no)
+                gstep += 1
+                events[r].append(ev)
+                state[r] = _FENCEX
+                pend[r] = (op, ev)
+                return
+            elif isinstance(op, _ReadOp):
+                fl, nb, no = seg[r]
+                seg[r] = [0.0, 0.0, 0]
+                ev = ReadEvent(r, len(events[r]), gstep, op.key,
+                               ctx.phase, ctx.sync, op.category,
+                               pre_flops=fl, pre_bytes=nb, pre_ops=no)
+                gstep += 1
+                events[r].append(ev)
+                if op.key not in windows[r]:
+                    raise RMAError(
+                        f"extraction: rank {r} read window key {op.key!r} "
+                        f"before any put to it was applied (missing "
+                        f"flush/fence?)")
+                value = windows[r][op.key]
             else:
                 raise TypeError(
-                    f"rank {r} yielded {op!r}; yield ctx.send/recv/compute")
+                    f"rank {r} yielded {op!r}; yield "
+                    f"ctx.send/recv/compute/put/flush/fence/read")
 
     while True:
         progressed = False
@@ -222,17 +292,33 @@ def extract_schedule(nranks: int, rank_fn: Callable[[RankCtx], Iterable],
                     run_rank(r, (sev.rank, sev.tag, payload))
                     run_rank(s, None)
                     delivered = True
-        if not delivered:
-            break
+        if delivered:
+            continue
+        # Fence quorum (mirrors the simulator): the collective epoch
+        # boundary completes only when every live rank is parked at its
+        # fence — then all pending writes are applied and everyone resumes.
+        fencing = [r for r in range(n) if state[r] == _FENCEX]
+        if fencing and all(state[r] in (_FENCEX, _DONE) for r in range(n)):
+            writes = list(rma_pending)
+            rma_pending.clear()
+            apply_rma(writes)
+            for r in fencing:
+                state[r] = _READY
+                pend[r] = None
+            continue
+        break
 
     blocked_recvs = [(r, pend[r][1].pos) for r in range(n)
                      if state[r] == _RECV]
     blocked_sends = [(r, pend[r][1].pos) for r in range(n)
                      if state[r] == _SENDB]
+    blocked_fences = [(r, pend[r][1].pos) for r in range(n)
+                      if state[r] == _FENCEX]
     return Schedule(nranks=n, events=events,
                     complete=all(s == _DONE for s in state),
                     blocked_recvs=blocked_recvs,
                     blocked_sends=blocked_sends,
+                    blocked_fences=blocked_fences,
                     rendezvous=rendezvous, name=name,
                     compute_tails=[(s[0], s[1], s[2]) for s in seg])
 
@@ -260,6 +346,9 @@ def solver_schedule(solver, algorithm: str = "new3d", nrhs: int = 1,
     elif algorithm == "sparse_allreduce_v2":
         impl = "new3d"
         allreduce_impl = "sparse_v2"
+    elif algorithm == "onesided_put":
+        impl = "new3d"
+        allreduce_impl = "onesided"
     elif algorithm in ("new3d", "baseline3d", "ca_trsm"):
         impl = algorithm
     else:
@@ -290,6 +379,7 @@ def allreduce_schedule(solver, nrhs: int = 1, impl: str = "sparse",
     supernodes, exactly as the solve's Z phase does."""
     from repro.core.sparse_allreduce import (
         naive_allreduce,
+        onesided_allreduce,
         sparse_allreduce,
         sparse_allreduce_v2,
         structural_nonzeros,
@@ -298,7 +388,8 @@ def allreduce_schedule(solver, nrhs: int = 1, impl: str = "sparse",
     setup = solver._new3d_setup("auto")
     grid, part = solver.grid, setup.part
     fn = {"sparse": sparse_allreduce, "naive": naive_allreduce,
-          "sparse_v2": sparse_allreduce_v2}[impl]
+          "sparse_v2": sparse_allreduce_v2,
+          "onesided": onesided_allreduce}[impl]
     nz_sets = (structural_nonzeros(setup.lu, setup.grid_sns,
                                    setup.sn_owner_grid)
                if impl == "sparse_v2" else None)

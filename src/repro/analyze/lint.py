@@ -1,6 +1,6 @@
 """Custom AST lint over the runtime source (``repro lint``).
 
-Seven rules, each catching a pattern that has already bitten this codebase
+Eight rules, each catching a pattern that has already bitten this codebase
 (see ``docs/ANALYSIS.md`` for the catalog with examples):
 
 - **RPR001** ``untagged-wildcard-recv`` — ``recv(src=ANY)`` with no tag
@@ -36,6 +36,12 @@ Seven rules, each catching a pattern that has already bitten this codebase
   directly bypasses ``SpTRSVSolver``'s setup caches, the planner's
   algorithm resolution, and the resilience tiering — three layers of
   behavior the solve contract depends on.
+- **RPR008** ``unfenced-put`` — a ``ctx.put(...)`` with no later
+  ``ctx.flush``/``ctx.fence`` lexically in the same function.  A put is
+  only applied to the target window at its origin's next flush or fence;
+  a rank program that ends an epochless put leaks an in-flight write the
+  runtime never delivers (``sim.rma-conservation``) and the static
+  certifier rejects (``unapplied-put``).
 
 Suppression: a ``# repro: allow[RPR003]`` comment on the flagged line or
 the line directly above silences that rule there (comma-separate several
@@ -92,6 +98,13 @@ RULES: dict[str, tuple[str, str]] = {
         "'auto') instead of constructing backend rank programs by hand; "
         "direct construction skips the setup caches, the planner, and "
         "the resilience tiers",
+    ),
+    "RPR008": (
+        "unfenced-put",
+        "issue ctx.flush(dst) or ctx.fence() after the last ctx.put in "
+        "the same function; an unfenced put is never applied to the "
+        "target window (the static certifier reports it as "
+        "unapplied-put and the runtime leaks it as an in-flight write)",
     ),
 }
 
@@ -318,6 +331,40 @@ class _Visitor(ast.NodeVisitor):
 
     # -- RPR005: mutable defaults ------------------------------------------
 
+    # -- RPR008: puts with no later flush/fence in the same function -------
+
+    @staticmethod
+    def _walk_local(node) -> list[ast.AST]:
+        """All descendants of ``node``, not descending into nested defs."""
+        out: list[ast.AST] = []
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop()
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            out.append(child)
+            stack.extend(ast.iter_child_nodes(child))
+        return out
+
+    def _check_unfenced_puts(self, node) -> None:
+        puts: list[ast.Call] = []
+        closers: list[tuple[int, int]] = []
+        for child in self._walk_local(node):
+            if not isinstance(child, ast.Call):
+                continue
+            if _base_name(child.func) != "ctx":
+                continue
+            name = _name_of(child.func)
+            if name == "put":
+                puts.append(child)
+            elif name in ("flush", "fence"):
+                closers.append((child.lineno, child.col_offset))
+        for p in puts:
+            if not any(c > (p.lineno, p.col_offset) for c in closers):
+                self._add(p, "RPR008",
+                          f"ctx.put() in {node.name}() with no later "
+                          f"ctx.flush/ctx.fence in the same function")
+
     def _check_defaults(self, node) -> None:
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None]
@@ -333,10 +380,12 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_unfenced_puts(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_unfenced_puts(node)
         self.generic_visit(node)
 
 

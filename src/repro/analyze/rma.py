@@ -1,0 +1,396 @@
+"""Epoch-based certification of one-sided (RMA) schedules.
+
+:func:`verify_rma` takes an extracted
+:class:`~repro.analyze.schedule.Schedule` and statically certifies its
+one-sided traffic — no simulation, no cost model:
+
+- **Happens-before**: program order, matched send→recv pairs, and *epoch
+  joins*.  The ``e``-th fence of every participating rank feeds a single
+  join node ``J_e``; ``J_e`` feeds each participant's first post-fence
+  event.  This is exactly the runtime's quorum semantics
+  (:meth:`repro.comm.simulator.RankCtx.fence`): the fence completes only
+  once every live rank reaches it, so everything before any rank's
+  ``e``-th fence happens before everything after any rank's ``e``-th
+  fence.  A put becomes *visible* at its origin's next matching flush, or
+  at the join of its origin's next fence; a put whose origin never
+  flushes or fences again is never applied.
+- **Conflicting accesses**: window accesses are grouped per
+  ``(target rank, key)``.  Two accesses — at least one of them a put —
+  conflict when neither is ordered before the other: a put is "before"
+  another access when its *apply point* happens-before that access's
+  issue.  Each conflict is reported as a :class:`RMARace` carrying a
+  minimal two-operation witness (the two accesses, in global extraction
+  order — deterministic and stable across re-extractions).  Same-rank
+  pairs are exempt: the runtime applies one origin's puts in issue order,
+  so program order already determines the outcome.
+- **Structural issues**: puts that are never applied
+  (``unapplied-put`` — the static twin of the runtime's
+  ``sim.rma-conservation`` invariant) and ranks that perform one-sided
+  operations but fence fewer times than their peers
+  (``fence-mismatch`` — such a rank stalls every other rank's fence at
+  runtime).
+- **Resource bounds**: a sweep over the schedule's recorded interleaving
+  charges every put to its target's window buffer from issue until its
+  apply point, yielding per-target *peak live window bytes*, total put
+  bytes, and the applied/unapplied split.  On fence-delimited schedules
+  (no flushes) the peak is interleaving-independent — every epoch's puts
+  are simultaneously live just before the join — so the certified peak
+  equals the runtime's measured ``SimResult.rma_peak_bytes`` *exactly*,
+  and total bytes obey conservation (``applied + unapplied == put``),
+  the same α·β byte volume the planner prices.
+
+:func:`delete_op` is the mutation helper behind the fence-deletion
+self-test: it removes one operation from a schedule (renumbering
+positions and re-pointing matches) so the test suite can prove the
+certifier catches the injected race.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.analyze.schedule import FenceEvent, PutEvent, Schedule
+
+
+@dataclass
+class RMAAccess:
+    """One window access: a put into ``target``'s window, or a local read."""
+
+    kind: str            # "put" | "read"
+    rank: int            # origin (put) or reader (read)
+    pos: int
+    gidx: int
+    target: int          # window owner (== rank for reads)
+    key: Hashable
+    nbytes: int = 0      # 0 for reads
+    applied_at: int | None = None   # HB node where a put becomes visible
+
+    def describe(self) -> str:
+        if self.kind == "put":
+            where = ("never applied" if self.applied_at is None
+                     else "applied")
+            return (f"rank {self.rank}[{self.pos}]: put(dst={self.target}, "
+                    f"key={self.key!r}, {self.nbytes}B, {where})")
+        return f"rank {self.rank}[{self.pos}]: read(key={self.key!r})"
+
+
+@dataclass
+class RMARace:
+    """Two unordered conflicting accesses to one window key."""
+
+    target: int
+    key: Hashable
+    first: RMAAccess     # the two-op witness, in global extraction order
+    second: RMAAccess
+
+    def describe(self) -> str:
+        return (f"rma race: window {self.target} key {self.key!r}: "
+                f"{self.first.describe()} and {self.second.describe()} "
+                f"are unordered (no flush/fence edge between them)")
+
+
+@dataclass
+class RMAIssue:
+    """A structural defect: an unapplied put or a fence-count mismatch."""
+
+    kind: str            # "unapplied-put" | "fence-mismatch"
+    rank: int
+    pos: int
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class RMAResources:
+    """Certified window-buffer bounds for a schedule's one-sided traffic."""
+
+    total_put_bytes: int = 0
+    applied_bytes: int = 0
+    unapplied_bytes: int = 0
+    peak_bytes: list[int] = field(default_factory=list)  # per target rank
+    nepochs: int = 0
+
+    @property
+    def conserved(self) -> bool:
+        """Byte conservation: every put byte is applied or still pending."""
+        return self.applied_bytes + self.unapplied_bytes \
+            == self.total_put_bytes
+
+    def describe(self) -> str:
+        peak = max(self.peak_bytes, default=0)
+        return (f"{self.total_put_bytes}B put "
+                f"({self.applied_bytes}B applied, "
+                f"{self.unapplied_bytes}B unapplied), "
+                f"{self.nepochs} epoch(s), "
+                f"peak live window {peak}B "
+                f"(per-rank {self.peak_bytes})")
+
+
+@dataclass
+class RMAReport:
+    """Everything :func:`verify_rma` established about a schedule."""
+
+    schedule: Schedule
+    races: list[RMARace] = field(default_factory=list)
+    issues: list[RMAIssue] = field(default_factory=list)
+    resources: RMAResources = field(default_factory=RMAResources)
+
+    @property
+    def race_free(self) -> bool:
+        return not self.races
+
+    @property
+    def ok(self) -> bool:
+        return (self.race_free and not self.issues
+                and self.resources.conserved)
+
+    def findings(self) -> list[str]:
+        out = [r.describe() for r in self.races]
+        out += [i.describe() for i in self.issues]
+        if not self.resources.conserved:
+            out.append(f"rma byte conservation violated: "
+                       f"{self.resources.describe()}")
+        return out
+
+    def summary(self) -> str:
+        name = f"{self.schedule.name}: " if self.schedule.name else ""
+        if not self.schedule.puts():
+            return f"{name}no one-sided operations"
+        if self.ok:
+            return (f"{name}certified race-free one-sided epochs; "
+                    f"{self.resources.describe()}")
+        lines = [f"{name}one-sided certification FAILED"]
+        lines += [f"  {f}" for f in self.findings()]
+        return "\n".join(lines)
+
+
+def _epoch_structure(sched: Schedule) -> tuple[list[list[FenceEvent]], int]:
+    """Per-rank fence lists (program order) and the max fence count."""
+    fences: list[list[FenceEvent]] = [[] for _ in range(sched.nranks)]
+    for evs in sched.events:
+        for e in evs:
+            if e.kind == "fence":
+                fences[e.rank].append(e)
+    max_f = max((len(f) for f in fences), default=0)
+    return fences, max_f
+
+
+def verify_rma(sched: Schedule) -> RMAReport:
+    """Certify ``sched``'s one-sided traffic; see the module docstring."""
+    report = RMAReport(schedule=sched)
+    puts = sched.puts()
+    if not puts and not sched.reads():
+        return report
+
+    fences, max_f = _epoch_structure(sched)
+    # Join node ids live above every event gidx.
+    G = 1 + max((e.gidx for evs in sched.events for e in evs), default=0)
+
+    # Structural issue: a rank doing one-sided work but fencing fewer
+    # times than its peers stalls everyone else's fence at runtime.
+    for r in range(sched.nranks):
+        if len(fences[r]) < max_f:
+            rma_evs = [e for e in sched.events[r]
+                       if e.kind in ("put", "flush", "read")]
+            if rma_evs:
+                report.issues.append(RMAIssue(
+                    "fence-mismatch", r, rma_evs[0].pos,
+                    f"rank {r} performs one-sided operations but fences "
+                    f"{len(fences[r])} time(s) while its peers fence "
+                    f"{max_f} time(s); every peer fence stalls on it"))
+
+    # -- apply point of every put -----------------------------------------
+    # First matching later flush by the origin, else the join of the
+    # origin's next fence, else never.
+    by_rank_pos: dict[int, list] = {r: sched.events[r]
+                                    for r in range(sched.nranks)}
+    accesses: dict[tuple[int, Hashable], list[RMAAccess]] = {}
+    apply_of: dict[int, int | None] = {}     # put gidx -> HB apply node
+    for p in puts:
+        applied: int | None = None
+        nfences = 0
+        for e in by_rank_pos[p.rank]:
+            if e.pos <= p.pos:
+                if e.kind == "fence":
+                    nfences += 1
+                continue
+            if e.kind == "flush" and (e.dst is None or e.dst == p.dst):
+                applied = e.gidx
+                break
+            if e.kind == "fence":
+                applied = G + nfences
+                break
+        apply_of[p.gidx] = applied
+        if applied is None:
+            report.issues.append(RMAIssue(
+                "unapplied-put", p.rank, p.pos,
+                f"{p.describe()} is never applied: no later flush or "
+                f"fence on rank {p.rank} completes it"))
+        acc = RMAAccess("put", p.rank, p.pos, p.gidx, p.dst, p.key,
+                        p.nbytes, applied)
+        accesses.setdefault((p.dst, p.key), []).append(acc)
+    for rd in sched.reads():
+        acc = RMAAccess("read", rd.rank, rd.pos, rd.gidx, rd.rank, rd.key)
+        accesses.setdefault((rd.rank, rd.key), []).append(acc)
+
+    # -- happens-before DAG (with epoch join nodes) ------------------------
+    adj: dict[int, list[int]] = {}
+    for evs in sched.events:
+        for i, e in enumerate(evs):
+            if i + 1 < len(evs):
+                adj.setdefault(e.gidx, []).append(evs[i + 1].gidx)
+    for e in sched.recvs():
+        if e.match is not None:
+            sev = sched.event_at(*e.match)
+            adj.setdefault(sev.gidx, []).append(e.gidx)
+    for epoch in range(max_f):
+        join = G + epoch
+        for r in range(sched.nranks):
+            if len(fences[r]) <= epoch:
+                continue
+            f = fences[r][epoch]
+            adj.setdefault(f.gidx, []).append(join)
+            if f.pos + 1 < len(sched.events[r]):
+                adj.setdefault(join, []).append(
+                    sched.events[r][f.pos + 1].gidx)
+
+    reach_memo: dict[int, set[int]] = {}
+
+    def reaches(a: int, b: int) -> bool:
+        """Does node ``a`` happen-before (or equal) node ``b``?"""
+        if a not in reach_memo:
+            seen = {a}
+            q = deque([a])
+            while q:
+                u = q.popleft()
+                for v in adj.get(u, ()):
+                    if v not in seen:
+                        seen.add(v)
+                        q.append(v)
+            reach_memo[a] = seen
+        return b in reach_memo[a]
+
+    def ordered(x: RMAAccess, y: RMAAccess) -> bool:
+        """Is ``x`` visible-before ``y`` issues?  A put counts from its
+        apply point; a read from its own issue."""
+        end = x.applied_at if x.kind == "put" else x.gidx
+        return end is not None and reaches(end, y.gidx)
+
+    # -- conflicting-access scan ------------------------------------------
+    for (target, key), accs in sorted(accesses.items(),
+                                      key=lambda kv: kv[1][0].gidx):
+        accs.sort(key=lambda a: a.gidx)
+        for i, x in enumerate(accs):
+            for y in accs[i + 1:]:
+                if x.kind == "read" and y.kind == "read":
+                    continue
+                if x.rank == y.rank:
+                    continue   # program order decides; runtime is in-order
+                if not ordered(x, y) and not ordered(y, x):
+                    report.races.append(RMARace(target, key, x, y))
+
+    # -- resource sweep ----------------------------------------------------
+    # Walk the recorded interleaving; a put occupies its target's window
+    # buffer from issue until its apply point.  Join J_e lands at the
+    # last participating fence of epoch e (gidx order), mirroring the
+    # runtime where every live rank is parked at the fence when the
+    # epoch's writes apply.
+    completion: dict[int, int] = {}   # join node -> completion gidx
+    for epoch in range(max_f):
+        members = [fences[r][epoch].gidx for r in range(sched.nranks)
+                   if len(fences[r]) > epoch]
+        if members:
+            completion[G + epoch] = max(members)
+    applies_at: dict[int, list[PutEvent]] = {}
+    for p in puts:
+        node = apply_of[p.gidx]
+        if node is None:
+            continue
+        applies_at.setdefault(completion.get(node, node), []).append(p)
+
+    live = [0] * sched.nranks
+    peak = [0] * sched.nranks
+    res = report.resources
+    res.nepochs = max_f
+    res.peak_bytes = peak
+    for e in sorted((e for evs in sched.events for e in evs),
+                    key=lambda e: e.gidx):
+        if e.kind == "put":
+            live[e.dst] += e.nbytes
+            peak[e.dst] = max(peak[e.dst], live[e.dst])
+            res.total_put_bytes += e.nbytes
+        for p in applies_at.pop(e.gidx, ()):
+            live[p.dst] -= p.nbytes
+            res.applied_bytes += p.nbytes
+    res.unapplied_bytes = res.total_put_bytes - res.applied_bytes
+    return report
+
+
+def delete_op(sched: Schedule, rank: int, kind: str,
+              occurrence: int = 0) -> Schedule:
+    """Return a copy of ``sched`` with the ``occurrence``-th event of
+    ``kind`` removed from ``rank``'s program.
+
+    Positions on the mutated rank are renumbered and recv matches into it
+    re-pointed (a match on the deleted event itself becomes unmatched), so
+    the result is a well-formed schedule — exactly what a buggy program
+    that forgot that one operation would have extracted.  Built for the
+    fence-deletion self-test: delete a fence, re-run :func:`verify_rma`,
+    and the certifier must report precisely the injected race.
+    """
+    hits = [i for i, e in enumerate(sched.events[rank]) if e.kind == kind]
+    if occurrence >= len(hits):
+        raise ValueError(f"rank {rank} has only {len(hits)} {kind!r} "
+                         f"event(s); cannot delete #{occurrence}")
+    cut = hits[occurrence]
+
+    events: list[list] = []
+    for r, evs in enumerate(sched.events):
+        if r != rank:
+            events.append([dataclasses.replace(e) for e in evs])
+            continue
+        kept = [dataclasses.replace(e) for i, e in enumerate(evs)
+                if i != cut]
+        for i, e in enumerate(kept):
+            e.pos = i
+        events.append(kept)
+    for evs in events:
+        for e in evs:
+            if e.kind == "recv" and e.match is not None:
+                src, pos = e.match
+                if src == rank:
+                    if pos == cut:
+                        e.match = None
+                        e.matched_tag = None
+                    elif pos > cut:
+                        e.match = (src, pos - 1)
+
+    def remap(pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        out = []
+        for r, p in pairs:
+            if r == rank:
+                if p == cut:
+                    continue
+                if p > cut:
+                    p -= 1
+            out.append((r, p))
+        return out
+
+    name = sched.name + f" -{kind}@rank{rank}" if sched.name else \
+        f"-{kind}@rank{rank}"
+    return Schedule(nranks=sched.nranks, events=events,
+                    complete=sched.complete,
+                    blocked_recvs=remap(sched.blocked_recvs),
+                    blocked_sends=remap(sched.blocked_sends),
+                    blocked_fences=remap(sched.blocked_fences),
+                    rendezvous=sched.rendezvous, name=name,
+                    compute_tails=list(sched.compute_tails))
+
+
+__all__ = ["RMAAccess", "RMARace", "RMAIssue", "RMAResources", "RMAReport",
+           "verify_rma", "delete_op"]

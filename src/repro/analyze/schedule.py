@@ -81,6 +81,101 @@ class RecvEvent:
         return f"rank {self.rank}[{self.pos}]: recv({describe_spec(self)})"
 
 
+@dataclass
+class PutEvent:
+    """One one-sided write: rank ``rank`` put ``nbytes`` into window
+    ``dst`` under ``key``.  Applied by the origin's next flush/fence."""
+
+    rank: int
+    pos: int
+    gidx: int
+    dst: int
+    key: Hashable
+    nbytes: int
+    phase: str = ""
+    sync: str = ""
+    category: str = "comm"
+    pre_flops: float = 0.0
+    pre_bytes: float = 0.0
+    pre_ops: int = 0
+
+    kind = "put"
+
+    def describe(self) -> str:
+        return (f"rank {self.rank}[{self.pos}]: put(dst={self.dst}, "
+                f"key={self.key!r})")
+
+
+@dataclass
+class FlushEvent:
+    """Origin-side completion of outstanding puts to ``dst`` (all targets
+    when ``None``)."""
+
+    rank: int
+    pos: int
+    gidx: int
+    dst: int | None
+    phase: str = ""
+    sync: str = ""
+    category: str = "comm"
+    pre_flops: float = 0.0
+    pre_bytes: float = 0.0
+    pre_ops: int = 0
+
+    kind = "flush"
+
+    def describe(self) -> str:
+        target = "all" if self.dst is None else str(self.dst)
+        return f"rank {self.rank}[{self.pos}]: flush(dst={target})"
+
+
+@dataclass
+class FenceEvent:
+    """Collective epoch boundary: completes every rank's outstanding puts."""
+
+    rank: int
+    pos: int
+    gidx: int
+    tag: Hashable = None
+    phase: str = ""
+    sync: str = ""
+    category: str = "comm"
+    pre_flops: float = 0.0
+    pre_bytes: float = 0.0
+    pre_ops: int = 0
+
+    kind = "fence"
+
+    def describe(self) -> str:
+        return f"rank {self.rank}[{self.pos}]: fence(tag={self.tag!r})"
+
+
+@dataclass
+class ReadEvent:
+    """Local zero-cost read of the rank's own window under ``key``."""
+
+    rank: int
+    pos: int
+    gidx: int
+    key: Hashable
+    phase: str = ""
+    sync: str = ""
+    category: str = "comm"
+    pre_flops: float = 0.0
+    pre_bytes: float = 0.0
+    pre_ops: int = 0
+
+    kind = "read"
+
+    def describe(self) -> str:
+        return f"rank {self.rank}[{self.pos}]: read(key={self.key!r})"
+
+
+#: Any event an extracted schedule may carry.
+Event = (SendEvent | RecvEvent | PutEvent | FlushEvent | FenceEvent
+         | ReadEvent)
+
+
 def tag_spec_key(tag_spec: Any) -> tuple:
     """Hashable grouping key for a recv tag spec (predicates by identity)."""
     if tag_spec is ANY:
@@ -134,10 +229,13 @@ class Schedule:
     """
 
     nranks: int
-    events: list[list[SendEvent | RecvEvent]]
+    events: list[list[Event]]
     complete: bool = True
     blocked_recvs: list[tuple[int, int]] = field(default_factory=list)
     blocked_sends: list[tuple[int, int]] = field(default_factory=list)
+    # Fences parked when extraction stalled (some live rank never reached
+    # the epoch boundary), as (rank, pos) pairs like the other blocked ops.
+    blocked_fences: list[tuple[int, int]] = field(default_factory=list)
     rendezvous: bool = False
     name: str = ""
     # Per-rank (flops, bytes, nops) of the compute tail after the last
@@ -151,20 +249,33 @@ class Schedule:
     def recvs(self) -> list[RecvEvent]:
         return [e for evs in self.events for e in evs if e.kind == "recv"]
 
+    def puts(self) -> list[PutEvent]:
+        return [e for evs in self.events for e in evs if e.kind == "put"]
+
+    def flushes(self) -> list[FlushEvent]:
+        return [e for evs in self.events for e in evs if e.kind == "flush"]
+
+    def fences(self) -> list[FenceEvent]:
+        return [e for evs in self.events for e in evs if e.kind == "fence"]
+
+    def reads(self) -> list[ReadEvent]:
+        return [e for evs in self.events for e in evs if e.kind == "read"]
+
     @property
     def nevents(self) -> int:
         return sum(len(evs) for evs in self.events)
 
-    def event_at(self, rank: int, pos: int) -> SendEvent | RecvEvent:
+    def event_at(self, rank: int, pos: int) -> Event:
         return self.events[rank][pos]
 
     def sync_labels(self) -> list[str]:
         """Distinct non-empty sync labels that carried traffic, in first-use
         order.  Mirrors ``MetricsRegistry.nsyncs`` (a sync point only counts
-        when at least one message was sent under its label) — but computed
-        from the schedule alone, with no simulation."""
+        when at least one message — two-sided or one-sided — was sent under
+        its label) — but computed from the schedule alone, with no
+        simulation."""
         seen: dict[str, None] = {}
-        for e in sorted(self.sends(), key=lambda s: s.gidx):
+        for e in sorted(self.sends() + self.puts(), key=lambda s: s.gidx):
             if e.sync:
                 seen.setdefault(e.sync, None)
         return list(seen)
@@ -176,8 +287,12 @@ class Schedule:
     def summary(self) -> str:
         status = "complete" if self.complete else (
             f"STALLED ({len(self.blocked_recvs)} blocked recv(s), "
-            f"{len(self.blocked_sends)} blocked send(s))")
+            f"{len(self.blocked_sends)} blocked send(s), "
+            f"{len(self.blocked_fences)} blocked fence(s))")
         name = f"{self.name}: " if self.name else ""
+        puts = self.puts()
+        rma = (f"{len(puts)} puts, {len(self.fences())} fences, "
+               if puts else "")
         return (f"{name}{self.nranks} ranks, {len(self.sends())} sends, "
-                f"{len(self.recvs())} recvs, {self.nsyncs} sync point(s) "
-                f"{self.sync_labels()!r}, {status}")
+                f"{len(self.recvs())} recvs, {rma}{self.nsyncs} sync "
+                f"point(s) {self.sync_labels()!r}, {status}")

@@ -59,6 +59,7 @@ from repro.comm.costmodel import MACHINES
 from repro.comm.faults import FaultPlan
 from repro.comm.simulator import AmbiguousRecvError
 from repro.core.solver import Resilience, SpTRSVSolver
+from repro.replay import REPLAYABLE
 from repro.matrices import (
     block_tridiagonal,
     chemistry_like,
@@ -410,9 +411,18 @@ def _run_solve_case(case: FuzzCase, res: CaseResult) -> None:
     _check(res, bool(np.allclose(x_ref, x_scipy, rtol=1e-6, atol=1e-9)),
            "reference solve disagrees with scipy.sparse.linalg.spsolve")
 
-    algorithms = ["new3d", "baseline3d"] + (["2d"] if case.pz == 1 else [])
+    algorithms = ["new3d", "baseline3d"] + (
+        ["2d"] if case.pz == 1 else ["onesided_put"])
     for alg in algorithms:
         _differential_solve(case, res, solver, A, b, alg, "cpu", machine)
+    if case.pz > 1:
+        # The one-sided reduction promises bit-identity with the two-sided
+        # hypercube, not just a small residual.
+        x_two = solver.solve(b, algorithm="new3d").x
+        x_one = solver.solve(b, algorithm="onesided_put").x
+        _check(res, bool(np.array_equal(x_two, x_one)),
+               "onesided_put solution bits differ from new3d (the "
+               "put-based reduction must be bit-identical)")
     if case.device == "gpu":
         _differential_solve(case, res, solver, A, b, "new3d", "gpu", machine)
     if case.faulted:
@@ -443,7 +453,7 @@ def _differential_solve(case, res, solver, A, b, algorithm, device,
     nsyncs = out.report.metrics.nsyncs
     if case.pz == 1:
         expect = 0
-    elif algorithm == "new3d":
+    elif algorithm in ("new3d", "onesided_put"):
         expect = 1
     else:
         expect = int(math.ceil(math.log2(case.pz)))
@@ -478,7 +488,7 @@ def _differential_solve(case, res, solver, A, b, algorithm, device,
     # AND the compiled re-execution must both be bit-identical to the
     # plain simulated solve — solution bits, virtual clocks, per-label
     # times, phase marks and message accounting alike.
-    if case.replay and device == "cpu":
+    if case.replay and device == "cpu" and algorithm in REPLAYABLE:
         rec = solver.solve(b, algorithm=algorithm, replay=True)
         hot = solver.solve(b, algorithm=algorithm, replay=True)
         for tag, rout in (("recording", rec), ("compiled", hot)):

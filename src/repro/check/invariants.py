@@ -122,6 +122,23 @@ def check_sim(result, *, faulted: bool = False,
                 + "; ".join(f"dst={m.dst} src={m.src} tag={m.tag!r}"
                             for m in leftover[:5])
                 + ("..." if len(leftover) > 5 else ""))
+        pend = getattr(result, "unapplied_puts", [])
+        checks += 1
+        _ensure(not pend, "sim.rma-conservation",
+                f"fault-free run left {len(pend)} one-sided write(s) "
+                f"unapplied (missing flush/fence): "
+                + "; ".join(f"origin={p.origin} dst={p.dst} key={p.key!r}"
+                            for p in pend[:5])
+                + ("..." if len(pend) > 5 else ""))
+    put_b = getattr(result, "rma_put_bytes", 0)
+    if put_b:
+        applied = result.rma_applied_bytes
+        pending_b = sum(p.nbytes for p in result.unapplied_puts)
+        checks += 1
+        _ensure(applied + pending_b == put_b, "sim.rma-byte-conservation",
+                f"put bytes {put_b} != applied {applied} + pending "
+                f"{pending_b} — some one-sided write was lost or double-"
+                f"applied")
     return checks
 
 

@@ -528,6 +528,7 @@ def cmd_analyze(args) -> int:
         expected_syncs,
         gpu_schedules,
         solver_schedule,
+        verify_rma,
         verify_schedule,
     )
 
@@ -545,11 +546,24 @@ def cmd_analyze(args) -> int:
                 ok = False
                 status = "REJECTED"
             extra = f", syncs {got} (expected {expect_syncs})"
+        rma_rep = None
+        if sched.puts():
+            rma_rep = verify_rma(sched)
+            if not rma_rep.ok:
+                ok = False
+                status = "REJECTED"
+            res = rma_rep.resources
+            extra += (f", rma {res.total_put_bytes}B/"
+                      f"{res.nepochs} epoch(s)/"
+                      f"peak {max(res.peak_bytes, default=0)}B")
         print(f"  [{status}] {sched.name or 'schedule'}: "
               f"{sched.nranks} ranks, {len(sched.sends())} msgs{extra}")
         if not ok:
             for line in rep.findings():
                 print(f"      {line}")
+            if rma_rep is not None:
+                for line in rma_rep.findings():
+                    print(f"      {line}")
         return ok
 
     if args.sweep:
@@ -562,7 +576,8 @@ def cmd_analyze(args) -> int:
         configs.append((2, 2, 1, "2d"))
         configs += [(2, 2, pz, alg)
                     for pz in (2, 4)
-                    for alg in ("sparse_allreduce_v2", "ca_trsm")]
+                    for alg in ("sparse_allreduce_v2", "ca_trsm",
+                                "onesided_put")]
         configs.append((2, 2, 1, "ca_trsm"))
     else:
         px, py, pz = _parse_grid(args.grid)
@@ -592,8 +607,8 @@ def cmd_analyze(args) -> int:
     if bad:
         print(f"analyze: {bad} schedule(s) rejected")
         return 1
-    print("analyze: all schedules certified deadlock-free and "
-          "match-deterministic")
+    print("analyze: all schedules certified deadlock-free, "
+          "match-deterministic, and race-free on one-sided epochs")
     return 0
 
 
@@ -630,7 +645,7 @@ def cmd_planner(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Custom AST lint over the runtime (rules RPR001-RPR007)."""
+    """Custom AST lint over the runtime (rules RPR001-RPR008)."""
     from repro.analyze import run_lint
 
     try:
@@ -671,7 +686,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", default="1x1x1", help="PxxPyxPz, e.g. 2x2x4")
     p.add_argument("--algorithm", default="new3d",
                    choices=["new3d", "baseline3d", "2d",
-                            "sparse_allreduce_v2", "ca_trsm", "auto"])
+                            "sparse_allreduce_v2", "onesided_put",
+                            "ca_trsm", "auto"])
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.add_argument("--tree-kind", default=None,
                    choices=["auto", "binary", "flat"])
@@ -684,7 +700,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", default="1x1x1", help="PxxPyxPz, e.g. 2x2x4")
     p.add_argument("--algorithm", default="new3d",
                    choices=["new3d", "baseline3d", "2d",
-                            "sparse_allreduce_v2", "ca_trsm", "auto"])
+                            "sparse_allreduce_v2", "onesided_put",
+                            "ca_trsm", "auto"])
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.add_argument("--tree-kind", default=None,
                    choices=["auto", "binary", "flat"])
@@ -698,7 +715,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, required=True, help="total ranks P")
     p.add_argument("--algorithm", default="new3d",
                    choices=["new3d", "baseline3d",
-                            "sparse_allreduce_v2", "ca_trsm"])
+                            "sparse_allreduce_v2", "onesided_put",
+                            "ca_trsm"])
     p.add_argument("--device", default="cpu", choices=["cpu", "gpu"])
     p.set_defaults(func=cmd_tune)
 
@@ -745,7 +763,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"one of: {', '.join(sorted(MACHINES))}")
     p.add_argument("--algorithm", default="new3d",
                    choices=["new3d", "baseline3d",
-                            "sparse_allreduce_v2", "ca_trsm", "auto"])
+                            "sparse_allreduce_v2", "onesided_put",
+                            "ca_trsm", "auto"])
     p.add_argument("--planner", action="store_true",
                    help="let the cost-model planner pick the backend per "
                         "batch (same as --algorithm auto; CPU only)")
@@ -821,7 +840,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"one of: {', '.join(sorted(MACHINES))}")
     p.add_argument("--algorithm", default="new3d",
                    choices=["new3d", "baseline3d",
-                            "sparse_allreduce_v2", "ca_trsm"])
+                            "sparse_allreduce_v2", "onesided_put",
+                            "ca_trsm"])
     p.add_argument("--max-supernode", type=int, default=16)
     p.add_argument("--symbolic", default="detect",
                    choices=["detect", "fixed"])
@@ -871,7 +891,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", default="2x2x4", help="PxxPyxPz, e.g. 2x2x4")
     p.add_argument("--algorithm", default="new3d",
                    choices=["new3d", "baseline3d", "2d",
-                            "sparse_allreduce_v2", "ca_trsm"])
+                            "sparse_allreduce_v2", "onesided_put",
+                            "ca_trsm"])
     p.add_argument("--sweep", action="store_true",
                    help="verify the standard sweep (every CPU backend "
                         "across Pz, the 2D solver, the standalone "
@@ -903,7 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="custom AST lint over the runtime (rules RPR001-RPR007)")
+        help="custom AST lint over the runtime (rules RPR001-RPR008)")
     p.add_argument("paths", nargs="+",
                    help="Python files or directories to lint")
     p.set_defaults(func=cmd_lint)

@@ -37,7 +37,9 @@ from repro.comm.faults import (
     StallError,
 )
 from repro.comm.simulator import (ANY, AmbiguousRecvError, DeadlockError,
-                                  RankCtx, SimResult, Simulator, TraceEvent)
+                                  RankCtx, RMAConflictError, RMAError,
+                                  SimResult, Simulator, TraceEvent,
+                                  UnappliedPut)
 from repro.comm.trees import CommTree, binary_tree, flat_tree
 
 __all__ = [
@@ -48,6 +50,9 @@ __all__ = [
     "ANY",
     "AmbiguousRecvError",
     "DeadlockError",
+    "RMAError",
+    "RMAConflictError",
+    "UnappliedPut",
     "CommFaultError",
     "RecvTimeout",
     "ChecksumError",

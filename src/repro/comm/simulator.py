@@ -69,6 +69,34 @@ class DeadlockError(RuntimeError):
     """All live ranks are blocked on receives with no matching messages."""
 
 
+class RMAError(RuntimeError):
+    """A one-sided operation was used incorrectly: a window key read before
+    any put to it was applied, or an RMA op issued under a configuration
+    that does not support one-sided semantics (fault injection, reliable
+    transport, tape recording)."""
+
+
+class RMAConflictError(RMAError):
+    """Opt-in (``Simulator(rma_strict=True)``): two unordered accesses to
+    the same window key overlapped — a second put raced an in-flight or
+    same-epoch write from another origin, or a local read raced an
+    in-flight put.  Which value the window holds would be a scheduling
+    accident; the static certifier (:mod:`repro.analyze.rma`) proves the
+    absence of such conflicts from the schedule alone.
+    """
+
+    def __init__(self, rank: int, dst: int, key: Any, other: int,
+                 what: str = "put"):
+        super().__init__(
+            f"RMA conflict: rank {rank} {what} to window {dst} key {key!r} "
+            f"overlaps an unordered write from rank {other}; separate the "
+            f"accesses with a flush/fence epoch")
+        self.rank = rank
+        self.dst = dst
+        self.key = key
+        self.other = other
+
+
 class AmbiguousRecvError(RuntimeError):
     """Opt-in (``Simulator(strict_match=True)``): a wildcard receive was
     about to complete while queued messages from two or more distinct
@@ -129,6 +157,47 @@ class _ComputeOp:
     category: str
     flops: float = 0.0   # metrics-only annotation; never affects the clock
     nbytes: float = 0.0  # memory traffic of the op; annotation like flops
+
+
+@dataclass
+class _PutOp:
+    dst: int
+    key: Hashable
+    payload: Any
+    nbytes: int
+    category: str
+
+
+@dataclass
+class _FlushOp:
+    dst: int | None      # None flushes this origin's writes to every target
+    category: str
+
+
+@dataclass
+class _FenceOp:
+    tag: Hashable
+    category: str
+
+
+@dataclass
+class _ReadOp:
+    key: Hashable
+    category: str
+
+
+@dataclass(eq=False)
+class _PendingWrite:
+    """One issued-but-unapplied put (eq=False: identity, payloads are
+    arrays)."""
+
+    arrival: float
+    seq: int
+    origin: int
+    dst: int
+    key: Hashable
+    payload: Any
+    nbytes: int
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -240,6 +309,50 @@ class RankCtx:
             raise ValueError("compute time must be >= 0")
         return _ComputeOp(seconds, category, flops, nbytes)
 
+    def put(self, dst: int, key: Hashable, payload: Any,
+            nbytes: int | None = None, category: str = "comm") -> _PutOp:
+        """One-sided write of ``payload`` into rank ``dst``'s window under
+        ``key``.
+
+        Charged exactly like an eager send (injection overhead locally, α-β
+        latency in flight), but there is no matching receive: the write is
+        applied to the target's window at the origin's next
+        :meth:`flush`/:meth:`fence`, and the target observes it with
+        :meth:`read`.  Overlapping unordered writes to one key are
+        undefined; ``Simulator(rma_strict=True)`` detects them dynamically
+        and :mod:`repro.analyze.rma` proves their absence statically.
+        """
+        if not (0 <= dst < self.nranks):
+            raise ValueError(f"put to invalid rank {dst}")
+        hash(key)   # window keys must be hashable, like message tags
+        if nbytes is None:
+            nbytes = _payload_nbytes(payload)
+        return _PutOp(dst, key, payload, nbytes, category)
+
+    def flush(self, dst: int | None = None,
+              category: str = "comm") -> _FlushOp:
+        """Complete this rank's outstanding puts to ``dst`` (all targets
+        when ``None``): blocks until their payloads have landed and applies
+        them to the target windows."""
+        if dst is not None and not (0 <= dst < self.nranks):
+            raise ValueError(f"flush of invalid rank {dst}")
+        return _FlushOp(dst, category)
+
+    def fence(self, tag: Hashable = None,
+              category: str = "comm") -> _FenceOp:
+        """Epoch boundary: collective barrier that completes every rank's
+        outstanding puts.  All live ranks must reach a fence for it to
+        complete; afterwards every write issued before any rank's fence is
+        visible to every :meth:`read`."""
+        return _FenceOp(tag, category)
+
+    def read(self, key: Hashable, category: str = "comm") -> _ReadOp:
+        """Local, zero-cost read of this rank's own window; yields the
+        payload most recently applied under ``key``.  Reading a key no
+        flush/fence has applied yet raises :class:`RMAError`."""
+        hash(key)
+        return _ReadOp(key, category)
+
     def gemm(self, m: int, n: int, k: int, category: str = "fp") -> _ComputeOp:
         """Convenience: a dense m×k @ k×n on this rank's CPU model."""
         from repro.comm.costmodel import gemm_bytes, gemm_flops
@@ -314,6 +427,22 @@ class UnconsumedMessage:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class UnappliedPut:
+    """A one-sided write issued but never completed by a flush/fence.
+
+    Like :class:`UnconsumedMessage` for puts: in a fault-free run every
+    put must be applied before its origin exits — a leftover means the
+    program forgot a flush/fence (flagged by
+    :mod:`repro.check.invariants`).
+    """
+
+    origin: int
+    dst: int
+    key: Hashable
+    nbytes: int
+
+
 @dataclass
 class SimResult:
     """Outcome of a simulation: per-rank clocks, times, and return values."""
@@ -328,6 +457,14 @@ class SimResult:
     fault_events: list[FaultEvent] | None = None
     crashed: list[int] = field(default_factory=list)
     unconsumed_msgs: list[UnconsumedMessage] = field(default_factory=list)
+    # One-sided accounting (all zero/empty when no puts were issued):
+    # total put payload bytes, bytes actually applied to windows, per-target
+    # peak of issued-but-unapplied bytes (the live window-buffer footprint
+    # the static resource certifier bounds), and leftover writes.
+    rma_put_bytes: int = 0
+    rma_applied_bytes: int = 0
+    rma_peak_bytes: list[int] = field(default_factory=list)
+    unapplied_puts: list[UnappliedPut] = field(default_factory=list)
 
     def trace_timeline(self, rank: int | None = None) -> list[TraceEvent]:
         """Chronological trace events (optionally for one rank)."""
@@ -393,7 +530,7 @@ class SimResult:
         return out
 
 
-_READY, _RECV, _DONE = 0, 1, 2
+_READY, _RECV, _DONE, _FENCE = 0, 1, 2, 3
 
 # Sort marker so an expiring timeout loses ties against a real message with
 # the same virtual timestamp.
@@ -437,7 +574,8 @@ class Simulator:
                  checksums: bool = False,
                  watchdog_events: int | None = None,
                  metrics=None, invariants: bool = False,
-                 strict_match: bool = False, recorder=None):
+                 strict_match: bool = False, rma_strict: bool = False,
+                 recorder=None):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
@@ -456,6 +594,10 @@ class Simulator:
         self.checksums = checksums
         self.watchdog_events = watchdog_events
         self.strict_match = strict_match
+        # Dynamic overlapping-write detection for one-sided ops: a put (or
+        # local read) that races an unordered write to the same window key
+        # raises RMAConflictError instead of silently picking a winner.
+        self.rma_strict = rma_strict
         # Flat-op tape recorder (repro.replay.tape.TapeRecorder).  Only
         # meaningful on the fault-free, unreliable path — the replay fast
         # path's precondition; purely observational like ``metrics``.
@@ -498,6 +640,27 @@ class Simulator:
         # Watchdog bookkeeping: the event count at the last clock advance.
         wd = self.watchdog_events
         wd_progress = 0
+        # One-sided state: per-rank windows, issued-but-unapplied writes,
+        # fence parking, and the strict-mode same-epoch application map.
+        windows: list[dict[Hashable, Any]] = [{} for _ in range(n)]
+        rma_pending: list[_PendingWrite] = []
+        pending_fence: list[_FenceOp | None] = [None] * n
+        fence_t0 = [0.0] * n
+        epoch_applied: dict[tuple[int, Hashable], int] = {}
+        rma_live = [0] * n
+        rma_peak = [0] * n
+        rma_put_bytes = 0
+        rma_applied_bytes = 0
+
+        def apply_writes(writes: list[_PendingWrite]) -> None:
+            """Land writes on their target windows in (arrival, seq) order —
+            the completion order the network model defines."""
+            nonlocal rma_applied_bytes
+            for w in sorted(writes, key=lambda w: (w.arrival, w.seq)):
+                windows[w.dst][w.key] = w.payload
+                rma_live[w.dst] -= w.nbytes
+                rma_applied_bytes += w.nbytes
+                epoch_applied[(w.dst, w.key)] = w.origin
 
         def fault_trace(ev: FaultEvent, rank: int) -> None:
             if trace is not None:
@@ -529,7 +692,11 @@ class Simulator:
             """One rank's wait + pending-mailbox state, for error reports."""
             box = mailbox[r]
             spec = pending_recv[r]
-            if spec is not None:
+            if state[r] == _FENCE:
+                head = (f"rank {r} (phase={ctxs[r].phase!r}, at fence "
+                        f"tag={pending_fence[r].tag!r} waiting for the "
+                        f"other live ranks)")
+            elif spec is not None:
                 head = (f"rank {r} (phase={ctxs[r].phase!r}, "
                         f"waiting src={spec.src} tag={spec.tag})")
             else:
@@ -618,7 +785,7 @@ class Simulator:
             ``exc`` (RecvTimeout/ChecksumError) is thrown into the
             generator at the yield point instead of sending a value.
             """
-            nonlocal seq, events, wd_progress
+            nonlocal seq, events, wd_progress, rma_put_bytes
             ctx = ctxs[r]
             gen = gens[r]
             while True:
@@ -739,9 +906,107 @@ class Simulator:
                     deadline[r] = (ctx.clock + op.timeout
                                    if op.timeout is not None else None)
                     return
+                elif isinstance(op, _PutOp):
+                    if (fstate is not None or transport is not None
+                            or rec is not None):
+                        raise finalize_error(RMAError(
+                            f"rank {r} issued a one-sided put under fault "
+                            f"injection / reliable transport / tape "
+                            f"recording; RMA semantics are defined only on "
+                            f"the lossless, unrecorded path"))
+                    if self.rma_strict:
+                        clash = next(
+                            (w for w in rma_pending
+                             if w.dst == op.dst and w.key == op.key
+                             and w.origin != r), None)
+                        prev = epoch_applied.get((op.dst, op.key))
+                        if clash is not None:
+                            raise finalize_error(RMAConflictError(
+                                r, op.dst, op.key, clash.origin))
+                        if prev is not None and prev != r:
+                            raise finalize_error(RMAConflictError(
+                                r, op.dst, op.key, prev))
+                    t0 = ctx.clock
+                    ctx.clock += net.send_overhead
+                    ctx._charge(op.category, net.send_overhead)
+                    ctx._charge_msg(op.category, op.nbytes)
+                    if wd is not None:
+                        wd_progress = events
+                    same = self.machine.same_node(r, op.dst)
+                    lat = net.latency(op.nbytes, same)
+                    rma_pending.append(_PendingWrite(
+                        ctx.clock + lat, seq, r, op.dst, op.key,
+                        _copy_payload(op.payload), op.nbytes))
+                    seq += 1
+                    rma_put_bytes += op.nbytes
+                    rma_live[op.dst] += op.nbytes
+                    rma_peak[op.dst] = max(rma_peak[op.dst],
+                                           rma_live[op.dst])
+                    if mreg is not None:
+                        alpha = (net.alpha_intra if same
+                                 else net.alpha_inter)
+                        mreg.on_send(r, ctx.phase, ctx.sync, op.category,
+                                     None, op.dst, op.nbytes, t0,
+                                     ctx.clock, alpha, lat - alpha)
+                    if trace is not None:
+                        trace.append(TraceEvent(r, t0, ctx.clock, "send",
+                                                ctx.phase, op.category,
+                                                op.dst))
+                elif isinstance(op, _FlushOp):
+                    t0 = ctx.clock
+                    mine = [w for w in rma_pending
+                            if w.origin == r
+                            and (op.dst is None or w.dst == op.dst)]
+                    if mine:
+                        t_done = max(ctx.clock,
+                                     max(w.arrival for w in mine))
+                        wait = t_done - ctx.clock
+                        ctx.clock = t_done
+                        for w in mine:
+                            rma_pending.remove(w)
+                        apply_writes(mine)
+                        if wait > 0:
+                            ctx._charge(op.category, wait)
+                            if wd is not None:
+                                wd_progress = events
+                            if mreg is not None:
+                                mreg.on_wait(r, ctx.phase, ctx.sync,
+                                             op.category, t0, t_done,
+                                             ctx.clock, None, None)
+                            if trace is not None:
+                                trace.append(TraceEvent(
+                                    r, t0, ctx.clock, "wait", ctx.phase,
+                                    op.category, "flush"))
+                elif isinstance(op, _FenceOp):
+                    if (fstate is not None or transport is not None
+                            or rec is not None):
+                        raise finalize_error(RMAError(
+                            f"rank {r} issued a one-sided fence under fault "
+                            f"injection / reliable transport / tape "
+                            f"recording; RMA semantics are defined only on "
+                            f"the lossless, unrecorded path"))
+                    state[r] = _FENCE
+                    pending_fence[r] = op
+                    fence_t0[r] = ctx.clock
+                    return
+                elif isinstance(op, _ReadOp):
+                    if self.rma_strict:
+                        clash = next(
+                            (w for w in rma_pending
+                             if w.dst == r and w.key == op.key), None)
+                        if clash is not None:
+                            raise finalize_error(RMAConflictError(
+                                r, r, op.key, clash.origin, what="read"))
+                    if op.key not in windows[r]:
+                        raise finalize_error(RMAError(
+                            f"rank {r} read window key {op.key!r} before "
+                            f"any put to it was applied (missing "
+                            f"flush/fence?)"))
+                    value = windows[r][op.key]
                 else:
                     raise TypeError(
-                        f"rank {r} yielded {op!r}; yield ctx.send/recv/compute")
+                        f"rank {r} yielded {op!r}; yield "
+                        f"ctx.send/recv/compute/put/flush/fence/read")
 
         def finalize_error(err: Exception) -> Exception:
             """Attach diagnostics to a typed scheduler error before raising."""
@@ -789,6 +1054,41 @@ class Simulator:
                 blocked = [r for r in range(n) if state[r] != _DONE]
                 if not blocked:
                     break
+                fencing = [r for r in blocked if state[r] == _FENCE]
+                if fencing and len(fencing) == len(blocked):
+                    # Epoch boundary: every live rank reached its fence and
+                    # nothing else can run.  The fence completes at the
+                    # latest of the entry clocks and the in-flight write
+                    # arrivals; every pending write is applied, then each
+                    # rank pays the barrier round-trip (one control send +
+                    # recv) on top of its wait.
+                    t_f = max(max(fence_t0[r] for r in fencing),
+                              max((w.arrival for w in rma_pending),
+                                  default=0.0))
+                    writes = list(rma_pending)
+                    rma_pending.clear()
+                    apply_writes(writes)
+                    epoch_applied.clear()
+                    so, ro = net.send_overhead, net.recv_overhead
+                    for r in fencing:
+                        ctx = ctxs[r]
+                        fop = pending_fence[r]
+                        t0 = fence_t0[r]
+                        ctx.clock = t_f + so + ro
+                        ctx._charge(fop.category, (t_f - t0) + so + ro)
+                        if mreg is not None:
+                            mreg.on_wait(r, ctx.phase, ctx.sync,
+                                         fop.category, t0, t_f, ctx.clock,
+                                         None, None)
+                        if trace is not None:
+                            trace.append(TraceEvent(r, t0, ctx.clock,
+                                                    "wait", ctx.phase,
+                                                    fop.category, "fence"))
+                        state[r] = _READY
+                        pending_fence[r] = None
+                    if wd is not None:
+                        wd_progress = events
+                    continue
                 detail = "\n  ".join(mailbox_summary(r) for r in blocked[:8])
                 more = ("" if len(blocked) <= 8
                         else f"\n  ... and {len(blocked) - 8} more")
@@ -891,6 +1191,9 @@ class Simulator:
                                         arrival=m.arrival, nbytes=m.nbytes)
                       for r in range(n)
                       for m in sorted(mailbox[r])]
+        unapplied = [UnappliedPut(origin=w.origin, dst=w.dst, key=w.key,
+                                  nbytes=w.nbytes)
+                     for w in sorted(rma_pending, key=lambda w: w.seq)]
         result = SimResult(
             clocks=np.array([c.clock for c in ctxs]),
             times=[c.times for c in ctxs],
@@ -902,6 +1205,10 @@ class Simulator:
             fault_events=list(fstate.events) if fstate is not None else None,
             crashed=crashed,
             unconsumed_msgs=unconsumed,
+            rma_put_bytes=rma_put_bytes,
+            rma_applied_bytes=rma_applied_bytes,
+            rma_peak_bytes=list(rma_peak),
+            unapplied_puts=unapplied,
         )
         if self.invariants:
             from repro.check.invariants import check_sim

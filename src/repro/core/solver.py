@@ -335,8 +335,11 @@ class SpTRSVSolver:
         (requires ``pz == 1``; the CSC'18 2D solver, which is exactly the
         proposed algorithm on a single grid), ``"sparse_allreduce_v2"``
         (the proposed algorithm with the SpComm3D-style structure-filtered
-        allreduce), ``"ca_trsm"`` (communication-avoiding level-set block
-        TRSM with selective inversion), or ``"auto"`` (the cost-model
+        allreduce), ``"onesided_put"`` (the proposed algorithm with a
+        put-based one-sided inter-grid reduction — one RMA epoch per solve,
+        bit-identical to ``"new3d"``; certified race-free by
+        :mod:`repro.analyze.rma`), ``"ca_trsm"`` (communication-avoiding
+        level-set block TRSM with selective inversion), or ``"auto"`` (the cost-model
         planner of :mod:`repro.planner` picks among the CPU backends and
         the solve then proceeds bit-identically to naming that backend
         directly).
@@ -494,6 +497,11 @@ class SpTRSVSolver:
             # The proposed algorithm with the structure-filtered allreduce.
             algorithm_impl = "new3d"
             allreduce_impl = "sparse_v2"
+        elif algorithm == "onesided_put":
+            # Put-based inter-grid reduction: one RMA epoch per solve,
+            # bit-identical to new3d's hypercube (see onesided_allreduce).
+            algorithm_impl = "new3d"
+            allreduce_impl = "onesided"
         elif algorithm in ("new3d", "baseline3d", "ca_trsm"):
             algorithm_impl = algorithm
         else:
@@ -552,6 +560,11 @@ class SpTRSVSolver:
             tiers = ["new3d", "baseline3d"]
         elif algorithm == "sparse_allreduce_v2":
             tiers = ["sparse_allreduce_v2", "baseline3d"]
+        elif algorithm == "onesided_put":
+            # RMA primitives refuse to run under injected faults (no typed
+            # recovery story for half-applied epochs), so a faulty run falls
+            # back to the two-sided tiers below.
+            tiers = ["onesided_put", "new3d", "baseline3d"]
         elif algorithm in ("baseline3d", "2d", "ca_trsm"):
             tiers = [algorithm]
         else:

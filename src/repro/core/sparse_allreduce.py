@@ -219,6 +219,90 @@ def sparse_allreduce_v2(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
     ctx.set_sync("")
 
 
+def _tree_sum(bufs: list[np.ndarray]) -> np.ndarray:
+    """Balanced pairwise sum: halve the list by adding adjacent pairs until
+    one buffer remains.
+
+    For a power-of-two share width this reproduces, bit for bit, the
+    association order of :func:`sparse_allreduce`'s hypercube reduce
+    (step ``l`` adds aligned subcube partials pairwise), so every grid
+    computing the sum locally gets the exact bytes the hypercube's root
+    would have broadcast.
+    """
+    while len(bufs) > 1:
+        nxt = [bufs[a] + bufs[a + 1] for a in range(0, len(bufs) - 1, 2)]
+        if len(bufs) % 2:
+            nxt.append(bufs[-1])
+        bufs = nxt
+    return bufs[0]
+
+
+def onesided_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
+                       part: SupernodePartition,
+                       values: dict[int, np.ndarray],
+                       category: str = "z"):
+    """Put-based variant of :func:`sparse_allreduce` (one fence per solve).
+
+    Every rank packs, per shared layout node, its partial subvectors into
+    one buffer and *puts* it into the window of each peer grid sharing the
+    node, under a key naming the (origin grid, node range) — so no two
+    writes ever target the same key and the epoch is race-free by
+    construction (:mod:`repro.analyze.rma` certifies this).  A single
+    ``ctx.fence`` then delimits the epoch: afterwards each rank reads the
+    peers' buffers from its own window and reduces locally with the
+    balanced pairwise association of the hypercube, keeping the result
+    bit-identical to :func:`sparse_allreduce` on every grid.
+
+    Communication structure after Xie et al. (arXiv:2012.06959): GPU-style
+    one-sided exchange needs exactly one synchronization per solve, the
+    same count the paper's Algorithm 2 achieves with two-sided pairs.
+    """
+    i, j, z = grid.coords_of(ctx.rank)
+    shares: list[tuple[int, int, list[int]]] = []
+    for node in layout.nodes:
+        nshare = node.grid_hi - node.grid_lo
+        if nshare < 2 or not (node.grid_lo <= z < node.grid_hi):
+            continue
+        lo, hi = part.sn_range(node.first, node.last)
+        ks = [K for K in range(lo, hi)
+              if K % grid.px == i and K % grid.py == j]
+        if ks:
+            shares.append((node.grid_lo, node.grid_hi, ks))
+    if not shares:
+        # Still participate in the epoch: the fence is collective.
+        yield ctx.fence(tag="allreduce", category=category)
+        return
+
+    # Like the two-sided variants, the whole exchange is ONE inter-grid
+    # synchronization point (the puts carry the sync label; the fence is
+    # the single barrier).
+    ctx.set_sync("allreduce")
+    for glo, ghi, ks in shares:
+        buf = np.concatenate([values[K] for K in ks], axis=0)
+        for z2 in range(glo, ghi):
+            if z2 != z:
+                yield ctx.put(grid.zpeer(ctx.rank, z2), ("osp", z, glo, ghi),
+                              buf, category=category)
+    yield ctx.fence(tag="allreduce", category=category)
+    ctx.set_sync("")
+
+    for glo, ghi, ks in shares:
+        bufs: list[np.ndarray] = []
+        for z2 in range(glo, ghi):
+            if z2 == z:
+                bufs.append(np.concatenate([values[K] for K in ks], axis=0))
+            else:
+                buf = yield ctx.read(("osp", z2, glo, ghi),
+                                     category=category)
+                bufs.append(buf)
+        total = _tree_sum(bufs)
+        ofs = 0
+        for K in ks:
+            w = values[K].shape[0]
+            values[K][:] = total[ofs:ofs + w]
+            ofs += w
+
+
 def naive_allreduce(ctx: RankCtx, grid: Grid3D, layout: LayoutTree,
                     part: SupernodePartition, values: dict[int, np.ndarray],
                     category: str = "z"):

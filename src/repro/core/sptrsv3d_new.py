@@ -149,6 +149,11 @@ def new3d_rank_fn(setup: New3DSetup, b_perm: np.ndarray, nrhs: int,
 
             yield from naive_allreduce(ctx, grid, setup.layout, part, y,
                                        category="z")
+        elif allreduce_impl == "onesided":
+            from repro.core.sparse_allreduce import onesided_allreduce
+
+            yield from onesided_allreduce(ctx, grid, setup.layout, part, y,
+                                          category="z")
         else:
             raise ValueError(f"unknown allreduce_impl {allreduce_impl!r}")
         ctx.mark("z_end")

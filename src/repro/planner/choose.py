@@ -13,7 +13,8 @@ def candidates(solver) -> list[str]:
     order ties break toward (paper-preferred first)."""
     if solver.grid.pz == 1:
         return ["2d", "ca_trsm"]
-    return ["new3d", "baseline3d", "sparse_allreduce_v2", "ca_trsm"]
+    return ["new3d", "baseline3d", "sparse_allreduce_v2", "onesided_put",
+            "ca_trsm"]
 
 
 @dataclass

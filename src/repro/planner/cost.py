@@ -10,6 +10,12 @@ simulator charges:
   simulator's ``MPI_Isend`` model);
 - a receive costs ``net.recv_overhead`` after the later of its local
   clock and the matched arrival;
+- one-sided operations are priced exactly like the runtime charges them:
+  a put costs ``send_overhead`` with its write landing ``latency`` later,
+  a flush waits for the origin's matching in-flight writes, a fence is a
+  collective barrier at the max of every entry clock and every in-flight
+  arrival plus one ``send_overhead + recv_overhead``, and a window read
+  is free;
 - the compute segment preceding each event (the ``pre_flops`` /
   ``pre_bytes`` / ``pre_ops`` annotations the extractor accumulates from
   ``ctx.gemm``/``ctx.compute``) is priced as one roofline pass over the
@@ -51,14 +57,21 @@ def schedule_time(sched: Schedule, machine: Machine) -> float:
     pos = [0] * n
     clock = [0.0] * n
     arrival: dict[tuple[int, int], float] = {}
+    # Outstanding one-sided writes per origin as (dst, arrival) pairs, and
+    # the entry clock of a rank parked at a fence (None when running).
+    rma_pending: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    fence_parked: list[float | None] = [None] * n
     # Round-robin causal sweep: a rank parks when its next receive's
-    # matched send has not been priced yet; completeness of the schedule
+    # matched send has not been priced yet (or at a fence, until every
+    # rank reaches the epoch boundary); completeness of the schedule
     # guarantees the sweep drains (the match relation is an executed
-    # order, hence acyclic).
+    # order, hence acyclic, and the runtime's fence quorum held).
     progressed = True
     while progressed:
         progressed = False
         for r in range(n):
+            if fence_parked[r] is not None:
+                continue
             evs = sched.events[r]
             while pos[r] < len(evs):
                 ev = evs[pos[r]]
@@ -68,6 +81,27 @@ def schedule_time(sched: Schedule, machine: Machine) -> float:
                     clock[r] += seg + net.send_overhead
                     arrival[(r, ev.pos)] = clock[r] + net.latency(
                         ev.nbytes, machine.same_node(r, ev.dst))
+                elif ev.kind == "put":
+                    clock[r] += seg + net.send_overhead
+                    rma_pending[r].append((ev.dst, clock[r] + net.latency(
+                        ev.nbytes, machine.same_node(r, ev.dst))))
+                elif ev.kind == "flush":
+                    t = clock[r] + seg
+                    keep = []
+                    for dst, arr in rma_pending[r]:
+                        if ev.dst is None or dst == ev.dst:
+                            t = max(t, arr)
+                        else:
+                            keep.append((dst, arr))
+                    rma_pending[r] = keep
+                    clock[r] = t
+                elif ev.kind == "fence":
+                    fence_parked[r] = clock[r] + seg
+                    pos[r] += 1
+                    progressed = True
+                    break
+                elif ev.kind == "read":
+                    clock[r] += seg
                 else:
                     if ev.match is not None and ev.match not in arrival:
                         break       # park until the sender is priced
@@ -75,6 +109,21 @@ def schedule_time(sched: Schedule, machine: Machine) -> float:
                     clock[r] = max(clock[r] + seg, t_in) + net.recv_overhead
                 pos[r] += 1
                 progressed = True
+        parked = [r for r in range(n) if fence_parked[r] is not None]
+        if parked and all(fence_parked[r] is not None
+                          or pos[r] >= len(sched.events[r])
+                          for r in range(n)):
+            # Epoch boundary: exactly the runtime's fence — everything
+            # in flight (from every origin) lands before anyone leaves.
+            t_f = max(max(fence_parked[r] for r in parked),
+                      max((arr for pend in rma_pending for _, arr in pend),
+                          default=0.0))
+            for r in range(n):
+                rma_pending[r] = []
+            for r in parked:
+                clock[r] = t_f + net.send_overhead + net.recv_overhead
+                fence_parked[r] = None
+            progressed = True
     if any(pos[r] < len(sched.events[r]) for r in range(n)):
         raise AssertionError(
             f"causal pricing sweep stalled on {sched.summary()}")

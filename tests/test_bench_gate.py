@@ -1,0 +1,113 @@
+"""The BENCH_*.json regression gate (tools/check_bench_regression.py)."""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tools", "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _TOOL)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+BASE = {
+    "benchmark": "planner-accuracy",
+    "schema_version": 1,
+    "config": {"scale": "tiny"},
+    "sweep": {
+        "m/2x2x1": {"measured_best_s": 1.0e-3},
+        "m/2x1x2": {"measured_best_s": 2.0e-3},
+    },
+    "headline": {
+        "points": 2,
+        "planner_hit_rate": 1.0,
+        "acceptance_floor": 0.9,
+    },
+}
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    def write(name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+    return write
+
+
+def test_identical_artifacts_pass(artifacts, capsys):
+    p = artifacts("base.json", BASE)
+    assert gate.main([_TOOL, p, p]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_virtual_time_drift_fails(artifacts, capsys):
+    cand = copy.deepcopy(BASE)
+    cand["sweep"]["m/2x2x1"]["measured_best_s"] = 1.1e-3   # > 1%
+    rc = gate.main([_TOOL, artifacts("cand.json", cand),
+                    artifacts("base.json", BASE)])
+    assert rc == 1
+    assert "functional change" in capsys.readouterr().out
+
+
+def test_missing_candidate_point_fails(artifacts, capsys):
+    cand = copy.deepcopy(BASE)
+    del cand["sweep"]["m/2x1x2"]
+    rc = gate.main([_TOOL, artifacts("cand.json", cand),
+                    artifacts("base.json", BASE)])
+    assert rc == 1
+    assert "missing from candidate sweep" in capsys.readouterr().out
+
+
+def test_candidate_axis_drift_fails(artifacts, capsys):
+    # A sweep point the baseline has never seen (new or renamed axis
+    # value) must be rejected, not silently skipped: otherwise renaming
+    # a point dodges the virtual-determinism comparison entirely.
+    cand = copy.deepcopy(BASE)
+    cand["sweep"]["m/4x4x1"] = {"measured_best_s": 5.0e-3}
+    rc = gate.main([_TOOL, artifacts("cand.json", cand),
+                    artifacts("base.json", BASE)])
+    assert rc == 1
+    assert "sweep axis drifted" in capsys.readouterr().out
+
+
+def test_renamed_point_is_double_reported(artifacts, capsys):
+    cand = copy.deepcopy(BASE)
+    cand["sweep"]["m/8x1x1"] = cand["sweep"].pop("m/2x1x2")
+    rc = gate.main([_TOOL, artifacts("cand.json", cand),
+                    artifacts("base.json", BASE)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "sweep axis drifted" in out
+    assert "missing from candidate sweep" in out
+
+
+def test_scale_mismatch_skips_axis_checks(artifacts, capsys):
+    cand = copy.deepcopy(BASE)
+    cand["config"]["scale"] = "small"
+    cand["sweep"]["m/4x4x1"] = {"measured_best_s": 5.0e-3}
+    rc = gate.main([_TOOL, artifacts("cand.json", cand),
+                    artifacts("base.json", BASE)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "skipping" in out
+
+
+def test_headline_floor_fails(artifacts, capsys):
+    cand = copy.deepcopy(BASE)
+    cand["headline"]["planner_hit_rate"] = 0.5
+    rc = gate.main([_TOOL, artifacts("cand.json", cand),
+                    artifacts("base.json", BASE)])
+    assert rc == 1
+    assert "acceptance floor" in capsys.readouterr().out
+
+
+def test_checked_in_planner_artifact_passes_against_itself():
+    bench = os.path.join(os.path.dirname(_TOOL), os.pardir,
+                         "BENCH_planner.json")
+    assert gate.main([_TOOL, bench, bench]) == 0

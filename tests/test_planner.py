@@ -151,10 +151,10 @@ def _cliff_machine():
     """A bandwidth/latency point adjacent to the new3d/baseline3d cost
     cliff: fat messages (beta x256) but cheap startup (alpha x0.25).
 
-    Here the planner's lower-bound compute aggregation prices the two
-    z-phase algorithms close enough that the model picks baseline3d while
-    the simulator measures new3d ~1.3% faster — a genuine, deterministic
-    misprediction the feedback path must absorb.
+    Here the planner's lower-bound compute aggregation prices the
+    z-phase algorithms close enough that the model picks onesided_put
+    while the simulator measures new3d ~2% faster — a genuine,
+    deterministic misprediction the feedback path must absorb.
     """
     m = CORI_HASWELL
     net = dataclasses.replace(
@@ -180,7 +180,7 @@ def test_mispredict_is_corrected_by_measured_feedback(A):
 
     # The cliff is real: the model picks one backend, the measurement
     # ranks another strictly better.
-    assert d.algorithm == "baseline3d"
+    assert d.algorithm == "onesided_put"
     assert best == "new3d"
     assert measured[best] < measured[d.algorithm]
 
@@ -190,7 +190,7 @@ def test_mispredict_is_corrected_by_measured_feedback(A):
     assert d.algorithm == best
     assert len(planner.corrections) == 1
     corr = planner.corrections[0]
-    assert corr.predicted_pick == "baseline3d"
+    assert corr.predicted_pick == "onesided_put"
     assert corr.measured_pick == "new3d"
     # The cache now serves the corrected pick.
     assert planner.choose(solver, nrhs=4, machine=machine).algorithm == best

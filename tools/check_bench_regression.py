@@ -11,9 +11,12 @@ regressed.  Three checks, in increasing strictness:
    (matrix, grid) point for ``BENCH_planner.json``) must match the
    baseline within 1% — virtual time is deterministic, so any drift
    here is a functional change to the serving tier or cost model, not
-   noise.  (Skipped with a notice when the two artifacts were generated
-   at different matrix scales, where the virtual numbers are
-   legitimately different.)
+   noise.  The sweep axes must also be *identical* sets: a candidate
+   point absent from the baseline (or vice versa) means the sweep
+   definition drifted, which would otherwise let a renamed point dodge
+   the comparison.  (Both are skipped with a notice when the two
+   artifacts were generated at different matrix scales, where the
+   virtual numbers are legitimately different.)
 2. **The headline metric** must not regress more than 20% against the
    baseline.  For ``replay_speedup`` (simulated wall / replay wall at
    the widest cap) raw wall-clock is not comparable across machines, but
@@ -99,6 +102,13 @@ def main(argv: list[str]) -> int:
               f"{base['config'].get('scale')!r}); skipping the virtual-"
               f"determinism check")
     else:
+        for cap in sorted(cand["sweep"], key=_axis_order):
+            if cap not in base["sweep"]:
+                failures.append(
+                    f"point {cap} in candidate sweep but not in baseline: "
+                    f"the sweep axis drifted (new or renamed point) — "
+                    f"regenerate and commit the baseline deliberately if "
+                    f"intended")
         for cap in sorted(base["sweep"], key=_axis_order):
             if cap not in cand["sweep"]:
                 failures.append(f"point {cap} missing from candidate sweep")
